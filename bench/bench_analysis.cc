@@ -1,0 +1,107 @@
+// E11: the static analyses — range-restriction checks (Definitions 4.1,
+// 5.5, 5.6), Datahilog, stratification, floundering — as program size
+// grows. These run on every Engine::Analyze call, so their cost matters.
+
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+#include "src/analysis/range_restriction.h"
+#include "src/analysis/stratification.h"
+#include "src/lang/parser.h"
+
+namespace hilog {
+namespace {
+
+void BM_RangeRestrictionCheck(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  TermStore store;
+  auto parsed = ParseProgram(store, bench::LayeredProgram(width));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsRangeRestricted(store, *parsed));
+  }
+  state.SetItemsProcessed(state.iterations() * parsed->size());
+}
+BENCHMARK(BM_RangeRestrictionCheck)->Range(8, 512);
+
+void BM_StrongRangeRestrictionCheck(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  TermStore store;
+  auto parsed = ParseProgram(store, bench::LayeredProgram(width));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsStronglyRangeRestricted(store, *parsed));
+  }
+  state.SetItemsProcessed(state.iterations() * parsed->size());
+}
+BENCHMARK(BM_StrongRangeRestrictionCheck)->Range(8, 512);
+
+void BM_OrderingSearchWorstCase(benchmark::State& state) {
+  // Condition 3's ordering search on one rule with a long dependency
+  // chain of name variables: greedy selection is quadratic in body size.
+  const int k = static_cast<int>(state.range(0));
+  TermStore store;
+  // h(a) :- p(X1), X1(X2), X2(X3), ..., X{k-1}(Xk).
+  std::string text = "h(a) :- p(X1)";
+  for (int i = 1; i < k; ++i) {
+    text += ", X" + std::to_string(i) + "(X" + std::to_string(i + 1) + ")";
+  }
+  text += ".";
+  auto parsed = ParseProgram(store, text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IsStronglyRangeRestrictedRule(store, parsed->rules[0]));
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_OrderingSearchWorstCase)->Range(4, 256);
+
+void BM_StratificationCheck(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  TermStore store;
+  auto parsed = ParseProgram(store, bench::LayeredProgram(width));
+  for (auto _ : state) {
+    std::unordered_map<TermId, int> levels;
+    benchmark::DoNotOptimize(IsStratified(store, *parsed, &levels));
+  }
+  state.SetItemsProcessed(state.iterations() * parsed->size());
+}
+BENCHMARK(BM_StratificationCheck)->Range(8, 512);
+
+void BM_LocalStratificationCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TermStore store;
+  auto parsed = ParseProgram(store, bench::GroundWinChain(n));
+  GroundProgram ground;
+  ToGroundProgram(store, *parsed, &ground);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsLocallyStratified(ground));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LocalStratificationCheck)->Range(16, 4096);
+
+void BM_FlounderingCheck(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  TermStore store;
+  auto parsed = ParseProgram(store, bench::LayeredProgram(width));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProgramFlounders(store, *parsed));
+  }
+  state.SetItemsProcessed(state.iterations() * parsed->size());
+}
+BENCHMARK(BM_FlounderingCheck)->Range(8, 512);
+
+void BM_DatahilogCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TermStore store;
+  auto parsed = ParseProgram(store, bench::WinMoveProgram(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsDatahilog(store, *parsed));
+  }
+  state.SetItemsProcessed(state.iterations() * parsed->size());
+}
+BENCHMARK(BM_DatahilogCheck)->Range(16, 1024);
+
+}  // namespace
+}  // namespace hilog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// E10/E12: preservation under extensions, measured — the cost of
+// re-solving P cup Q as the disjoint extension Q grows, and the
+// conservative-extension check itself. For range-restricted programs the
+// base fragment's answers are unchanged (Theorem 5.3), so all added cost
+// is attributable to Q.
+
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+#include "src/analysis/extension.h"
+#include "src/ground/herbrand.h"
+#include "src/lang/parser.h"
+#include "src/wfs/alternating.h"
+
+namespace hilog {
+namespace {
+
+void BM_UnionWfs_GrowingExtension(benchmark::State& state) {
+  const int ext_rules = static_cast<int>(state.range(0));
+  TermStore store;
+  auto base = ParseProgram(store, bench::HiLogGameProgram(1, 6));
+  DisjointExtensionSpec spec;
+  spec.seed = 7;
+  spec.num_symbols = 4;
+  spec.num_facts = ext_rules;
+  spec.num_rules = ext_rules;
+  Program extension = GenerateDisjointGroundProgram(store, spec);
+  Program both = UnionPrograms(*base, extension);
+  Universe u = ProgramHiLogUniverse(store, both, UniverseBound{0, 100000});
+  for (auto _ : state) {
+    InstantiationResult inst =
+        InstantiateOverUniverse(store, both, u.terms, 10000000);
+    WfsResult wfs = ComputeWfsAlternating(inst.program);
+    benchmark::DoNotOptimize(wfs.model.CountTrue());
+  }
+  state.SetItemsProcessed(state.iterations() * both.size());
+}
+BENCHMARK(BM_UnionWfs_GrowingExtension)->Range(2, 64);
+
+void BM_ConservativeExtensionCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TermStore store;
+  auto base = ParseProgram(store, bench::HiLogGameProgram(1, n));
+  DisjointExtensionSpec spec;
+  spec.seed = 11;
+  Program extension = GenerateDisjointGroundProgram(store, spec);
+  Program both = UnionPrograms(*base, extension);
+
+  Universe u = ProgramHiLogUniverse(store, both, UniverseBound{0, 100000});
+  InstantiationResult small_inst =
+      InstantiateOverUniverse(store, *base, u.terms, 10000000);
+  Interpretation small = ComputeWfsAlternating(small_inst.program).model;
+  InstantiationResult big_inst =
+      InstantiateOverUniverse(store, both, u.terms, 10000000);
+  Interpretation big = ComputeWfsAlternating(big_inst.program).model;
+
+  Universe base_u =
+      ProgramHiLogUniverse(store, *base, UniverseBound{0, 100000});
+  InstantiationResult frag_inst =
+      InstantiateOverUniverse(store, *base, base_u.terms, 10000000);
+  AtomTable fragment;
+  frag_inst.program.CollectAtoms(&fragment);
+
+  for (auto _ : state) {
+    TermId witness = kNoTerm;
+    benchmark::DoNotOptimize(ConservativelyExtendsOnFragment(
+        big, small, fragment.atoms(), &witness));
+  }
+  state.SetItemsProcessed(state.iterations() * fragment.size());
+}
+BENCHMARK(BM_ConservativeExtensionCheck)->Range(4, 64);
+
+void BM_DisjointGeneration(benchmark::State& state) {
+  const int rules = static_cast<int>(state.range(0));
+  TermStore store;
+  DisjointExtensionSpec spec;
+  spec.num_facts = rules;
+  spec.num_rules = rules;
+  for (auto _ : state) {
+    spec.seed++;
+    Program p = GenerateDisjointGroundProgram(store, spec);
+    benchmark::DoNotOptimize(p.size());
+  }
+  state.SetItemsProcessed(state.iterations() * rules * 2);
+}
+BENCHMARK(BM_DisjointGeneration)->Range(4, 256);
+
+}  // namespace
+}  // namespace hilog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// E24/E25/E26: the paper's central performance claim (Sections 1, 6.1) —
+// the magic-sets method "allows the efficient evaluation of queries over
+// a large class of HiLog programs". We compare query-directed magic
+// evaluation against computing the full well-founded model, on game
+// programs where the query touches only a suffix of the move graph.
+
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+#include "src/core/engine.h"
+
+namespace hilog {
+namespace {
+
+// Full WFS of the whole program (relevance grounding + alternating
+// fixpoint), the baseline a query would use without magic sets.
+void BM_FullWfs_GameChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Engine engine;
+  engine.Load(bench::WinMoveProgram(n));
+  for (auto _ : state) {
+    Engine::WfsAnswer answer = engine.SolveWellFounded();
+    benchmark::DoNotOptimize(answer.model.CountTrue());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FullWfs_GameChain)->Range(16, 4096);
+
+// Magic query near the *end* of the chain: only O(1) of the graph is
+// relevant — query-directed evaluation should be ~flat in n.
+void BM_MagicQuery_GameChainTail(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string query = "w(n" + std::to_string(n - 2) + ")";
+  Engine engine;
+  engine.Load(bench::WinMoveProgram(n));
+  for (auto _ : state) {
+    Engine::QueryAnswer answer = engine.Query(query);
+    benchmark::DoNotOptimize(answer.facts_derived);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MagicQuery_GameChainTail)->Range(16, 4096);
+
+// Magic query at the head of the chain: everything is relevant; magic
+// pays its bookkeeping overhead (the honest worst case).
+void BM_MagicQuery_GameChainHead(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Engine engine;
+  engine.Load(bench::WinMoveProgram(n));
+  for (auto _ : state) {
+    Engine::QueryAnswer answer = engine.Query("w(n0)");
+    benchmark::DoNotOptimize(answer.facts_derived);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MagicQuery_GameChainHead)->Range(16, 512);
+
+// HiLog flavor: many games loaded, query about one — magic must not
+// explore the others.
+void BM_MagicQuery_OneOfManyGames(benchmark::State& state) {
+  const int games = static_cast<int>(state.range(0));
+  Engine engine;
+  engine.Load(bench::HiLogGameProgram(games, 16));
+  for (auto _ : state) {
+    Engine::QueryAnswer answer = engine.Query("winning(mv0)(n0)");
+    benchmark::DoNotOptimize(answer.facts_derived);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MagicQuery_OneOfManyGames)->Range(2, 64);
+
+void BM_FullWfs_ManyGames(benchmark::State& state) {
+  const int games = static_cast<int>(state.range(0));
+  Engine engine;
+  engine.Load(bench::HiLogGameProgram(games, 16));
+  for (auto _ : state) {
+    Engine::WfsAnswer answer = engine.SolveWellFounded();
+    benchmark::DoNotOptimize(answer.model.CountTrue());
+  }
+  state.SetItemsProcessed(state.iterations() * games);
+}
+BENCHMARK(BM_FullWfs_ManyGames)->Range(2, 64);
+
+// The rewriting itself (Example 6.6): cost per program rule.
+void BM_MagicRewrite(benchmark::State& state) {
+  const int games = static_cast<int>(state.range(0));
+  TermStore store;
+  auto parsed = ParseProgram(store, bench::HiLogGameProgram(games, 4));
+  TermId query = *ParseTerm(store, "winning(mv0)(n0)");
+  MagicRewriteOptions options;
+  options.edb_names = FactOnlyPredicates(store, *parsed);
+  for (auto _ : state) {
+    MagicProgram magic = MagicRewrite(store, *parsed, query, options);
+    benchmark::DoNotOptimize(magic.rules.size());
+  }
+  state.SetItemsProcessed(state.iterations() * parsed->size());
+}
+BENCHMARK(BM_MagicRewrite)->Range(2, 64);
+
+}  // namespace
+}  // namespace hilog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// E5/E6: stable-model machinery — the Gelfond-Lifschitz check, the
+// W_P-fixpoint characterization (Definition 3.6), and enumeration cost as
+// the number of undefined atoms grows (2^k candidates).
+
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+#include "src/lang/parser.h"
+#include "src/wfs/stable.h"
+
+namespace hilog {
+namespace {
+
+GroundProgram MakeGround(TermStore& store, const std::string& text) {
+  auto parsed = ParseProgram(store, text);
+  GroundProgram ground;
+  ToGroundProgram(store, *parsed, &ground);
+  return ground;
+}
+
+void BM_StableEnumeration_Loops(benchmark::State& state) {
+  // k independent p/~q loops: WFS leaves 2k atoms undefined, enumeration
+  // checks 2^{2k} candidates and finds 2^k stable models.
+  const int loops = static_cast<int>(state.range(0));
+  TermStore store;
+  GroundProgram ground = MakeGround(store, bench::LoopProgram(loops));
+  StableOptions options;
+  options.max_models = 1u << 20;
+  options.max_branch_atoms = 2 * static_cast<size_t>(loops);
+  for (auto _ : state) {
+    StableModelsResult r = EnumerateStableModels(ground, options);
+    benchmark::DoNotOptimize(r.models.size());
+  }
+  state.SetItemsProcessed(state.iterations() * (1ll << (2 * loops)));
+}
+BENCHMARK(BM_StableEnumeration_Loops)->DenseRange(1, 8);
+
+void BM_StableEnumeration_WfsPrunesEverything(benchmark::State& state) {
+  // A two-valued-WFS program of size n: enumeration collapses to a single
+  // candidate regardless of n (the WFS fixes every atom first).
+  const int n = static_cast<int>(state.range(0));
+  TermStore store;
+  GroundProgram ground = MakeGround(store, bench::GroundWinChain(n));
+  for (auto _ : state) {
+    StableModelsResult r = EnumerateStableModels(ground, StableOptions());
+    benchmark::DoNotOptimize(r.models.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StableEnumeration_WfsPrunesEverything)->Range(16, 1024);
+
+void BM_GelfondLifschitzCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TermStore store;
+  GroundProgram ground = MakeGround(store, bench::GroundWinChain(n));
+  // The unique stable model: w(n_i) true iff (n - i) is odd.
+  std::vector<TermId> trues;
+  for (int i = 0; i < n; ++i) {
+    if ((n - i) % 2 == 1) {
+      trues.push_back(*ParseTerm(store, "w(n" + std::to_string(i) + ")"));
+    }
+    trues.push_back(*ParseTerm(store, "m(n" + std::to_string(i) + ",n" +
+                                          std::to_string(i + 1) + ")"));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsStableModel(ground, trues));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GelfondLifschitzCheck)->Range(16, 4096);
+
+void BM_WFixpointCheck(benchmark::State& state) {
+  // Definition 3.6's characterization: same input as the GL check, via
+  // one T_P application plus one greatest-unfounded-set computation.
+  const int n = static_cast<int>(state.range(0));
+  TermStore store;
+  GroundProgram ground = MakeGround(store, bench::GroundWinChain(n));
+  std::vector<TermId> trues;
+  for (int i = 0; i < n; ++i) {
+    if ((n - i) % 2 == 1) {
+      trues.push_back(*ParseTerm(store, "w(n" + std::to_string(i) + ")"));
+    }
+    trues.push_back(*ParseTerm(store, "m(n" + std::to_string(i) + ",n" +
+                                          std::to_string(i + 1) + ")"));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsTwoValuedFixpointOfW(ground, trues));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WFixpointCheck)->Range(16, 1024);
+
+}  // namespace
+}  // namespace hilog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// Ablation bench (DESIGN.md section 4.1): hash-consed term construction,
+// equality, unification, and substitution micro-costs.
+
+#include <benchmark/benchmark.h>
+
+#include "src/lang/parser.h"
+#include "src/term/unify.h"
+
+namespace hilog {
+namespace {
+
+void BM_InternDeepTerm(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    TermStore store;
+    TermId f = store.MakeSymbol("f");
+    TermId t = store.MakeSymbol("c");
+    for (int i = 0; i < depth; ++i) t = store.MakeApply(f, {t});
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_InternDeepTerm)->Range(8, 4096);
+
+void BM_ReinternIsHit(benchmark::State& state) {
+  // Re-interning an existing term must be a pure hash lookup.
+  const int depth = static_cast<int>(state.range(0));
+  TermStore store;
+  TermId f = store.MakeSymbol("f");
+  TermId c = store.MakeSymbol("c");
+  TermId t = c;
+  for (int i = 0; i < depth; ++i) t = store.MakeApply(f, {t});
+  for (auto _ : state) {
+    TermId again = c;
+    for (int i = 0; i < depth; ++i) again = store.MakeApply(f, {again});
+    benchmark::DoNotOptimize(again);
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_ReinternIsHit)->Range(8, 4096);
+
+void BM_EqualityIsIdCompare(benchmark::State& state) {
+  // Hash-consing makes equality O(1) regardless of term size.
+  TermStore store;
+  TermId f = store.MakeSymbol("f");
+  TermId a = store.MakeSymbol("a");
+  TermId t1 = a;
+  for (int i = 0; i < 1000; ++i) t1 = store.MakeApply(f, {t1});
+  TermId t2 = a;
+  for (int i = 0; i < 1000; ++i) t2 = store.MakeApply(f, {t2});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t1 == t2);
+  }
+}
+BENCHMARK(BM_EqualityIsIdCompare);
+
+void BM_UnifyWide(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  TermStore store;
+  TermId p = store.MakeSymbol("p");
+  std::vector<TermId> vars;
+  std::vector<TermId> consts;
+  for (int i = 0; i < width; ++i) {
+    vars.push_back(store.MakeVariable("X" + std::to_string(i)));
+    consts.push_back(store.MakeSymbol("c" + std::to_string(i)));
+  }
+  TermId pattern = store.MakeApply(p, vars);
+  TermId target = store.MakeApply(p, consts);
+  for (auto _ : state) {
+    auto mgu = Unify(store, pattern, target);
+    benchmark::DoNotOptimize(mgu);
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_UnifyWide)->Range(2, 256);
+
+void BM_UnifyHiLogNames(benchmark::State& state) {
+  // Unification through curried predicate-name positions.
+  TermStore store;
+  TermId pattern = *ParseTerm(store, "tc(tc(G))(X,Y)");
+  TermId target = *ParseTerm(store, "tc(tc(e))(n1,n2)");
+  for (auto _ : state) {
+    auto mgu = Unify(store, pattern, target);
+    benchmark::DoNotOptimize(mgu);
+  }
+}
+BENCHMARK(BM_UnifyHiLogNames);
+
+void BM_MatchAgainstFacts(benchmark::State& state) {
+  const int facts = static_cast<int>(state.range(0));
+  TermStore store;
+  TermId m = store.MakeSymbol("m");
+  std::vector<TermId> targets;
+  for (int i = 0; i < facts; ++i) {
+    targets.push_back(store.MakeApply(
+        m, {store.MakeSymbol("n" + std::to_string(i)),
+            store.MakeSymbol("n" + std::to_string(i + 1))}));
+  }
+  TermId pattern = *ParseTerm(store, "m(X,Y)");
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (TermId t : targets) {
+      Substitution subst;
+      hits += MatchInto(store, pattern, t, &subst);
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * facts);
+}
+BENCHMARK(BM_MatchAgainstFacts)->Range(16, 4096);
+
+void BM_SubstituteDeep(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  TermStore store;
+  TermId f = store.MakeSymbol("f");
+  TermId x = store.MakeVariable("X");
+  TermId t = x;
+  for (int i = 0; i < depth; ++i) t = store.MakeApply(f, {t});
+  Substitution subst;
+  subst.Bind(x, store.MakeSymbol("a"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(subst.Apply(store, t));
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_SubstituteDeep)->Range(8, 1024);
+
+}  // namespace
+}  // namespace hilog
+
+BENCHMARK_MAIN();

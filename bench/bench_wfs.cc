@@ -1,0 +1,105 @@
+// E4/E14 + DESIGN.md section 4.2 ablation: the two well-founded-model
+// engines — the literal W_P operator of Definitions 3.3-3.5 versus the
+// alternating fixpoint — on win/move chains (worst-case alternation
+// depth), cycles (maximal undefinedness), and trees.
+
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+#include "src/ground/grounder.h"
+#include "src/lang/parser.h"
+#include "src/wfs/alternating.h"
+#include "src/wfs/wfs.h"
+
+namespace hilog {
+namespace {
+
+GroundProgram MakeGround(TermStore& store, const std::string& text) {
+  auto parsed = ParseProgram(store, text);
+  GroundProgram ground;
+  ToGroundProgram(store, *parsed, &ground);
+  return ground;
+}
+
+void BM_WfsOperator_Chain(benchmark::State& state) {
+  TermStore store;
+  GroundProgram ground =
+      MakeGround(store, bench::GroundWinChain(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    WfsResult r = ComputeWfsViaOperator(ground);
+    benchmark::DoNotOptimize(r.model.CountTrue());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WfsOperator_Chain)->Range(8, 256);
+
+void BM_WfsAlternating_Chain(benchmark::State& state) {
+  TermStore store;
+  GroundProgram ground =
+      MakeGround(store, bench::GroundWinChain(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    WfsResult r = ComputeWfsAlternating(ground);
+    benchmark::DoNotOptimize(r.model.CountTrue());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WfsAlternating_Chain)->Range(8, 4096);
+
+void BM_WfsAlternating_Cycle(benchmark::State& state) {
+  // A win/move cycle: every w atom is undefined — the all-undefined
+  // stress case.
+  const int n = static_cast<int>(state.range(0));
+  TermStore store;
+  std::string text = "w(X) :- m(X,Y), ~w(Y).\n" + bench::CycleFacts("m", n);
+  auto parsed = ParseProgram(store, text);
+  // Ground via relevance (the program is strongly range restricted).
+  GroundProgram ground;
+  {
+    auto envelope = LeastModelOfPositiveProjection(store, *parsed,
+                                                   BottomUpOptions());
+    benchmark::DoNotOptimize(envelope.facts.size());
+  }
+  RelevanceGroundingResult g =
+      GroundWithRelevance(store, *parsed, BottomUpOptions());
+  for (auto _ : state) {
+    WfsResult r = ComputeWfsAlternating(g.program);
+    benchmark::DoNotOptimize(r.model.CountUndefined());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WfsAlternating_Cycle)->Range(8, 1024);
+
+void BM_WfsOperator_Cycle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TermStore store;
+  std::string text = "w(X) :- m(X,Y), ~w(Y).\n" + bench::CycleFacts("m", n);
+  auto parsed = ParseProgram(store, text);
+  RelevanceGroundingResult g =
+      GroundWithRelevance(store, *parsed, BottomUpOptions());
+  for (auto _ : state) {
+    WfsResult r = ComputeWfsViaOperator(g.program);
+    benchmark::DoNotOptimize(r.model.CountUndefined());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WfsOperator_Cycle)->Range(8, 256);
+
+void BM_GammaOperator(benchmark::State& state) {
+  // One Gamma (GL-reduct least model) application: the inner loop of
+  // both the alternating fixpoint and stable-model checking.
+  const int n = static_cast<int>(state.range(0));
+  TermStore store;
+  GroundProgram ground = MakeGround(store, bench::GroundWinChain(n));
+  PreparedGround prepared(ground);
+  std::vector<char> empty(prepared.num_atoms(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prepared.GammaOperator(empty));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GammaOperator)->Range(64, 16384);
+
+}  // namespace
+}  // namespace hilog
+
+BENCHMARK_MAIN();

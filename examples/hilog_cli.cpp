@@ -1,0 +1,281 @@
+// hilog_cli — an interactive driver for the library: load HiLog rules,
+// inspect the paper's classifications, compute models, and pose queries.
+//
+//   ./build/examples/hilog_cli [file.hl]
+//
+// Commands (a line starting with ':'); anything else is parsed as rules
+// and added to the program:
+//   :analyze           print the Definition 4.1/5.5/5.6/6.1/6.6/6.7 report
+//   :wfs               compute and print the well-founded model
+//   :stable            enumerate stable models
+//   :modular           run Figure 1 and print the settling rounds
+//   :agg               evaluate with aggregates (parts-explosion style)
+//   :query <atom>      magic-sets query
+//   :list              print the current program
+//   :clear             drop the program
+//   :help  :quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/lint.h"
+#include "src/core/engine.h"
+#include "src/lang/printer.h"
+
+namespace {
+
+void PrintHelp() {
+  std::puts(
+      ":analyze | :wfs | :stable | :modular | :stratified | :agg | "
+      ":query <atom> | :prove <atom> | :table <atom> | :domind | :lint | "
+      ":list | :clear | :quit");
+}
+
+void PrintAnalysis(hilog::Engine& engine) {
+  hilog::AnalysisReport r = engine.Analyze();
+  std::printf("normal program:                 %s\n", r.normal ? "yes" : "no");
+  std::printf("normal range restricted (4.1):  %s\n",
+              r.normal_range_restricted ? "yes" : "no");
+  std::printf("range restricted (5.5):         %s\n",
+              r.range_restricted ? "yes" : "no");
+  std::printf("strongly range restricted (5.6):%s\n",
+              r.strongly_range_restricted ? " yes" : " no");
+  std::printf("Datahilog (6.7):                %s",
+              r.datahilog ? "yes" : "no");
+  if (r.datahilog) std::printf("  (|T| <= %zu)", r.datahilog_atom_bound);
+  std::printf("\nstratified (6.1):               %s\n",
+              r.stratified ? "yes" : "no");
+  std::printf("flounders (left-to-right):      %s\n",
+              r.flounders ? "yes" : "no");
+  std::printf("modularly stratified (Fig. 1):  %s\n",
+              r.modularly_stratified ? "yes" : "no");
+  if (!r.modularly_stratified) {
+    std::printf("  reason: %s\n", r.modular_reason.c_str());
+  }
+}
+
+void PrintWfs(hilog::Engine& engine) {
+  hilog::Engine::WfsAnswer answer = engine.SolveWellFounded();
+  if (!answer.ok) {
+    std::printf("error: %s\n", answer.notes.c_str());
+    return;
+  }
+  std::printf("grounder: %s%s  (%zu ground rules)\n",
+              answer.grounder == hilog::GrounderKind::kRelevance
+                  ? "relevance"
+                  : "bounded Herbrand",
+              answer.exact ? "" : " [fragment]", answer.ground_rules);
+  for (hilog::TermId atom : answer.model.TrueAtoms()) {
+    std::printf("  %s\n", engine.store().ToString(atom).c_str());
+  }
+  auto undefined = answer.model.UndefinedAtoms();
+  for (hilog::TermId atom : undefined) {
+    std::printf("  %s = undefined\n", engine.store().ToString(atom).c_str());
+  }
+  std::printf("(%zu true, %zu undefined; unlisted atoms false)\n",
+              answer.model.CountTrue(), undefined.size());
+}
+
+void PrintStable(hilog::Engine& engine) {
+  hilog::StableModelsResult result = engine.SolveStable();
+  if (!result.complete) std::puts("(enumeration incomplete: budget)");
+  std::printf("%zu stable model(s)\n", result.models.size());
+  for (size_t i = 0; i < result.models.size(); ++i) {
+    std::printf("model %zu:", i + 1);
+    for (hilog::TermId atom : result.models[i].true_atoms) {
+      std::printf(" %s", engine.store().ToString(atom).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintModular(hilog::Engine& engine) {
+  hilog::ModularResult result = engine.SolveModular();
+  if (!result.modularly_stratified) {
+    std::printf("not modularly stratified: %s\n", result.reason.c_str());
+    return;
+  }
+  std::printf("modularly stratified in %zu round(s)\n", result.rounds);
+  for (size_t i = 0; i < result.settled_per_round.size(); ++i) {
+    std::printf("  round %zu settles:", i + 1);
+    for (hilog::TermId name : result.settled_per_round[i]) {
+      std::printf(" %s", engine.store().ToString(name).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("model (true atoms):\n");
+  for (hilog::TermId atom : result.model.true_atoms().facts()) {
+    std::printf("  %s\n", engine.store().ToString(atom).c_str());
+  }
+}
+
+void PrintAggregates(hilog::Engine& engine) {
+  hilog::AggregateEvalResult result = engine.SolveAggregates();
+  if (!result.error.empty()) {
+    std::printf("error: %s\n", result.error.c_str());
+    return;
+  }
+  std::printf("%s after %zu round(s)\n",
+              result.converged ? "converged" : "NOT converged",
+              result.outer_rounds);
+  for (hilog::TermId atom : result.facts.facts()) {
+    std::printf("  %s\n", engine.store().ToString(atom).c_str());
+  }
+}
+
+void RunQuery(hilog::Engine& engine, const std::string& text) {
+  hilog::Engine::QueryAnswer answer = engine.Query(text);
+  if (!answer.ok) {
+    std::printf("error: %s\n", answer.error.c_str());
+    return;
+  }
+  for (hilog::TermId atom : answer.answers) {
+    std::printf("  %s\n", engine.store().ToString(atom).c_str());
+  }
+  switch (answer.ground_status) {
+    case hilog::QueryStatus::kTrue:
+      std::puts("=> true");
+      break;
+    case hilog::QueryStatus::kSettledFalse:
+      std::puts("=> false (settled)");
+      break;
+    case hilog::QueryStatus::kUnsettled:
+      if (answer.answers.empty()) std::puts("=> no answers");
+      if (!answer.unsettled_negative_calls.empty()) {
+        std::puts("warning: unsettled negative calls (program may not be "
+                  "modularly stratified left-to-right):");
+        for (hilog::TermId atom : answer.unsettled_negative_calls) {
+          std::printf("  ~%s\n", engine.store().ToString(atom).c_str());
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hilog::Engine engine;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    std::string error = engine.Load(buffer.str());
+    if (!error.empty()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("loaded %zu rule(s) from %s\n", engine.program().size(),
+                argv[1]);
+  }
+  std::puts("hilog interactive shell — :help for commands");
+  std::string line;
+  while (std::printf("hilog> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line[0] == ':') {
+      std::istringstream words(line);
+      std::string command;
+      words >> command;
+      if (command == ":quit" || command == ":q") break;
+      if (command == ":help") {
+        PrintHelp();
+      } else if (command == ":analyze") {
+        PrintAnalysis(engine);
+      } else if (command == ":wfs") {
+        PrintWfs(engine);
+      } else if (command == ":stable") {
+        PrintStable(engine);
+      } else if (command == ":modular") {
+        PrintModular(engine);
+      } else if (command == ":agg") {
+        PrintAggregates(engine);
+      } else if (command == ":query") {
+        std::string rest;
+        std::getline(words, rest);
+        RunQuery(engine, rest);
+      } else if (command == ":prove") {
+        std::string rest;
+        std::getline(words, rest);
+        hilog::ResolutionResult r = engine.Prove(rest);
+        if (!r.error.empty()) {
+          std::printf("error: %s\n", r.error.c_str());
+        } else {
+          for (hilog::TermId s : r.solutions) {
+            std::printf("  %s\n", engine.store().ToString(s).c_str());
+          }
+          std::printf("%zu solution(s)%s in %zu steps\n", r.solutions.size(),
+                      r.exhausted ? "" : " (search cut off)", r.steps);
+        }
+      } else if (command == ":table") {
+        std::string rest;
+        std::getline(words, rest);
+        hilog::TabledResult r = engine.ProveTabled(rest);
+        if (!r.error.empty()) {
+          std::printf("error: %s\n", r.error.c_str());
+        } else {
+          for (hilog::TermId s : r.answers) {
+            std::printf("  %s\n", engine.store().ToString(s).c_str());
+          }
+          std::printf("%zu answer(s)%s, %zu tables, %zu steps\n",
+                      r.answers.size(), r.complete ? "" : " (incomplete)",
+                      r.tables, r.steps);
+        }
+      } else if (command == ":stratified") {
+        hilog::StratifiedEvalResult r = engine.SolveStratified();
+        if (!r.ok) {
+          std::printf("error: %s\n", r.error.c_str());
+        } else {
+          std::printf("%zu strata, %zu true atoms\n", r.strata,
+                      r.facts.size());
+          for (hilog::TermId atom : r.facts.facts()) {
+            std::printf("  %s\n", engine.store().ToString(atom).c_str());
+          }
+        }
+      } else if (command == ":domind") {
+        hilog::DomainIndependenceResult r = engine.CheckDomainIndependence();
+        if (!r.conclusive) {
+          std::puts("inconclusive: the bounded instantiation was truncated "
+                    "(too many rule variables for the universe bound)");
+        } else if (r.independent) {
+          std::puts("no domain-dependence found (evidence, not proof — "
+                    "the property is undecidable)");
+        } else {
+          std::printf("NOT domain independent; witness: %s\n",
+                      engine.store().ToString(r.witness).c_str());
+        }
+      } else if (command == ":lint") {
+        auto findings = hilog::LintProgram(engine.store(), engine.program());
+        if (findings.empty()) {
+          std::puts("no findings");
+        } else {
+          std::fputs(hilog::RenderFindings(engine.store(), engine.program(),
+                                           findings)
+                         .c_str(),
+                     stdout);
+        }
+      } else if (command == ":list") {
+        std::fputs(
+            hilog::ProgramToString(engine.store(), engine.program()).c_str(),
+            stdout);
+      } else if (command == ":clear") {
+        engine.Load("");
+        std::puts("cleared");
+      } else {
+        std::printf("unknown command %s\n", command.c_str());
+        PrintHelp();
+      }
+      continue;
+    }
+    std::string error = engine.LoadMore(line);
+    if (!error.empty()) std::printf("%s\n", error.c_str());
+  }
+  return 0;
+}

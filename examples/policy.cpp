@@ -1,0 +1,84 @@
+// A deductive-database scenario: access-control policies with delegation.
+//
+// HiLog's contribution here is genericity: one `reaches` closure and one
+// `may` rule work for *every* permission relation (read, write, admin),
+// because relations are first-class values. Negation handles revocation;
+// the program is modularly stratified, so the well-founded model is total
+// and magic-sets queries are exact (Theorem 6.1 + Section 6.1).
+//
+//   ./build/examples/policy
+
+#include <cstdio>
+
+#include "src/core/engine.h"
+
+int main() {
+  hilog::Engine engine;
+  std::string error = engine.Load(R"(
+    % Generic delegation closure: reaches(Rel)(X,Y) iff Y is reachable
+    % from X through Rel edges, stopping at revoked principals.
+    reaches(Rel)(X,Y) :- perm(Rel), Rel(X,Y), ~revoked(Y).
+    reaches(Rel)(X,Y) :- perm(Rel), Rel(X,Z), ~revoked(Z),
+                         reaches(Rel)(Z,Y).
+
+    % X may exercise Rel on resource R if some grant-holder delegates to
+    % X transitively.
+    may(Rel)(X,R) :- perm(Rel), grant(Rel,G,R), ~revoked(X),
+                     reaches(Rel)(G,X).
+    may(Rel)(X,R) :- perm(Rel), grant(Rel,X,R), ~revoked(X).
+
+    % The permission relations (data, not schema!).
+    perm(read). perm(write).
+
+    % Delegation edges, per relation.
+    read(alice, bob).  read(bob, carol).  read(carol, dave).
+    write(alice, bob). write(bob, eve).
+
+    % Root grants.
+    grant(read,  alice, wiki).
+    grant(write, alice, wiki).
+
+    % Revocations cut delegation chains *through* them.
+    revoked(carol).
+  )");
+  if (!error.empty()) {
+    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+    return 1;
+  }
+
+  hilog::AnalysisReport report = engine.Analyze();
+  std::printf("strongly range restricted: %s   modularly stratified: %s\n\n",
+              report.strongly_range_restricted ? "yes" : "no",
+              report.modularly_stratified ? "yes" : "no");
+
+  const char* people[] = {"alice", "bob", "carol", "dave", "eve"};
+  const char* rels[] = {"read", "write"};
+  std::printf("%-8s %-6s %-6s\n", "user", "read", "write");
+  for (const char* person : people) {
+    std::printf("%-8s", person);
+    for (const char* rel : rels) {
+      std::string query =
+          std::string("may(") + rel + ")(" + person + ", wiki)";
+      hilog::Engine::QueryAnswer answer = engine.Query(query);
+      if (!answer.ok) {
+        std::fprintf(stderr, "query failed: %s\n", answer.error.c_str());
+        return 1;
+      }
+      std::printf(" %-6s",
+                  answer.ground_status == hilog::QueryStatus::kTrue ? "yes"
+                                                                    : "no");
+    }
+    std::printf("\n");
+  }
+
+  // Expected: carol is revoked, so carol loses read and — because the
+  // chain to dave runs through carol — dave never gains it; eve gets
+  // write via bob.
+  hilog::Engine::QueryAnswer dave = engine.Query("may(read)(dave, wiki)");
+  hilog::Engine::QueryAnswer eve = engine.Query("may(write)(eve, wiki)");
+  bool ok = dave.ground_status == hilog::QueryStatus::kSettledFalse &&
+            eve.ground_status == hilog::QueryStatus::kTrue;
+  std::printf("\nrevocation semantics %s\n",
+              ok ? "verified" : "VIOLATED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Quickstart: load a HiLog program, classify it, compute its well-founded
+// model, and run magic-sets queries.
+//
+// The program is the paper's flagship example (Example 2.1): a *generic*
+// transitive-closure predicate tc(G)(X,Y), written once and applicable to
+// any binary relation G — the kind of second-order idiom HiLog makes
+// declarative.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/engine.h"
+
+int main() {
+  hilog::Engine engine;
+
+  std::string error = engine.Load(R"(
+    % Example 2.1: generic transitive closure.
+    tc(G)(X,Y) :- G(X,Y).
+    tc(G)(X,Y) :- G(X,Z), tc(G)(Z,Y).
+
+    % Two unrelated binary relations.
+    flight(sfo, jfk). flight(jfk, lhr). flight(lhr, cdg).
+    parent(ann, bob). parent(bob, cal).
+  )");
+  if (!error.empty()) {
+    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+    return 1;
+  }
+
+  // 1. Classify the program per the paper's taxonomy.
+  hilog::AnalysisReport report = engine.Analyze();
+  std::printf("range restricted (Def 5.5):          %s\n",
+              report.range_restricted ? "yes" : "no");
+  std::printf("strongly range restricted (Def 5.6): %s\n",
+              report.strongly_range_restricted ? "yes" : "no");
+  std::printf("Datahilog (Def 6.7):                 %s\n",
+              report.datahilog ? "yes" : "no");
+
+  // 2. Query both closures through the same rules — queries must bind the
+  //    predicate name (Section 5's query restriction for RR programs).
+  for (const char* query :
+       {"tc(flight)(sfo, X)", "tc(parent)(ann, X)",
+        "tc(tc(flight))(sfo, cdg)"}) {
+    hilog::Engine::QueryAnswer answer = engine.Query(query);
+    if (!answer.ok) {
+      std::fprintf(stderr, "query error: %s\n", answer.error.c_str());
+      return 1;
+    }
+    std::printf("?- %s\n", query);
+    if (answer.answers.empty()) {
+      std::printf("   (no answers)\n");
+    }
+    for (hilog::TermId atom : answer.answers) {
+      std::printf("   %s\n", engine.store().ToString(atom).c_str());
+    }
+  }
+  return 0;
+}

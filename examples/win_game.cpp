@@ -1,0 +1,109 @@
+// The parameterized game of Examples 6.1/6.3: winning(M)(X) holds when
+// position X is won in game M — one generic rule for every game relation,
+// negation through recursion, given meaning by the well-founded semantics
+// and (for acyclic games) decided by modular stratification (Figure 1).
+//
+// This example runs the full pipeline the paper develops:
+//   1. analysis (range restriction, stratification, Figure 1);
+//   2. the well-founded model (relevance grounding + alternating fixpoint);
+//   3. query-directed evaluation via the magic-sets rewriting of Ex. 6.6;
+// and shows all three agreeing; then demonstrates what changes on a
+// *cyclic* game (three-valued WFS, Figure 1 rejection).
+//
+//   ./build/examples/win_game [positions]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/engine.h"
+
+namespace {
+
+std::string BuildProgram(int positions) {
+  std::string text =
+      "winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y).\n"
+      "game(chain). game(braid).\n";
+  // `chain`: n0 -> n1 -> ... -> nK (alternating wins).
+  for (int i = 0; i < positions; ++i) {
+    text += "chain(n" + std::to_string(i) + ",n" + std::to_string(i + 1) +
+            ").\n";
+  }
+  // `braid`: every position can jump +1 or +2.
+  for (int i = 0; i < positions; ++i) {
+    text += "braid(n" + std::to_string(i) + ",n" + std::to_string(i + 1) +
+            ").\n";
+    if (i + 2 <= positions) {
+      text += "braid(n" + std::to_string(i) + ",n" + std::to_string(i + 2) +
+              ").\n";
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int positions = argc > 1 ? std::atoi(argv[1]) : 8;
+  hilog::Engine engine;
+  std::string error = engine.Load(BuildProgram(positions));
+  if (!error.empty()) {
+    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+    return 1;
+  }
+
+  hilog::AnalysisReport report = engine.Analyze();
+  std::printf("stratified: %s   modularly stratified (Figure 1): %s\n",
+              report.stratified ? "yes" : "no",
+              report.modularly_stratified ? "yes" : "no");
+
+  // Well-founded model over the whole program.
+  hilog::Engine::WfsAnswer wfs = engine.SolveWellFounded();
+  if (!wfs.ok) {
+    std::fprintf(stderr, "WFS failed: %s\n", wfs.notes.c_str());
+    return 1;
+  }
+  std::printf("\n%-10s %-14s %-14s\n", "position", "chain", "braid");
+  for (int i = 0; i <= positions; ++i) {
+    auto value = [&](const std::string& game) {
+      std::string atom =
+          "winning(" + game + ")(n" + std::to_string(i) + ")";
+      hilog::TermId t = *hilog::ParseTerm(engine.store(), atom);
+      switch (wfs.model.Value(t)) {
+        case hilog::TruthValue::kTrue:
+          return "won";
+        case hilog::TruthValue::kFalse:
+          return "lost";
+        default:
+          return "undefined";
+      }
+    };
+    std::printf("n%-9d %-14s %-14s\n", i, value("chain"), value("braid"));
+  }
+
+  // Magic-sets query for one position; must agree with the WFS.
+  hilog::Engine::QueryAnswer q = engine.Query("winning(chain)(n0)");
+  std::printf("\nmagic query winning(chain)(n0): %s (%zu facts derived)\n",
+              q.ground_status == hilog::QueryStatus::kTrue ? "won"
+              : q.ground_status == hilog::QueryStatus::kSettledFalse
+                  ? "lost"
+                  : "unsettled",
+              q.facts_derived);
+
+  // A cyclic game: Figure 1 rejects it and the WFS goes three-valued.
+  hilog::Engine cyclic;
+  cyclic.Load(
+      "winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y)."
+      "game(loop). loop(a,b). loop(b,a).");
+  hilog::ModularResult modular = cyclic.SolveModular();
+  std::printf("\ncyclic game: modularly stratified? %s\n  reason: %s\n",
+              modular.modularly_stratified ? "yes" : "no",
+              modular.reason.c_str());
+  hilog::Engine::WfsAnswer cyclic_wfs = cyclic.SolveWellFounded();
+  hilog::TermId wa = *hilog::ParseTerm(cyclic.store(), "winning(loop)(a)");
+  std::printf("  winning(loop)(a) is %s in the well-founded model\n",
+              cyclic_wfs.model.Value(wa) == hilog::TruthValue::kUndefined
+                  ? "undefined"
+                  : "defined");
+  return 0;
+}

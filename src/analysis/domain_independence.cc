@@ -1,0 +1,88 @@
+#include "src/analysis/domain_independence.h"
+
+#include <unordered_set>
+
+#include "src/wfs/alternating.h"
+
+namespace hilog {
+
+DomainIndependenceResult CheckDomainIndependenceWfs(
+    TermStore& store, const Program& program, size_t extra_symbols,
+    const UniverseBound& bound) {
+  DomainIndependenceResult result;
+  result.symbols_tried = extra_symbols;
+
+  // Base language universe and model.
+  std::vector<TermId> symbols;
+  CollectProgramSymbols(store, program, &symbols);
+  std::vector<size_t> arities;
+  CollectProgramArities(store, program, &arities);
+  if (arities.empty()) arities.push_back(1);
+  Universe base_universe =
+      EnumerateHiLogUniverse(store, symbols, arities, bound);
+  InstantiationResult base_inst = InstantiateOverUniverse(
+      store, program, base_universe.terms, 5000000);
+  if (base_universe.truncated || base_inst.truncated) {
+    result.conclusive = false;
+    return result;
+  }
+  Interpretation base = ComputeWfsAlternating(base_inst.program).model;
+
+  // Extended language: add fresh symbols (in HiLog a symbol is at once a
+  // constant, a function and a predicate, so this covers all three kinds
+  // of Definition 5.1 additions).
+  std::vector<TermId> extended_symbols = symbols;
+  for (size_t i = 0; i < extra_symbols; ++i) {
+    extended_symbols.push_back(
+        store.MakeSymbol("#di_sym" + std::to_string(i)));
+  }
+  Universe big_universe =
+      EnumerateHiLogUniverse(store, extended_symbols, arities, bound);
+  InstantiationResult big_inst =
+      InstantiateOverUniverse(store, program, big_universe.terms, 5000000);
+  if (big_universe.truncated || big_inst.truncated) {
+    result.conclusive = false;
+    return result;
+  }
+  Interpretation big = ComputeWfsAlternating(big_inst.program).model;
+
+  // Conservative extension (Definition 2.4), both halves:
+  // (1) every atom of the base instantiation keeps its truth value;
+  AtomTable fragment;
+  base_inst.program.CollectAtoms(&fragment);
+  for (TermId atom : fragment.atoms()) {
+    if (big.Value(atom) != base.Value(atom)) {
+      result.independent = false;
+      result.witness = atom;
+      return result;
+    }
+  }
+  // (2) "the only extra information is negative": an atom of the larger
+  // language whose predicate *name* is built from base symbols but which
+  // is not itself a base-language atom must be false in the extended
+  // model.
+  std::unordered_set<TermId> base_symbol_set(symbols.begin(), symbols.end());
+  auto uses_only_base_symbols = [&](TermId t) {
+    std::vector<TermId> used;
+    store.CollectSymbols(t, &used);
+    for (TermId s : used) {
+      if (base_symbol_set.count(s) == 0) return false;
+    }
+    return true;
+  };
+  AtomTable big_atoms;
+  big_inst.program.CollectAtoms(&big_atoms);
+  for (TermId atom : big_atoms.atoms()) {
+    if (fragment.Find(atom) != UINT32_MAX) continue;   // Base atom.
+    TermId name = store.PredName(atom);
+    if (!store.IsGround(name) || !uses_only_base_symbols(name)) continue;
+    if (big.Value(atom) == TruthValue::kTrue) {
+      result.independent = false;
+      result.witness = atom;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace hilog

@@ -1,0 +1,47 @@
+#ifndef HILOG_ANALYSIS_DOMAIN_INDEPENDENCE_H_
+#define HILOG_ANALYSIS_DOMAIN_INDEPENDENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ground/herbrand.h"
+#include "src/lang/ast.h"
+
+namespace hilog {
+
+/// Result of the empirical domain-independence check (Definition 5.1).
+struct DomainIndependenceResult {
+  /// True if no sampled language extension changed the base fragment.
+  /// (Domain independence is undecidable — the paper notes this via
+  /// DiPaola — so a passing check is evidence, not proof; a failing check
+  /// is a definitive counterexample.)
+  bool independent = true;
+  /// False when a universe or instantiation budget truncated either
+  /// model: the comparison then proves nothing and `independent` must be
+  /// ignored. Raise the bound's max_terms / lower max_depth to decide.
+  bool conclusive = true;
+  /// A witnessing atom whose truth value changed, when !independent.
+  TermId witness = kNoTerm;
+  /// Number of extra symbols sampled.
+  size_t symbols_tried = 0;
+};
+
+/// Empirically tests Definition 5.1: the program's well-founded model over
+/// its own language L must be conservatively extended by its well-founded
+/// model over L' = L + `extra_symbols` fresh constant/function/predicate
+/// symbols. Models are computed by exhaustive instantiation over
+/// `bound`-bounded universes, and compared on every atom of the base
+/// instantiation.
+///
+/// Together with `ConservativelyExtendsOnFragment` over disjoint ground
+/// *programs* (analysis/extension.h) this lets tests exhibit the paper's
+/// Lemma 5.1 asymmetry: for HiLog programs, preservation under extensions
+/// is strictly stronger than domain independence (Example 5.1 passes this
+/// check yet fails preservation).
+DomainIndependenceResult CheckDomainIndependenceWfs(
+    TermStore& store, const Program& program, size_t extra_symbols,
+    const UniverseBound& bound);
+
+}  // namespace hilog
+
+#endif  // HILOG_ANALYSIS_DOMAIN_INDEPENDENCE_H_

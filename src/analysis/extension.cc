@@ -1,0 +1,83 @@
+#include "src/analysis/extension.h"
+
+#include <random>
+#include <unordered_set>
+
+namespace hilog {
+
+Program GenerateDisjointGroundProgram(TermStore& store,
+                                      const DisjointExtensionSpec& spec) {
+  std::mt19937 rng(spec.seed);
+  std::vector<TermId> symbols;
+  for (size_t i = 0; i < spec.num_symbols; ++i) {
+    symbols.push_back(store.MakeSymbol(spec.symbol_prefix +
+                                       std::to_string(spec.seed) + "_" +
+                                       std::to_string(i)));
+  }
+  auto random_symbol = [&]() {
+    return symbols[rng() % symbols.size()];
+  };
+  auto random_atom = [&]() {
+    switch (rng() % 3) {
+      case 0:
+        return random_symbol();
+      case 1:
+        return store.MakeApply(random_symbol(), {random_symbol()});
+      default:
+        return store.MakeApply(random_symbol(),
+                               {random_symbol(), random_symbol()});
+    }
+  };
+  Program program;
+  for (size_t i = 0; i < spec.num_facts; ++i) {
+    Rule fact;
+    fact.head = random_atom();
+    program.Add(std::move(fact));
+  }
+  for (size_t i = 0; i < spec.num_rules; ++i) {
+    Rule rule;
+    rule.head = random_atom();
+    size_t body_len = 1 + rng() % spec.max_body;
+    for (size_t b = 0; b < body_len; ++b) {
+      bool negative = spec.allow_negation && rng() % 3 == 0;
+      TermId atom = random_atom();
+      rule.body.push_back(negative ? Literal::Neg(atom) : Literal::Pos(atom));
+    }
+    program.Add(std::move(rule));
+  }
+  return program;
+}
+
+bool SharesNoSymbols(const TermStore& store, const Program& a,
+                     const Program& b) {
+  std::vector<TermId> sa;
+  CollectProgramSymbols(store, a, &sa);
+  std::vector<TermId> sb;
+  CollectProgramSymbols(store, b, &sb);
+  std::unordered_set<TermId> set_a(sa.begin(), sa.end());
+  for (TermId s : sb) {
+    if (set_a.count(s) > 0) return false;
+  }
+  return true;
+}
+
+Program UnionPrograms(const Program& a, const Program& b) {
+  Program out = a;
+  for (const Rule& rule : b.rules) out.Add(rule);
+  return out;
+}
+
+bool ConservativelyExtendsOnFragment(const Interpretation& extended,
+                                     const Interpretation& base,
+                                     const std::vector<TermId>& fragment,
+                                     TermId* witness) {
+  for (TermId atom : fragment) {
+    if (extended.Value(atom) != base.Value(atom)) {
+      if (witness != nullptr) *witness = atom;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hilog

@@ -1,0 +1,54 @@
+#ifndef HILOG_ANALYSIS_EXTENSION_H_
+#define HILOG_ANALYSIS_EXTENSION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/wfs/interpretation.h"
+
+namespace hilog {
+
+/// Specification for a randomly generated ground program sharing no
+/// symbols with a base program (the Q of Definitions 5.3/5.4).
+struct DisjointExtensionSpec {
+  size_t num_symbols = 3;
+  size_t num_facts = 3;
+  size_t num_rules = 2;
+  /// Maximum body length of generated rules.
+  size_t max_body = 2;
+  /// Whether generated rules may contain negative literals. (Extensions
+  /// with negation can destroy stable models — the paper's q <- ~q remark
+  /// after Definition 5.4 — so stable-model tests restrict to extensions
+  /// that themselves have a stable model.)
+  bool allow_negation = true;
+  unsigned seed = 1;
+  std::string symbol_prefix = "xq";
+};
+
+/// Generates a ground program over fresh symbols `<prefix><seed>_<i>`; the
+/// caller must choose a prefix not used by the base program (asserted by
+/// `SharesNoSymbols`). Atoms have shapes s, s(s'), s(s',s'').
+Program GenerateDisjointGroundProgram(TermStore& store,
+                                      const DisjointExtensionSpec& spec);
+
+/// True if `a` and `b` mention no common symbol.
+bool SharesNoSymbols(const TermStore& store, const Program& a,
+                     const Program& b);
+
+/// The union program P cup Q.
+Program UnionPrograms(const Program& a, const Program& b);
+
+/// Checks the conservative-extension relation (Definition 2.4) on the
+/// given language fragment: for every atom in `fragment` (atoms built from
+/// the base program's symbols), the truth value in `extended` must equal
+/// the value in `base`. Returns true if values agree everywhere; the first
+/// disagreeing atom is stored in `witness` otherwise.
+bool ConservativelyExtendsOnFragment(const Interpretation& extended,
+                                     const Interpretation& base,
+                                     const std::vector<TermId>& fragment,
+                                     TermId* witness);
+
+}  // namespace hilog
+
+#endif  // HILOG_ANALYSIS_EXTENSION_H_

@@ -1,0 +1,298 @@
+#include "src/analysis/lint.h"
+
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/lang/printer.h"
+
+namespace hilog {
+namespace {
+
+using VarSet = std::unordered_set<TermId>;
+
+void Add(std::vector<LintFinding>* out, size_t rule, LintCode code,
+         LintSeverity severity, std::string message) {
+  out->push_back(LintFinding{rule, code, severity, std::move(message)});
+}
+
+// Argument variables provided by the positive-ish body literals.
+VarSet ProvidedArgVars(const TermStore& store, const Rule& rule) {
+  VarSet provided;
+  std::vector<TermId> vars;
+  for (const Literal& lit : rule.body) {
+    vars.clear();
+    switch (lit.kind) {
+      case Literal::Kind::kPositive:
+        CollectArgumentVariables(store, lit.atom, &vars);
+        break;
+      case Literal::Kind::kAggregate:
+        CollectArgumentVariables(store, lit.atom, &vars);
+        vars.push_back(lit.result);
+        break;
+      case Literal::Kind::kBuiltin:
+        vars.push_back(lit.result);
+        break;
+      case Literal::Kind::kNegative:
+        break;
+    }
+    provided.insert(vars.begin(), vars.end());
+  }
+  return provided;
+}
+
+void LintRangeRestriction(const TermStore& store, const Rule& rule,
+                          size_t index, std::vector<LintFinding>* out) {
+  VarSet provided = ProvidedArgVars(store, rule);
+  std::vector<TermId> head_name_vars;
+  CollectNameVariables(store, rule.head, &head_name_vars);
+  VarSet head_name(head_name_vars.begin(), head_name_vars.end());
+
+  // Definition 5.5 condition 1.
+  std::vector<TermId> head_args;
+  CollectArgumentVariables(store, rule.head, &head_args);
+  for (TermId v : head_args) {
+    if (provided.count(v) == 0) {
+      Add(out, index, LintCode::kHeadArgumentUnbound, LintSeverity::kError,
+          "head argument variable " + store.ToString(v) +
+              " does not occur as an argument of any positive body "
+              "literal (Definition 5.5, condition 1)");
+    }
+  }
+  // Definition 5.6 condition 1 (head name variables).
+  for (TermId v : head_name_vars) {
+    if (provided.count(v) == 0) {
+      Add(out, index, LintCode::kHeadNameVariableUnbound,
+          LintSeverity::kWarning,
+          "head predicate-name variable " + store.ToString(v) +
+              " is not bound by positive body arguments: the rule cannot "
+              "be strongly range restricted (Definition 5.6), so queries "
+              "must bind the head name");
+    }
+  }
+  // Definition 5.5 condition 2.
+  for (const Literal& lit : rule.body) {
+    if (!lit.negative()) continue;
+    std::vector<TermId> vars;
+    store.CollectVariables(lit.atom, &vars);
+    for (TermId v : vars) {
+      if (provided.count(v) == 0 && head_name.count(v) == 0) {
+        Add(out, index, LintCode::kNegativeVariableUnbound,
+            LintSeverity::kError,
+            "variable " + store.ToString(v) + " of negative literal ~" +
+                store.ToString(lit.atom) +
+                " is not bound by positive body arguments or the head "
+                "name (Definition 5.5, condition 2)");
+      }
+    }
+  }
+  // Definition 5.5 condition 3: greedy ordering; report the stuck
+  // literals if it fails.
+  std::vector<const Literal*> pending;
+  for (const Literal& lit : rule.body) {
+    if (!lit.negative()) pending.push_back(&lit);
+  }
+  VarSet covered = head_name;
+  bool progress = true;
+  while (progress && !pending.empty()) {
+    progress = false;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      std::vector<TermId> need;
+      if (pending[i]->kind == Literal::Kind::kBuiltin) {
+        store.CollectVariables(pending[i]->lhs, &need);
+        store.CollectVariables(pending[i]->rhs, &need);
+      } else {
+        CollectNameVariables(store, pending[i]->atom, &need);
+      }
+      bool ok = true;
+      for (TermId v : need) {
+        if (covered.count(v) == 0) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      std::vector<TermId> gain;
+      if (pending[i]->kind == Literal::Kind::kBuiltin) {
+        gain.push_back(pending[i]->result);
+      } else {
+        CollectArgumentVariables(store, pending[i]->atom, &gain);
+        if (pending[i]->kind == Literal::Kind::kAggregate) {
+          gain.push_back(pending[i]->result);
+        }
+      }
+      covered.insert(gain.begin(), gain.end());
+      pending.erase(pending.begin() + i);
+      progress = true;
+      break;
+    }
+  }
+  for (const Literal* lit : pending) {
+    LintCode code = lit->kind == Literal::Kind::kBuiltin
+                        ? LintCode::kBuiltinOperandUnbound
+                        : LintCode::kNameVariableUnorderable;
+    Add(out, index, code, LintSeverity::kError,
+        "no admissible subgoal ordering binds " +
+            LiteralToString(store, *lit) +
+            " (Definition 5.5, condition 3)");
+  }
+}
+
+void LintFloundering(const TermStore& store, const Rule& rule, size_t index,
+                     std::vector<LintFinding>* out) {
+  VarSet bound;
+  std::vector<TermId> head_vars;
+  store.CollectVariables(rule.head, &head_vars);
+  bound.insert(head_vars.begin(), head_vars.end());
+  for (const Literal& lit : rule.body) {
+    std::vector<TermId> name_vars;
+    if (lit.atom != kNoTerm) CollectNameVariables(store, lit.atom, &name_vars);
+    for (TermId v : name_vars) {
+      if (bound.count(v) == 0) {
+        Add(out, index, LintCode::kFlounderingName, LintSeverity::kWarning,
+            "left-to-right evaluation reaches " +
+                LiteralToString(store, lit) +
+                " with unbound predicate-name variable " +
+                store.ToString(v) + " (floundering; reorder the body)");
+        break;
+      }
+    }
+    if (lit.negative()) {
+      std::vector<TermId> vars;
+      store.CollectVariables(lit.atom, &vars);
+      for (TermId v : vars) {
+        if (bound.count(v) == 0) {
+          Add(out, index, LintCode::kFlounderingNegative,
+              LintSeverity::kWarning,
+              "left-to-right evaluation reaches ~" +
+                  store.ToString(lit.atom) + " with unbound variable " +
+                  store.ToString(v) + " (floundering; reorder the body)");
+          break;
+        }
+      }
+    }
+    std::vector<TermId> gain;
+    CollectLiteralVariables(store, lit, &gain);
+    if (!lit.negative()) bound.insert(gain.begin(), gain.end());
+  }
+}
+
+void LintSingletons(const TermStore& store, const Rule& rule, size_t index,
+                    std::vector<LintFinding>* out) {
+  // Count variable occurrences across the whole rule (fresh '#' variables
+  // from '_' are exempt — they are singletons by design).
+  std::unordered_map<TermId, int> counts;
+  auto count_term = [&](auto&& self, TermId t) -> void {
+    switch (store.kind(t)) {
+      case TermKind::kSymbol:
+        return;
+      case TermKind::kVariable:
+        ++counts[t];
+        return;
+      case TermKind::kApply:
+        self(self, store.apply_name(t));
+        for (TermId a : store.apply_args(t)) self(self, a);
+        return;
+    }
+  };
+  count_term(count_term, rule.head);
+  for (const Literal& lit : rule.body) {
+    if (lit.atom != kNoTerm) count_term(count_term, lit.atom);
+    if (lit.result != kNoTerm) count_term(count_term, lit.result);
+    if (lit.lhs != kNoTerm) count_term(count_term, lit.lhs);
+    if (lit.rhs != kNoTerm) count_term(count_term, lit.rhs);
+  }
+  for (const auto& [var, n] : counts) {
+    if (n != 1) continue;
+    std::string_view name = store.text(var);
+    if (!name.empty() && name[0] == '#') continue;  // Anonymous.
+    if (rule.IsFact()) continue;  // Open facts quantify deliberately.
+    Add(out, index, LintCode::kSingletonVariable, LintSeverity::kWarning,
+        "variable " + std::string(name) +
+            " occurs only once (misspelling? use _ if intentional)");
+  }
+}
+
+void LintGlobal(const TermStore& store, const Program& program,
+                std::vector<LintFinding>* out) {
+  // Defined names (heads) and used names (bodies), ground only.
+  std::unordered_set<TermId> defined;
+  std::map<std::pair<TermId, size_t>, bool> arities;  // (functor, arity).
+  for (const Rule& rule : program.rules) {
+    TermId name = store.PredName(rule.head);
+    if (store.IsGround(name)) defined.insert(name);
+  }
+  std::unordered_set<TermId> reported;
+  for (size_t i = 0; i < program.rules.size(); ++i) {
+    const Rule& rule = program.rules[i];
+    for (const Literal& lit : rule.body) {
+      if (lit.atom == kNoTerm) continue;
+      if (lit.kind == Literal::Kind::kBuiltin) continue;
+      TermId name = store.PredName(lit.atom);
+      if (!store.IsGround(name)) continue;
+      if (defined.count(name) == 0 && reported.insert(name).second) {
+        Add(out, i, LintCode::kUndefinedPredicate, LintSeverity::kWarning,
+            "predicate " + store.ToString(name) +
+                " is used but has no rule or fact (typo? it will be "
+                "false everywhere)");
+      }
+    }
+  }
+  // Arity polymorphism of the outermost functor (legal in HiLog; worth a
+  // note when it looks accidental).
+  std::unordered_map<TermId, std::unordered_set<size_t>> functor_arities;
+  auto record = [&](TermId atom) {
+    TermId f = store.OutermostFunctor(atom);
+    if (store.IsSymbol(f)) functor_arities[f].insert(store.arity(atom));
+  };
+  for (const Rule& rule : program.rules) {
+    record(rule.head);
+    for (const Literal& lit : rule.body) {
+      if (lit.atom != kNoTerm && lit.kind != Literal::Kind::kBuiltin) {
+        record(lit.atom);
+      }
+    }
+  }
+  for (const auto& [functor, seen] : functor_arities) {
+    if (seen.size() > 1) {
+      std::ostringstream os;
+      os << "functor " << store.ToString(functor) << " is used at "
+         << seen.size() << " different arities (legal in HiLog; check it "
+         << "is intentional)";
+      Add(out, SIZE_MAX, LintCode::kArityMismatch, LintSeverity::kWarning,
+          os.str());
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LintFinding> LintProgram(const TermStore& store,
+                                     const Program& program) {
+  std::vector<LintFinding> findings;
+  for (size_t i = 0; i < program.rules.size(); ++i) {
+    const Rule& rule = program.rules[i];
+    LintRangeRestriction(store, rule, i, &findings);
+    LintFloundering(store, rule, i, &findings);
+    LintSingletons(store, rule, i, &findings);
+  }
+  LintGlobal(store, program, &findings);
+  return findings;
+}
+
+std::string RenderFindings(const TermStore& store, const Program& program,
+                           const std::vector<LintFinding>& findings) {
+  std::ostringstream os;
+  for (const LintFinding& f : findings) {
+    os << (f.severity == LintSeverity::kError ? "error" : "warning");
+    if (f.rule_index != SIZE_MAX) {
+      os << " [rule " << f.rule_index + 1 << ": "
+         << RuleToString(store, program.rules[f.rule_index]) << "]";
+    }
+    os << " " << f.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hilog

@@ -1,0 +1,54 @@
+#ifndef HILOG_ANALYSIS_LINT_H_
+#define HILOG_ANALYSIS_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace hilog {
+
+/// Machine-readable lint codes. Errors make some engine unusable for the
+/// rule; warnings flag likely mistakes.
+enum class LintCode : uint8_t {
+  // Range restriction (Definition 5.5), by condition.
+  kHeadArgumentUnbound,        // cond 1: head argument var not in pos body.
+  kNegativeVariableUnbound,    // cond 2: negative literal var unbound.
+  kNameVariableUnorderable,    // cond 3: no admissible subgoal ordering.
+  // Strong range restriction (Definition 5.6) extras.
+  kHeadNameVariableUnbound,    // head name var not bound by pos body args.
+  // Left-to-right evaluation.
+  kFlounderingNegative,        // negative subgoal unbound as written.
+  kFlounderingName,            // subgoal name unbound as written.
+  // Builtins/aggregates.
+  kBuiltinOperandUnbound,      // arithmetic operand never bound.
+  // Style / likely-mistake warnings.
+  kSingletonVariable,          // variable occurs exactly once in the rule.
+  kUndefinedPredicate,         // ground name used in a body, never defined.
+  kArityMismatch,              // same ground name used at several arities.
+};
+
+enum class LintSeverity : uint8_t { kError, kWarning };
+
+struct LintFinding {
+  size_t rule_index = 0;  // Index into Program::rules; SIZE_MAX = global.
+  LintCode code;
+  LintSeverity severity;
+  std::string message;
+};
+
+/// Lints a program: explains exactly which range-restriction /
+/// floundering condition each offending rule violates (with the variable
+/// by name), and flags suspicious-but-legal constructs (singleton
+/// variables, body predicates with no defining rule or fact, arity
+/// polymorphism — legal in HiLog, but often a typo in practice).
+std::vector<LintFinding> LintProgram(const TermStore& store,
+                                     const Program& program);
+
+/// Human-readable rendering: "rule 3: <message>" lines.
+std::string RenderFindings(const TermStore& store, const Program& program,
+                           const std::vector<LintFinding>& findings);
+
+}  // namespace hilog
+
+#endif  // HILOG_ANALYSIS_LINT_H_

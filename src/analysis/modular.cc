@@ -1,0 +1,376 @@
+#include "src/analysis/modular.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/analysis/dependency.h"
+#include "src/analysis/range_restriction.h"
+#include "src/analysis/stratification.h"
+#include "src/ground/grounder.h"
+#include "src/lang/printer.h"
+#include "src/term/unify.h"
+#include "src/wfs/alternating.h"
+
+namespace hilog {
+namespace {
+
+bool HeadNameHasVariables(const TermStore& store, const Rule& rule) {
+  std::vector<TermId> vars;
+  CollectNameVariables(store, rule.head, &vars);
+  return !vars.empty();
+}
+
+bool AnyLiteralNameHasVariables(const TermStore& store, const Rule& rule) {
+  std::vector<TermId> vars;
+  CollectNameVariables(store, rule.head, &vars);
+  for (const Literal& lit : rule.body) {
+    if (lit.atom != kNoTerm) CollectNameVariables(store, lit.atom, &vars);
+  }
+  return !vars.empty();
+}
+
+bool UsesAggregatesOrBuiltins(const Program& program) {
+  for (const Rule& rule : program.rules) {
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kAggregate ||
+          lit.kind == Literal::Kind::kBuiltin) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ReductionResult HiLogReduce(TermStore& store, const std::vector<Rule>& rules,
+                            const SettledModel& settled, size_t max_rules) {
+  ReductionResult result;
+  std::deque<Rule> worklist(rules.begin(), rules.end());
+  while (!worklist.empty()) {
+    if (worklist.size() + result.rules.size() > max_rules) {
+      result.truncated = true;
+      break;
+    }
+    Rule rule = std::move(worklist.front());
+    worklist.pop_front();
+
+    // Prefer resolving a *positive* settled literal (its join instantiates
+    // variables, possibly grounding other literals' names); then a ground
+    // negative settled literal. A settled negative literal whose atom is
+    // still non-ground waits for a later round.
+    size_t positive_index = SIZE_MAX;
+    size_t negative_ground_index = SIZE_MAX;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      const Literal& lit = rule.body[i];
+      if (lit.kind != Literal::Kind::kPositive &&
+          lit.kind != Literal::Kind::kNegative) {
+        continue;
+      }
+      TermId name = store.PredName(lit.atom);
+      if (!store.IsGround(name) || !settled.IsSettledName(name)) continue;
+      if (lit.positive()) {
+        positive_index = i;
+        break;
+      }
+      if (negative_ground_index == SIZE_MAX && store.IsGround(lit.atom)) {
+        negative_ground_index = i;
+      }
+    }
+
+    if (positive_index != SIZE_MAX) {
+      const Literal lit = rule.body[positive_index];
+      TermId name = store.PredName(lit.atom);
+      Rule remainder = rule;
+      remainder.body.erase(remainder.body.begin() + positive_index);
+      for (TermId fact : settled.true_atoms().WithName(name)) {
+        Substitution subst;
+        if (MatchInto(store, lit.atom, fact, &subst)) {
+          worklist.push_back(SubstituteRule(store, remainder, subst));
+        }
+      }
+      continue;  // Instances with no matching fact are simply deleted.
+    }
+    if (negative_ground_index != SIZE_MAX) {
+      const Literal& lit = rule.body[negative_ground_index];
+      if (settled.IsTrue(lit.atom)) continue;  // Subgoal false: delete rule.
+      rule.body.erase(rule.body.begin() + negative_ground_index);
+      worklist.push_back(std::move(rule));
+      continue;
+    }
+    result.rules.push_back(std::move(rule));
+  }
+  return result;
+}
+
+namespace {
+
+// Grounds the component rules `component` (which may reference only
+// predicate names within the component plus still-unresolved settled
+// negatives), resolves those settled negatives, and returns the ground
+// program, or sets `error`.
+bool GroundComponent(TermStore& store, const std::vector<Rule>& component,
+                     const SettledModel& settled,
+                     const BottomUpOptions& options, GroundProgram* out,
+                     std::string* error) {
+  Program as_program;
+  as_program.rules = component;
+  RelevanceGroundingResult grounded =
+      GroundWithRelevance(store, as_program, options);
+  if (!grounded.ok) {
+    *error = grounded.error;
+    return false;
+  }
+  if (grounded.truncated) {
+    *error = "component grounding exceeded its budget";
+    return false;
+  }
+  for (GroundRule& rule : grounded.program.rules) {
+    bool deleted = false;
+    std::vector<TermId> kept_neg;
+    for (TermId a : rule.neg) {
+      TermId name = store.PredName(a);
+      if (settled.IsSettledName(name)) {
+        if (settled.IsTrue(a)) {
+          deleted = true;  // Negative subgoal false under M.
+          break;
+        }
+        continue;  // Subgoal true; drop it.
+      }
+      kept_neg.push_back(a);
+    }
+    if (deleted) continue;
+    rule.neg = std::move(kept_neg);
+    out->Add(std::move(rule));
+  }
+  return true;
+}
+
+}  // namespace
+
+ModularResult CheckModularHiLog(TermStore& store, const Program& program,
+                                const ModularOptions& options) {
+  ModularResult result;
+  if (UsesAggregatesOrBuiltins(program)) {
+    result.reason =
+        "program uses aggregate/builtin literals; use the aggregate "
+        "evaluator instead of Figure 1";
+    return result;
+  }
+  if (!IsStronglyRangeRestricted(store, program)) {
+    result.reason =
+        "Definition 6.6 requires a strongly range-restricted program";
+    return result;
+  }
+
+  std::vector<Rule> remaining = program.rules;
+  while (!remaining.empty()) {
+    if (++result.rounds > options.max_rounds) {
+      result.reason = "round budget exceeded (recursively generated names?)";
+      return result;
+    }
+    // Partition into R_v (variables in head predicate name) and R_g.
+    std::vector<size_t> rg;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (!HeadNameHasVariables(store, remaining[i])) rg.push_back(i);
+    }
+    // A ground-named head whose predicate is already settled violates the
+    // procedure (Example 6.5).
+    for (size_t i : rg) {
+      TermId head_name = store.PredName(remaining[i].head);
+      if (result.model.IsSettledName(head_name)) {
+        result.reason = "rule head instantiated to an already-settled "
+                        "predicate: " +
+                        RuleToString(store, remaining[i]);
+        return result;
+      }
+    }
+
+    // Build the graph G over ground predicate names appearing in R
+    // (excluding settled ones), with edges from R_g rule heads to ground
+    // body predicate names.
+    DependencyGraph graph;
+    auto add_name_node = [&](TermId atom) {
+      TermId name = store.PredName(atom);
+      if (store.IsGround(name) && !result.model.IsSettledName(name)) {
+        graph.AddNode(name);
+      }
+    };
+    for (const Rule& rule : remaining) {
+      add_name_node(rule.head);
+      for (const Literal& lit : rule.body) {
+        if (lit.atom != kNoTerm) add_name_node(lit.atom);
+      }
+    }
+    for (size_t i : rg) {
+      const Rule& rule = remaining[i];
+      TermId head_name = store.PredName(rule.head);
+      for (const Literal& lit : rule.body) {
+        if (lit.atom == kNoTerm) continue;
+        TermId body_name = store.PredName(lit.atom);
+        if (!store.IsGround(body_name) ||
+            result.model.IsSettledName(body_name)) {
+          if (options.leftmost_only_edges) break;
+          continue;
+        }
+        graph.AddEdge(head_name, body_name, lit.negative());
+        if (options.leftmost_only_edges) break;
+      }
+    }
+
+    if (graph.num_nodes() == 0) {
+      result.reason =
+          "no ground predicate names to settle (R_g empty and no ground "
+          "body names)";
+      return result;
+    }
+    uint32_t num_components = 0;
+    std::vector<uint32_t> component_of =
+        graph.StronglyConnectedComponents(&num_components);
+    std::vector<uint32_t> sinks =
+        graph.SinkComponents(component_of, num_components);
+    std::unordered_set<uint32_t> sink_set(sinks.begin(), sinks.end());
+    std::unordered_set<TermId> lowest_names;
+    for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+      if (sink_set.count(component_of[v]) > 0) {
+        lowest_names.insert(graph.node(v));
+      }
+    }
+    if (lowest_names.empty()) {
+      result.reason = "no lowest component found";
+      return result;
+    }
+
+    // R_T: the R_g rules with head predicate name in T.
+    std::vector<Rule> component_rules;
+    std::vector<char> in_component(remaining.size(), 0);
+    for (size_t i : rg) {
+      TermId head_name = store.PredName(remaining[i].head);
+      if (lowest_names.count(head_name) > 0) {
+        component_rules.push_back(remaining[i]);
+        in_component[i] = 1;
+      }
+    }
+    for (const Rule& rule : component_rules) {
+      if (AnyLiteralNameHasVariables(store, rule)) {
+        result.reason =
+            "component rule has a variable in a predicate name: " +
+            RuleToString(store, rule);
+        return result;
+      }
+    }
+
+    GroundProgram ground;
+    std::string error;
+    if (!GroundComponent(store, component_rules, result.model,
+                         options.bottomup, &ground, &error)) {
+      result.reason = "cannot ground component: " + error;
+      return result;
+    }
+    if (!IsLocallyStratified(ground)) {
+      result.reason = "reduced component is not locally stratified";
+      return result;
+    }
+    WfsResult wfs = ComputeWfsAlternating(ground);
+    if (!wfs.model.IsTotal()) {
+      result.reason =
+          "internal error: locally stratified component had a partial "
+          "well-founded model";
+      return result;
+    }
+
+    // Settle T and extend M.
+    std::vector<TermId> settled_now(lowest_names.begin(), lowest_names.end());
+    std::sort(settled_now.begin(), settled_now.end());
+    result.settled_per_round.push_back(settled_now);
+    for (TermId name : settled_now) result.model.SettleName(name);
+    for (TermId atom : wfs.model.TrueAtoms()) {
+      result.model.AddTrue(store, atom);
+    }
+
+    // R := HiLogReduction of R - R_T modulo M.
+    std::vector<Rule> rest;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (!in_component[i]) rest.push_back(remaining[i]);
+    }
+    ReductionResult reduced = HiLogReduce(
+        store, rest, result.model, options.bottomup.max_facts);
+    if (reduced.truncated) {
+      result.reason = "reduction exceeded its budget";
+      return result;
+    }
+    remaining = std::move(reduced.rules);
+  }
+
+  result.modularly_stratified = true;
+  return result;
+}
+
+ModularResult CheckModularNormal(TermStore& store, const Program& program,
+                                 const ModularOptions& options) {
+  ModularResult result;
+  if (UsesAggregatesOrBuiltins(program)) {
+    result.reason = "program uses aggregate/builtin literals";
+    return result;
+  }
+  DependencyGraph graph = PredicateDependencyGraph(store, program);
+  uint32_t num_components = 0;
+  std::vector<uint32_t> component_of =
+      graph.StronglyConnectedComponents(&num_components);
+
+  // Tarjan numbers components in reverse topological order: a component
+  // only depends on (has edges into) components with smaller ids, so
+  // processing ids in increasing order visits dependencies first.
+  for (uint32_t c = 0; c < num_components; ++c) {
+    ++result.rounds;
+    std::vector<TermId> component_preds;
+    for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+      if (component_of[v] == c) component_preds.push_back(graph.node(v));
+    }
+    std::unordered_set<TermId> pred_set(component_preds.begin(),
+                                        component_preds.end());
+    std::vector<Rule> component_rules;
+    for (const Rule& rule : program.rules) {
+      if (pred_set.count(store.PredName(rule.head)) > 0) {
+        component_rules.push_back(rule);
+      }
+    }
+    // Reduction of the component modulo the accumulated model
+    // (Definition 6.3 is the normal-program specialization of 6.5).
+    ReductionResult reduced = HiLogReduce(store, component_rules, result.model,
+                                          options.bottomup.max_facts);
+    if (reduced.truncated) {
+      result.reason = "reduction exceeded its budget";
+      return result;
+    }
+    GroundProgram ground;
+    std::string error;
+    if (!GroundComponent(store, reduced.rules, result.model, options.bottomup,
+                         &ground, &error)) {
+      result.reason = "cannot ground component: " + error;
+      return result;
+    }
+    if (!IsLocallyStratified(ground)) {
+      result.reason = "reduced component is not locally stratified";
+      return result;
+    }
+    WfsResult wfs = ComputeWfsAlternating(ground);
+    if (!wfs.model.IsTotal()) {
+      result.reason =
+          "component union lacks a total well-founded model (Definition "
+          "6.4 condition 1)";
+      return result;
+    }
+    std::vector<TermId> settled_now = component_preds;
+    std::sort(settled_now.begin(), settled_now.end());
+    result.settled_per_round.push_back(settled_now);
+    for (TermId name : component_preds) result.model.SettleName(name);
+    for (TermId atom : wfs.model.TrueAtoms()) {
+      result.model.AddTrue(store, atom);
+    }
+  }
+  result.modularly_stratified = true;
+  return result;
+}
+
+}  // namespace hilog

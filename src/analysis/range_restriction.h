@@ -1,0 +1,64 @@
+#ifndef HILOG_ANALYSIS_RANGE_RESTRICTION_H_
+#define HILOG_ANALYSIS_RANGE_RESTRICTION_H_
+
+#include <string>
+
+#include "src/lang/ast.h"
+
+namespace hilog {
+
+/// Definition 4.1: a *normal* program is range restricted if in every rule,
+/// every variable occurring in the head or in a negative body literal also
+/// occurs in a positive body literal.
+bool IsNormalRangeRestrictedRule(const TermStore& store, const Rule& rule);
+bool IsNormalRangeRestricted(const TermStore& store, const Program& program);
+
+/// Definition 5.5: HiLog range restriction. Conditions:
+///  1. every head *argument* variable occurs as an argument of a positive
+///     body literal;
+///  2. every variable of a negative body literal occurs as an argument of
+///     a positive body literal or in the head's predicate name;
+///  3. the positive body literals admit an ordering A_1..A_n such that
+///     every variable in the predicate name of A_j occurs as an argument
+///     of some earlier A_k (k < j) or in the head's predicate name.
+/// Aggregate literals bind their result and their atom's argument
+/// variables (they enumerate the aggregated relation); builtin literals
+/// bind their result and consume their operands.
+bool IsRangeRestrictedRule(const TermStore& store, const Rule& rule);
+bool IsRangeRestricted(const TermStore& store, const Program& program);
+
+/// Definition 5.6: strong range restriction — like Definition 5.5 but the
+/// head's name variables must also be bound by positive body arguments and
+/// the head name may not be used to cover anything.
+bool IsStronglyRangeRestrictedRule(const TermStore& store, const Rule& rule);
+bool IsStronglyRangeRestricted(const TermStore& store,
+                               const Program& program);
+
+/// Query restriction for range-restricted programs (Definition 5.5, final
+/// paragraph): the query literals Q(X_1..X_n) are range restricted iff the
+/// rule  answer(X_1,...,X_n) <- Q  is. In particular predicate names must
+/// be ground in queries.
+bool IsRangeRestrictedQuery(TermStore& store,
+                            const std::vector<Literal>& query);
+
+/// Definition 6.7: Datahilog — in every atom of every rule, both the name
+/// and the arguments are variables or plain symbols (no nesting).
+bool IsDatahilog(const TermStore& store, const Program& program);
+
+/// Section 6.1 footnote: a HiLog rule flounders (under left-to-right
+/// evaluation with the head's variables bound by the call) if, scanning the
+/// body left to right and accumulating bindings from positive literals, a
+/// negative subgoal still containing unbound variables — or any subgoal
+/// whose predicate name is still unbound — comes up for evaluation.
+bool RuleFlounders(const TermStore& store, const Rule& rule);
+bool ProgramFlounders(const TermStore& store, const Program& program);
+
+/// Lemma 6.3's bound: the number of terms c_0(c_1,...,c_n) with each c_i a
+/// constant of the program and n one of the program's arities. All atoms
+/// outside this set are false in the WFS of a strongly range-restricted
+/// Datahilog program.
+size_t DatahilogAtomBound(const TermStore& store, const Program& program);
+
+}  // namespace hilog
+
+#endif  // HILOG_ANALYSIS_RANGE_RESTRICTION_H_

@@ -1,0 +1,78 @@
+#include "src/analysis/stratification.h"
+
+#include <algorithm>
+
+namespace hilog {
+namespace {
+
+// Computes levels over the condensation: level(C) = max over edges C->D of
+// (level(D) + (negative ? 1 : 0)). Components are numbered in reverse
+// topological order by Tarjan, so a single pass in id order suffices.
+void AssignLevels(const DependencyGraph& graph,
+                  const std::vector<uint32_t>& component_of,
+                  uint32_t num_components,
+                  std::vector<int>* component_level) {
+  component_level->assign(num_components, 0);
+  // Repeat passes until stable (at most num_components passes; cheap at
+  // our scales and robust to component numbering).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+      uint32_t cv = component_of[v];
+      for (const DependencyGraph::Edge& e : graph.OutEdges(v)) {
+        uint32_t cw = component_of[e.to];
+        if (cv == cw) continue;
+        int needed = (*component_level)[cw] + (e.negative ? 1 : 0);
+        if ((*component_level)[cv] < needed) {
+          (*component_level)[cv] = needed;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool IsStratified(const TermStore& store, const Program& program,
+                  std::unordered_map<TermId, int>* levels) {
+  DependencyGraph graph = PredicateDependencyGraph(store, program);
+  uint32_t num_components = 0;
+  std::vector<uint32_t> component_of =
+      graph.StronglyConnectedComponents(&num_components);
+  if (graph.ComponentHasInternalNegativeEdge(component_of)) return false;
+  if (levels != nullptr) {
+    std::vector<int> component_level;
+    AssignLevels(graph, component_of, num_components, &component_level);
+    for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+      (*levels)[graph.node(v)] = component_level[component_of[v]];
+    }
+  }
+  return true;
+}
+
+bool IsLocallyStratified(const GroundProgram& ground) {
+  DependencyGraph graph = AtomDependencyGraph(ground);
+  uint32_t num_components = 0;
+  std::vector<uint32_t> component_of =
+      graph.StronglyConnectedComponents(&num_components);
+  return !graph.ComponentHasInternalNegativeEdge(component_of);
+}
+
+bool LocalStratificationLevels(const GroundProgram& ground,
+                               std::unordered_map<TermId, int>* levels) {
+  DependencyGraph graph = AtomDependencyGraph(ground);
+  uint32_t num_components = 0;
+  std::vector<uint32_t> component_of =
+      graph.StronglyConnectedComponents(&num_components);
+  if (graph.ComponentHasInternalNegativeEdge(component_of)) return false;
+  std::vector<int> component_level;
+  AssignLevels(graph, component_of, num_components, &component_level);
+  for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+    (*levels)[graph.node(v)] = component_level[component_of[v]];
+  }
+  return true;
+}
+
+}  // namespace hilog

@@ -1,0 +1,30 @@
+#ifndef HILOG_ANALYSIS_STRATIFICATION_H_
+#define HILOG_ANALYSIS_STRATIFICATION_H_
+
+#include <unordered_map>
+
+#include "src/analysis/dependency.h"
+
+namespace hilog {
+
+/// Definition 6.1: a program is stratified if predicate names admit levels
+/// with head-level > level of negated body predicates and >= level of
+/// positive ones. For finite programs this holds iff no dependency cycle
+/// passes through a negative edge. If stratified and `levels` is non-null,
+/// a witnessing level assignment (predicate name -> level) is stored.
+bool IsStratified(const TermStore& store, const Program& program,
+                  std::unordered_map<TermId, int>* levels);
+
+/// Definition 6.2 on a *finite* ground program: locally stratified iff no
+/// cycle of the ground atom dependency graph passes through a negative
+/// edge (equivalently: no SCC has an internal negative edge).
+bool IsLocallyStratified(const GroundProgram& ground);
+
+/// Level assignment for a locally stratified finite ground program (atom ->
+/// level); useful for tests and for stratified evaluation.
+bool LocalStratificationLevels(const GroundProgram& ground,
+                               std::unordered_map<TermId, int>* levels);
+
+}  // namespace hilog
+
+#endif  // HILOG_ANALYSIS_STRATIFICATION_H_

@@ -1,0 +1,120 @@
+#include "src/analysis/weak_stratification.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/analysis/dependency.h"
+#include "src/analysis/stratification.h"
+#include "src/wfs/alternating.h"
+
+namespace hilog {
+
+WeakStratificationResult ComputeWeaklyPerfectModel(
+    const GroundProgram& ground) {
+  WeakStratificationResult result;
+
+  AtomTable all_atoms;
+  ground.CollectAtoms(&all_atoms);
+  std::unordered_set<TermId> settled_true;
+
+  std::vector<GroundRule> remaining = ground.rules;
+  size_t max_rounds = all_atoms.size() + 2;
+  for (size_t round = 0; round <= max_rounds; ++round) {
+    if (remaining.empty()) {
+      // Everything left over (atoms with no surviving rules) is false.
+      result.weakly_stratified = true;
+      result.model = Interpretation(std::move(all_atoms));
+      for (uint32_t i = 0; i < result.model.atoms().size(); ++i) {
+        TermId atom = result.model.atoms().atom(i);
+        result.model.SetAt(i, settled_true.count(atom) > 0
+                                  ? TruthValue::kTrue
+                                  : TruthValue::kFalse);
+      }
+      return result;
+    }
+
+    // 1. Atom dependency graph of the remaining rules.
+    GroundProgram current;
+    current.rules = remaining;
+    DependencyGraph graph = AtomDependencyGraph(current);
+    uint32_t num_components = 0;
+    std::vector<uint32_t> component_of =
+        graph.StronglyConnectedComponents(&num_components);
+    std::vector<uint32_t> sinks =
+        graph.SinkComponents(component_of, num_components);
+    std::unordered_set<uint32_t> sink_set(sinks.begin(), sinks.end());
+
+    // 2. Bottom atoms.
+    std::unordered_set<TermId> bottom;
+    for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+      if (sink_set.count(component_of[v]) > 0) bottom.insert(graph.node(v));
+    }
+    if (bottom.empty()) {
+      result.reason = "no bottom component (internal error)";
+      return result;
+    }
+
+    // 3. The bottom subprogram must be unambiguous.
+    GroundProgram subprogram;
+    std::vector<GroundRule> rest;
+    for (GroundRule& rule : remaining) {
+      if (bottom.count(rule.head) > 0) {
+        subprogram.Add(std::move(rule));
+      } else {
+        rest.push_back(std::move(rule));
+      }
+    }
+    if (!IsLocallyStratified(subprogram)) {
+      result.reason =
+          "a bottom component's rules still recurse through negation";
+      return result;
+    }
+    WfsResult wfs = ComputeWfsAlternating(subprogram);
+    if (!wfs.model.IsTotal()) {
+      result.reason = "internal error: bottom layer not total";
+      return result;
+    }
+    std::vector<TermId> layer(bottom.begin(), bottom.end());
+    std::sort(layer.begin(), layer.end());
+    result.layers.push_back(std::move(layer));
+    for (TermId atom : wfs.model.TrueAtoms()) settled_true.insert(atom);
+
+    // 4. Reduce the remaining rules modulo the settled bottom atoms
+    //    (every bottom atom is now decided: true in settled_true, else
+    //    false).
+    std::vector<GroundRule> reduced;
+    for (const GroundRule& rule : rest) {
+      GroundRule out;
+      out.head = rule.head;
+      bool deleted = false;
+      for (TermId a : rule.pos) {
+        if (bottom.count(a) > 0) {
+          if (settled_true.count(a) == 0) {
+            deleted = true;  // Positive subgoal settled false.
+            break;
+          }
+          continue;  // Settled true: drop the subgoal.
+        }
+        out.pos.push_back(a);
+      }
+      if (!deleted) {
+        for (TermId a : rule.neg) {
+          if (bottom.count(a) > 0) {
+            if (settled_true.count(a) > 0) {
+              deleted = true;  // Negative subgoal settled true.
+              break;
+            }
+            continue;
+          }
+          out.neg.push_back(a);
+        }
+      }
+      if (!deleted) reduced.push_back(std::move(out));
+    }
+    remaining = std::move(reduced);
+  }
+  result.reason = "round budget exceeded (internal error)";
+  return result;
+}
+
+}  // namespace hilog

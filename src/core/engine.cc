@@ -1,0 +1,182 @@
+#include "src/core/engine.h"
+
+#include "src/analysis/stratification.h"
+#include "src/wfs/alternating.h"
+
+namespace hilog {
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {}
+
+std::string Engine::Load(std::string_view text) {
+  program_ = Program();
+  return LoadMore(text);
+}
+
+std::string Engine::LoadMore(std::string_view text) {
+  ParseResult<Program> parsed = ParseProgram(store_, text);
+  if (!parsed.ok()) return parsed.error;
+  for (Rule& rule : (*parsed).rules) program_.Add(std::move(rule));
+  return "";
+}
+
+AnalysisReport Engine::Analyze() {
+  AnalysisReport report;
+  report.normal = IsNormalProgram(store_, program_);
+  report.normal_range_restricted = IsNormalRangeRestricted(store_, program_);
+  report.range_restricted = IsRangeRestricted(store_, program_);
+  report.strongly_range_restricted =
+      IsStronglyRangeRestricted(store_, program_);
+  report.datahilog = IsDatahilog(store_, program_);
+  report.stratified = IsStratified(store_, program_, nullptr);
+  report.flounders = ProgramFlounders(store_, program_);
+  ModularResult modular = CheckModularHiLog(store_, program_, options_.modular);
+  report.modularly_stratified = modular.modularly_stratified;
+  report.modular_reason = modular.reason;
+  if (report.datahilog) {
+    report.datahilog_atom_bound = DatahilogAtomBound(store_, program_);
+  }
+  return report;
+}
+
+Engine::WfsAnswer Engine::SolveOnGround(const GroundProgram& ground,
+                                        GrounderKind kind, bool exact,
+                                        std::string notes) {
+  WfsAnswer answer;
+  answer.grounder = kind;
+  answer.exact = exact;
+  answer.notes = std::move(notes);
+  answer.ground_rules = ground.size();
+  WfsResult wfs = ComputeWfsAlternating(ground);
+  answer.model = std::move(wfs.model);
+  return answer;
+}
+
+Engine::WfsAnswer Engine::SolveWellFounded() {
+  if (IsStronglyRangeRestricted(store_, program_)) {
+    return SolveWellFoundedWith(GrounderKind::kRelevance);
+  }
+  return SolveWellFoundedWith(GrounderKind::kHerbrand);
+}
+
+Engine::WfsAnswer Engine::SolveWellFoundedWith(GrounderKind grounder) {
+  if (grounder == GrounderKind::kRelevance) {
+    RelevanceGroundingResult grounded =
+        GroundWithRelevance(store_, program_, options_.bottomup);
+    if (!grounded.ok) {
+      WfsAnswer answer;
+      answer.ok = false;
+      answer.notes = grounded.error;
+      return answer;
+    }
+    return SolveOnGround(grounded.program, GrounderKind::kRelevance,
+                         /*exact=*/!grounded.truncated,
+                         grounded.truncated ? "envelope truncated" : "");
+  }
+  Universe universe =
+      ProgramHiLogUniverse(store_, program_, options_.universe_bound);
+  InstantiationResult inst = InstantiateOverUniverse(
+      store_, program_, universe.terms, options_.max_instances);
+  std::string notes = "bounded Herbrand fragment (depth <= " +
+                      std::to_string(options_.universe_bound.max_depth) +
+                      ", " + std::to_string(universe.terms.size()) +
+                      " universe terms)";
+  return SolveOnGround(inst.program, GrounderKind::kHerbrand,
+                       /*exact=*/false, std::move(notes));
+}
+
+StableModelsResult Engine::SolveStable() {
+  if (IsStronglyRangeRestricted(store_, program_)) {
+    RelevanceGroundingResult grounded =
+        GroundWithRelevance(store_, program_, options_.bottomup);
+    if (grounded.ok) {
+      return EnumerateStableModels(grounded.program, options_.stable);
+    }
+  }
+  Universe universe =
+      ProgramHiLogUniverse(store_, program_, options_.universe_bound);
+  InstantiationResult inst = InstantiateOverUniverse(
+      store_, program_, universe.terms, options_.max_instances);
+  return EnumerateStableModels(inst.program, options_.stable);
+}
+
+ModularResult Engine::SolveModular() {
+  return CheckModularHiLog(store_, program_, options_.modular);
+}
+
+AggregateEvalResult Engine::SolveAggregates() {
+  return EvaluateWithAggregates(store_, program_, options_.aggregate);
+}
+
+void Engine::RefreshEdbCache() {
+  if (edb_cache_program_size_ == program_.size()) return;
+  edb_names_cache_ = FactOnlyPredicates(store_, program_);
+  edb_facts_cache_.clear();
+  for (const Rule& rule : program_.rules) {
+    if (!rule.IsFact() || !store_.IsGround(rule.head)) continue;
+    if (edb_names_cache_.count(store_.PredName(rule.head)) > 0) {
+      edb_facts_cache_.push_back(rule.head);
+    }
+  }
+  edb_cache_program_size_ = program_.size();
+}
+
+Engine::QueryAnswer Engine::Query(std::string_view query_text) {
+  QueryAnswer answer;
+  ParseResult<TermId> parsed = ParseTerm(store_, query_text);
+  if (!parsed.ok()) {
+    answer.ok = false;
+    answer.error = parsed.error;
+    return answer;
+  }
+  RefreshEdbCache();
+  MagicRewriteOptions rewrite_options;
+  rewrite_options.edb_names = edb_names_cache_;
+  rewrite_options.include_edb_facts = false;
+  MagicProgram magic =
+      MagicRewrite(store_, program_, *parsed, rewrite_options);
+  MagicEvalResult result =
+      EvaluateMagic(store_, magic, options_.magic, &edb_facts_cache_);
+  if (!result.error.empty()) {
+    answer.ok = false;
+    answer.error = result.error;
+    return answer;
+  }
+  answer.answers = std::move(result.answers);
+  answer.ground_status = result.ground_status;
+  answer.unsettled_negative_calls =
+      std::move(result.unsettled_negative_calls);
+  answer.facts_derived = result.facts_derived;
+  return answer;
+}
+
+ResolutionResult Engine::Prove(std::string_view query_text) {
+  ParseResult<TermId> parsed = ParseTerm(store_, query_text);
+  if (!parsed.ok()) {
+    ResolutionResult result;
+    result.error = parsed.error;
+    return result;
+  }
+  return SolveByResolution(store_, program_, *parsed, ResolutionOptions());
+}
+
+TabledResult Engine::ProveTabled(std::string_view query_text) {
+  ParseResult<TermId> parsed = ParseTerm(store_, query_text);
+  if (!parsed.ok()) {
+    TabledResult result;
+    result.error = parsed.error;
+    return result;
+  }
+  return SolveTabled(store_, program_, *parsed, TabledOptions());
+}
+
+StratifiedEvalResult Engine::SolveStratified() {
+  return EvaluateStratified(store_, program_, options_.bottomup);
+}
+
+DomainIndependenceResult Engine::CheckDomainIndependence(
+    size_t extra_symbols) {
+  return CheckDomainIndependenceWfs(store_, program_, extra_symbols,
+                                    options_.universe_bound);
+}
+
+}  // namespace hilog

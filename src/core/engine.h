@@ -1,0 +1,155 @@
+#ifndef HILOG_CORE_ENGINE_H_
+#define HILOG_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/analysis/domain_independence.h"
+#include "src/analysis/modular.h"
+#include "src/analysis/range_restriction.h"
+#include "src/eval/aggregate.h"
+#include "src/eval/magic_eval.h"
+#include "src/eval/resolution.h"
+#include "src/eval/stratified.h"
+#include "src/eval/tabled.h"
+#include "src/ground/grounder.h"
+#include "src/ground/herbrand.h"
+#include "src/lang/parser.h"
+#include "src/wfs/stable.h"
+
+namespace hilog {
+
+/// How a program was grounded for the semantics engines.
+enum class GrounderKind {
+  kRelevance,   // Join-based, exact for strongly range-restricted programs.
+  kHerbrand,    // Exhaustive bounded instantiation (may be a fragment).
+};
+
+struct EngineOptions {
+  /// Engine default: a small exact-at-depth-1 fragment. Raise for deeper
+  /// HiLog instantiations (costs grow as |universe|^{rule variables}).
+  UniverseBound universe_bound{/*max_depth=*/1, /*max_terms=*/5000};
+  BottomUpOptions bottomup;
+  StableOptions stable;
+  ModularOptions modular;
+  MagicEvalOptions magic;
+  AggregateEvalOptions aggregate;
+  size_t max_instances = 2000000;
+};
+
+/// Syntactic/semantic classification of the loaded program, covering the
+/// paper's program classes.
+struct AnalysisReport {
+  bool normal = false;                    // Normal logic program.
+  bool normal_range_restricted = false;   // Definition 4.1.
+  bool range_restricted = false;          // Definition 5.5.
+  bool strongly_range_restricted = false; // Definition 5.6.
+  bool datahilog = false;                 // Definition 6.7.
+  bool stratified = false;                // Definition 6.1.
+  bool flounders = false;                 // Section 6.1 footnote.
+  bool modularly_stratified = false;      // Definition 6.6 / Figure 1.
+  std::string modular_reason;             // Why Figure 1 rejected, if it did.
+  size_t datahilog_atom_bound = 0;        // Lemma 6.3's |T| when Datahilog.
+};
+
+/// Facade over the library: load a HiLog program, classify it, compute its
+/// well-founded / stable / modular semantics, and answer queries via magic
+/// sets.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = EngineOptions());
+
+  TermStore& store() { return store_; }
+  const Program& program() const { return program_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Parses and loads program text. Returns an empty string on success,
+  /// else the parse error. Replaces any previously loaded program.
+  std::string Load(std::string_view text);
+
+  /// Adds rules to the current program.
+  std::string LoadMore(std::string_view text);
+
+  /// Classifies the loaded program.
+  AnalysisReport Analyze();
+
+  /// Result of a well-founded computation at the engine level.
+  struct WfsAnswer {
+    Interpretation model;
+    GrounderKind grounder = GrounderKind::kRelevance;
+    /// True when the model is exact; false when a bounded Herbrand
+    /// fragment was used (non-strongly-range-restricted programs).
+    bool exact = true;
+    bool ok = true;
+    std::string notes;
+    size_t ground_rules = 0;
+  };
+
+  /// Computes the well-founded model, choosing the relevance grounder for
+  /// strongly range-restricted programs and falling back to bounded
+  /// exhaustive Herbrand instantiation otherwise.
+  WfsAnswer SolveWellFounded();
+
+  /// Like SolveWellFounded but forcing the grounder.
+  WfsAnswer SolveWellFoundedWith(GrounderKind grounder);
+
+  /// Enumerates stable models over the same grounding as SolveWellFounded.
+  StableModelsResult SolveStable();
+
+  /// Runs the Figure 1 procedure.
+  ModularResult SolveModular();
+
+  /// Evaluates a program with aggregates/arithmetic (Section 6 parts
+  /// explosion).
+  AggregateEvalResult SolveAggregates();
+
+  /// Result of a magic-sets query.
+  struct QueryAnswer {
+    bool ok = true;
+    std::string error;
+    std::vector<TermId> answers;
+    QueryStatus ground_status = QueryStatus::kUnsettled;
+    std::vector<TermId> unsettled_negative_calls;
+    size_t facts_derived = 0;
+  };
+
+  /// Parses `query_text` as an atom and answers it with the magic-sets
+  /// rewriting + evaluator (Section 6.1). Predicates defined only by facts
+  /// are treated as EDB.
+  QueryAnswer Query(std::string_view query_text);
+
+  /// Top-down SLD resolution for definite programs (paper, Section 2:
+  /// resolution is sound and complete for HiLog).
+  ResolutionResult Prove(std::string_view query_text);
+
+  /// Tabled (OLDT) evaluation for definite programs: terminates on left
+  /// recursion and collapses redundant proofs (the XSB model).
+  TabledResult ProveTabled(std::string_view query_text);
+
+  /// Stratified (perfect-model) evaluation, when the program is
+  /// stratified per Definition 6.1.
+  StratifiedEvalResult SolveStratified();
+
+  /// Empirical Definition 5.1 check over the configured universe bound.
+  DomainIndependenceResult CheckDomainIndependence(size_t extra_symbols = 2);
+
+ private:
+  WfsAnswer SolveOnGround(const GroundProgram& ground, GrounderKind kind,
+                          bool exact, std::string notes);
+  void RefreshEdbCache();
+
+  EngineOptions options_;
+  TermStore store_;
+  Program program_;
+  // Per-program EDB cache for magic queries: fact-only predicate names
+  // and their facts, preloaded into the evaluator so a query's cost does
+  // not scale with the EDB.
+  std::unordered_set<TermId> edb_names_cache_;
+  std::vector<TermId> edb_facts_cache_;
+  size_t edb_cache_program_size_ = SIZE_MAX;
+};
+
+}  // namespace hilog
+
+#endif  // HILOG_CORE_ENGINE_H_

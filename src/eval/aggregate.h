@@ -1,0 +1,43 @@
+#ifndef HILOG_EVAL_AGGREGATE_H_
+#define HILOG_EVAL_AGGREGATE_H_
+
+#include <string>
+
+#include "src/eval/fact_base.h"
+#include "src/lang/ast.h"
+
+namespace hilog {
+
+/// Options for aggregate-aware evaluation.
+struct AggregateEvalOptions {
+  /// Outer rounds: each round recomputes the least model from scratch with
+  /// aggregates evaluated against the previous round's facts. For
+  /// modularly stratified aggregation over an acyclic hierarchy of depth d
+  /// (the parts-explosion pattern of Section 6), round d+2 is a fixpoint.
+  size_t max_outer_rounds = 1000;
+  size_t max_facts = 1000000;
+  size_t max_inner_rounds = 100000;
+};
+
+struct AggregateEvalResult {
+  FactBase facts;
+  bool converged = false;
+  bool truncated = false;
+  std::string error;
+  size_t outer_rounds = 0;
+};
+
+/// Evaluates a program that may contain aggregate (`N = sum(P, atom)`) and
+/// arithmetic (`N = P * M`) literals, the Section 6 parts-explosion
+/// machinery. Plain negation is not supported here (use the WFS engines);
+/// aggregation plays the role of negation and must be modularly stratified
+/// in the paper's sense (recursion through an aggregate must descend an
+/// acyclic relation) for the outer iteration to converge — convergence is
+/// checked and reported.
+AggregateEvalResult EvaluateWithAggregates(TermStore& store,
+                                           const Program& program,
+                                           const AggregateEvalOptions& options);
+
+}  // namespace hilog
+
+#endif  // HILOG_EVAL_AGGREGATE_H_

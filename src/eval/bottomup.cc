@@ -1,0 +1,117 @@
+#include "src/eval/bottomup.h"
+
+#include <unordered_set>
+
+#include "src/term/unify.h"
+
+namespace hilog {
+namespace {
+
+// Recursively matches positive body literals [index..] against facts,
+// with literal `delta_pos` (if != SIZE_MAX) restricted to `delta`.
+bool MatchBody(TermStore& store, const std::vector<TermId>& body_atoms,
+               size_t index, size_t delta_pos,
+               const std::vector<TermId>* delta, const FactBase& facts,
+               Substitution* subst,
+               const std::function<bool(const Substitution&)>& fn) {
+  if (index == body_atoms.size()) return fn(*subst);
+  TermId pattern = subst->Apply(store, body_atoms[index]);
+  // Copy: the callback may insert facts, growing the bucket under us.
+  const std::vector<TermId> candidates =
+      (index == delta_pos && delta != nullptr)
+          ? *delta
+          : facts.Candidates(store, pattern);
+  for (TermId fact : candidates) {
+    Substitution saved = *subst;
+    if (MatchInto(store, pattern, fact, subst)) {
+      if (!MatchBody(store, body_atoms, index + 1, delta_pos, delta, facts,
+                     subst, fn)) {
+        return false;
+      }
+    }
+    *subst = std::move(saved);
+  }
+  return true;
+}
+
+std::vector<TermId> PositiveAtoms(const Rule& rule) {
+  std::vector<TermId> atoms;
+  for (const Literal& lit : rule.body) {
+    if (lit.positive()) atoms.push_back(lit.atom);
+  }
+  return atoms;
+}
+
+}  // namespace
+
+bool ForEachPositiveMatch(TermStore& store, const Rule& rule,
+                          const FactBase& facts,
+                          const std::function<bool(const Substitution&)>& fn) {
+  std::vector<TermId> atoms = PositiveAtoms(rule);
+  Substitution subst;
+  return MatchBody(store, atoms, 0, SIZE_MAX, nullptr, facts, &subst, fn);
+}
+
+BottomUpResult LeastModelOfPositiveProjection(TermStore& store,
+                                              const Program& program,
+                                              const BottomUpOptions& options) {
+  BottomUpResult result;
+  std::unordered_set<size_t> unsafe;
+
+  // Round 0: facts (rules with no positive body literals).
+  std::vector<TermId> delta;
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    const Rule& rule = program.rules[r];
+    if (!PositiveAtoms(rule).empty()) continue;
+    if (!store.IsGround(rule.head)) {
+      unsafe.insert(r);
+      continue;
+    }
+    if (result.facts.Insert(store, rule.head)) delta.push_back(rule.head);
+  }
+
+  while (!delta.empty()) {
+    ++result.rounds;
+    if (result.rounds > options.max_rounds) {
+      result.truncated = true;
+      break;
+    }
+    std::vector<TermId> next_delta;
+    bool budget_hit = false;
+    for (size_t r = 0; r < program.rules.size() && !budget_hit; ++r) {
+      const Rule& rule = program.rules[r];
+      std::vector<TermId> atoms = PositiveAtoms(rule);
+      if (atoms.empty()) continue;
+      for (size_t dpos = 0; dpos < atoms.size() && !budget_hit; ++dpos) {
+        Substitution subst;
+        MatchBody(store, atoms, 0, dpos, &delta, result.facts, &subst,
+                  [&](const Substitution& theta) {
+                    TermId head = theta.Apply(store, rule.head);
+                    if (!store.IsGround(head)) {
+                      unsafe.insert(r);
+                      return true;
+                    }
+                    if (result.facts.Insert(store, head)) {
+                      next_delta.push_back(head);
+                      if (result.facts.size() >= options.max_facts) {
+                        budget_hit = true;
+                        return false;
+                      }
+                    }
+                    return true;
+                  });
+      }
+    }
+    if (budget_hit) {
+      result.truncated = true;
+      break;
+    }
+    delta = std::move(next_delta);
+  }
+
+  result.unsafe_rules.assign(unsafe.begin(), unsafe.end());
+  std::sort(result.unsafe_rules.begin(), result.unsafe_rules.end());
+  return result;
+}
+
+}  // namespace hilog

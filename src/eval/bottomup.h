@@ -1,0 +1,56 @@
+#ifndef HILOG_EVAL_BOTTOMUP_H_
+#define HILOG_EVAL_BOTTOMUP_H_
+
+#include <functional>
+
+#include "src/eval/fact_base.h"
+#include "src/lang/ast.h"
+#include "src/term/subst.h"
+
+namespace hilog {
+
+/// Budget for bottom-up fixpoint computations. HiLog programs with
+/// recursively applied function/predicate symbols may have infinite least
+/// models (the paper notes the analogous non-termination for magic sets,
+/// Section 6.1); the budget makes every run terminate and reports
+/// truncation honestly.
+struct BottomUpOptions {
+  size_t max_facts = 1000000;
+  size_t max_rounds = 100000;
+};
+
+struct BottomUpResult {
+  FactBase facts;
+  bool truncated = false;
+  /// Rules whose head stayed non-ground after matching all positive body
+  /// literals (unsafe for bottom-up evaluation); their indices in
+  /// `Program::rules`.
+  std::vector<size_t> unsafe_rules;
+  size_t rounds = 0;
+};
+
+/// Computes the least model of the *positive projection* of `program`
+/// (negative literals are dropped; aggregate/builtin literals are dropped
+/// too). For a definite program this is its least Herbrand model, i.e. the
+/// paper's Section 2 semantics of negation-free HiLog programs. For a
+/// program with negation, the result is the "envelope": a superset of the
+/// atoms that can possibly be true or undefined in the well-founded model,
+/// which is what the relevance grounder needs.
+///
+/// Evaluation is semi-naive: each round only considers rule firings that
+/// use at least one fact derived in the previous round.
+BottomUpResult LeastModelOfPositiveProjection(TermStore& store,
+                                              const Program& program,
+                                              const BottomUpOptions& options);
+
+/// Enumerates every substitution theta (over the rule's variables) such
+/// that each *positive* body literal, instantiated by theta, matches a
+/// fact in `facts`. Negative, aggregate, and builtin literals are skipped.
+/// Returns false if `fn` ever returns false (early exit).
+bool ForEachPositiveMatch(TermStore& store, const Rule& rule,
+                          const FactBase& facts,
+                          const std::function<bool(const Substitution&)>& fn);
+
+}  // namespace hilog
+
+#endif  // HILOG_EVAL_BOTTOMUP_H_

@@ -1,0 +1,33 @@
+#include "src/eval/fact_base.h"
+
+namespace hilog {
+
+const std::vector<TermId> FactBase::kEmpty;
+
+bool FactBase::Insert(const TermStore& store, TermId atom) {
+  auto [it, inserted] = facts_.insert(atom);
+  if (!inserted) return false;
+  ordered_.push_back(atom);
+  by_name_[store.PredName(atom)].push_back(atom);
+  return true;
+}
+
+const std::vector<TermId>& FactBase::WithName(TermId name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kEmpty : it->second;
+}
+
+const std::vector<TermId>& FactBase::Candidates(const TermStore& store,
+                                                TermId literal_atom) const {
+  TermId name = store.PredName(literal_atom);
+  if (store.IsGround(name)) return WithName(name);
+  return ordered_;
+}
+
+void FactBase::Clear() {
+  facts_.clear();
+  ordered_.clear();
+  by_name_.clear();
+}
+
+}  // namespace hilog

@@ -1,0 +1,53 @@
+#ifndef HILOG_EVAL_FACT_BASE_H_
+#define HILOG_EVAL_FACT_BASE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/term/term_store.h"
+
+namespace hilog {
+
+/// A set of ground atoms with an index keyed on the atom's predicate name
+/// (and, as a fallback, the outermost functor), supporting the
+/// unification-joins of bottom-up evaluation.
+///
+/// Because HiLog predicate names may themselves be compound (e.g.
+/// winning(move1)), the primary index key is the full name term; a literal
+/// whose name is still a variable scans the whole base.
+class FactBase {
+ public:
+  FactBase() = default;
+
+  /// Inserts a ground atom. Returns true if it was new.
+  bool Insert(const TermStore& store, TermId atom);
+
+  bool Contains(TermId atom) const { return facts_.count(atom) > 0; }
+  size_t size() const { return facts_.size(); }
+  bool empty() const { return facts_.empty(); }
+
+  /// All facts, in insertion order.
+  const std::vector<TermId>& facts() const { return ordered_; }
+
+  /// Facts whose predicate name equals `name` exactly. Returns an empty
+  /// vector reference if none.
+  const std::vector<TermId>& WithName(TermId name) const;
+
+  /// Candidate facts for joining against `literal_atom`: if the literal's
+  /// name is ground, facts with exactly that name; otherwise all facts.
+  const std::vector<TermId>& Candidates(const TermStore& store,
+                                        TermId literal_atom) const;
+
+  void Clear();
+
+ private:
+  std::unordered_set<TermId> facts_;
+  std::vector<TermId> ordered_;
+  std::unordered_map<TermId, std::vector<TermId>> by_name_;
+  static const std::vector<TermId> kEmpty;
+};
+
+}  // namespace hilog
+
+#endif  // HILOG_EVAL_FACT_BASE_H_

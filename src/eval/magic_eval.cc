@@ -1,0 +1,361 @@
+#include "src/eval/magic_eval.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/term/unify.h"
+
+namespace hilog {
+namespace {
+
+// Fact store that admits non-ground facts, deduplicating up to variable
+// renaming. Ground facts take a fast exact-id path.
+class VariantFactStore {
+ public:
+  explicit VariantFactStore(TermStore& store) : store_(store) {}
+
+  bool Insert(TermId fact) {
+    if (store_.IsGround(fact)) {
+      if (!ground_.insert(fact).second) return false;
+      Bucket(fact).push_back(fact);
+      ordered_.push_back(fact);
+      return true;
+    }
+    std::vector<TermId>& bucket = Bucket(fact);
+    for (TermId existing : bucket) {
+      if (!store_.IsGround(existing) && IsVariant(store_, existing, fact)) {
+        return false;
+      }
+    }
+    bucket.push_back(fact);
+    ordered_.push_back(fact);
+    TermId name = store_.PredName(fact);
+    if (store_.IsGround(name)) nonground_by_name_[name].push_back(fact);
+    return true;
+  }
+
+  bool ContainsGround(TermId fact) const { return ground_.count(fact) > 0; }
+
+  const std::vector<TermId>& Candidates(TermId pattern) const {
+    TermId name = store_.PredName(pattern);
+    if (store_.IsGround(name)) {
+      auto it = by_name_.find(name);
+      return it == by_name_.end() ? kEmpty : it->second;
+    }
+    return ordered_;
+  }
+
+  /// Non-ground facts sharing the pattern's ground name (the only facts a
+  /// fully ground pattern can match besides itself and unnamed ones).
+  const std::vector<TermId>& NonGroundWithName(TermId name) const {
+    auto it = nonground_by_name_.find(name);
+    return it == nonground_by_name_.end() ? kEmpty : it->second;
+  }
+
+  /// Non-ground facts whose predicate name is itself non-ground (e.g. a
+  /// bare-variable head); these can subsume atoms of any name.
+  const std::vector<TermId>& NonGroundUnnamed() const {
+    auto it = by_name_.find(kNoTerm);
+    return it == by_name_.end() ? kEmpty : it->second;
+  }
+
+  const std::vector<TermId>& WithName(TermId name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? kEmpty : it->second;
+  }
+
+  const std::vector<TermId>& all() const { return ordered_; }
+  size_t size() const { return ordered_.size(); }
+
+ private:
+  std::vector<TermId>& Bucket(TermId fact) {
+    TermId name = store_.PredName(fact);
+    if (!store_.IsGround(name)) name = kNoTerm;
+    return by_name_[name];
+  }
+
+  TermStore& store_;
+  std::unordered_set<TermId> ground_;
+  std::vector<TermId> ordered_;
+  std::unordered_map<TermId, std::vector<TermId>> by_name_;
+  std::unordered_map<TermId, std::vector<TermId>> nonground_by_name_;
+  static const std::vector<TermId> kEmpty;
+};
+
+const std::vector<TermId> VariantFactStore::kEmpty;
+
+class Evaluator {
+ public:
+  Evaluator(TermStore& store, const MagicProgram& magic,
+            const MagicEvalOptions& options,
+            const std::vector<TermId>* preloaded)
+      : store_(store), magic_(magic), options_(options), facts_(store) {
+    if (preloaded != nullptr) {
+      // EDB facts join as candidates; they never need to *trigger* rules
+      // (all rewritten rules are driven by magic/sup deltas), so they
+      // bypass the worklist.
+      for (TermId fact : *preloaded) facts_.Insert(fact);
+    }
+  }
+
+  MagicEvalResult Run() {
+    // Index rule bodies: (rule, position) keyed by the literal's ground
+    // predicate name; wildcard list for variable-named literals.
+    for (size_t r = 0; r < magic_.rules.rules.size(); ++r) {
+      const Rule& rule = magic_.rules.rules[r];
+      for (const Literal& lit : rule.body) {
+        if (!lit.positive()) {
+          result_.error = "magic evaluator expects definite rewritten rules";
+          return result_;
+        }
+      }
+      if (rule.body.empty()) {
+        Derive(rule.head);
+        continue;
+      }
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        TermId name = store_.PredName(rule.body[i].atom);
+        if (store_.IsGround(name)) {
+          by_name_[name].emplace_back(r, i);
+        } else {
+          wildcard_.emplace_back(r, i);
+        }
+      }
+    }
+
+    Propagate();
+    while (!result_.truncated && FireEligibleBoxes() > 0) {
+      Propagate();
+    }
+
+    CollectAnswers();
+    return result_;
+  }
+
+ private:
+  void Derive(TermId fact) {
+    if (result_.truncated) return;
+    if (!facts_.Insert(fact)) return;
+    ++result_.facts_derived;
+    if (facts_.size() > options_.max_facts) {
+      result_.truncated = true;
+      return;
+    }
+    // Incremental indices for the box machinery.
+    TermId name = store_.PredName(fact);
+    if (name == magic_.dn_sym && store_.arity(fact) == 2) {
+      auto args = store_.apply_args(fact);
+      dn_of_[args[0]].push_back(args[1]);
+    } else if (name == magic_.magic_sym && store_.arity(fact) == 2) {
+      auto args = store_.apply_args(fact);
+      if (args[1] == magic_.minus_sym && store_.IsGround(args[0])) {
+        pending_minus_.push_back(args[0]);
+      }
+    }
+    worklist_.push_back(fact);
+  }
+
+  // Joins body positions of `rule` other than `skip`, extending `subst`;
+  // derives head instances.
+  void JoinFrom(const Rule& rule, size_t index, size_t skip,
+                Substitution subst) {
+    if (result_.truncated) return;
+    if (index == rule.body.size()) {
+      Derive(subst.Apply(store_, rule.head));
+      return;
+    }
+    if (index == skip) {
+      JoinFrom(rule, index + 1, skip, std::move(subst));
+      return;
+    }
+    TermId pattern = subst.Apply(store_, rule.body[index].atom);
+    if (store_.IsGround(pattern)) {
+      // Fast path: a ground subgoal is satisfied by the identical fact or
+      // by a non-ground fact subsuming it — no bucket scan.
+      if (facts_.ContainsGround(pattern)) {
+        JoinFrom(rule, index + 1, skip, subst);
+        if (result_.truncated) return;
+      }
+      for (const std::vector<TermId>* bucket :
+           {&facts_.NonGroundWithName(store_.PredName(pattern)),
+            &facts_.NonGroundUnnamed()}) {
+        for (TermId fact : *bucket) {
+          Substitution extended = subst;
+          TermId target = RenameApart(store_, fact, nullptr);
+          if (UnifyInto(store_, target, pattern, &extended)) {
+            JoinFrom(rule, index + 1, skip, std::move(extended));
+            break;  // One subsumption witness suffices for a ground goal.
+          }
+          if (result_.truncated) return;
+        }
+      }
+      return;
+    }
+    // Copy: Candidates() may reference a bucket that grows via Derive; we
+    // only need the snapshot (new facts re-trigger via the worklist).
+    std::vector<TermId> candidates = facts_.Candidates(pattern);
+    for (TermId fact : candidates) {
+      TermId target = fact;
+      if (!store_.IsGround(fact)) {
+        target = RenameApart(store_, fact, nullptr);
+      }
+      Substitution extended = subst;
+      if (UnifyInto(store_, pattern, target, &extended)) {
+        JoinFrom(rule, index + 1, skip, std::move(extended));
+      }
+      if (result_.truncated) return;
+    }
+  }
+
+  void TriggerAt(size_t rule_index, size_t position, TermId fact) {
+    const Rule& rule = magic_.rules.rules[rule_index];
+    // Rename the rule apart so its variables cannot collide with the
+    // fact's (facts derived from renamed rules already carry fresh vars).
+    Rule renamed = RenameRuleApart(store_, rule);
+    TermId target = fact;
+    if (!store_.IsGround(fact)) target = RenameApart(store_, fact, nullptr);
+    Substitution subst;
+    if (!UnifyInto(store_, renamed.body[position].atom, target, &subst)) {
+      return;
+    }
+    JoinFrom(renamed, 0, position, std::move(subst));
+  }
+
+  void Propagate() {
+    while (!worklist_.empty() && !result_.truncated) {
+      TermId fact = worklist_.front();
+      worklist_.pop_front();
+      TermId name = store_.PredName(fact);
+      auto it = by_name_.find(name);
+      if (it != by_name_.end()) {
+        for (const auto& [r, i] : it->second) TriggerAt(r, i, fact);
+      }
+      for (const auto& [r, i] : wildcard_) TriggerAt(r, i, fact);
+    }
+  }
+
+  // True if some fact subsumes the ground atom (i.e. the atom is
+  // "currently true").
+  bool CurrentlyTrue(TermId ground_atom) {
+    if (facts_.ContainsGround(ground_atom)) return true;
+    for (const std::vector<TermId>* bucket :
+         {&facts_.NonGroundWithName(store_.PredName(ground_atom)),
+          &facts_.NonGroundUnnamed()}) {
+      for (TermId fact : *bucket) {
+        Substitution subst;
+        if (MatchInto(store_, fact, ground_atom, &subst)) return true;
+      }
+    }
+    return false;
+  }
+
+  // Fires box(P) for every currently eligible negatively-called P and
+  // returns how many fired. Batch firing is sound: a candidate is
+  // eligible only when all of its recorded (transitively complete)
+  // negative dependencies are settled, so no other box in the same batch
+  // can change its truth.
+  size_t FireEligibleBoxes() {
+    size_t fired = 0;
+    size_t keep = 0;
+    for (size_t i = 0; i < pending_minus_.size(); ++i) {
+      TermId p = pending_minus_[i];
+      TermId box_p = store_.MakeApply(magic_.box_sym, {p});
+      if (facts_.ContainsGround(box_p) || CurrentlyTrue(p)) {
+        continue;  // Settled: drop from the pending list.
+      }
+      bool all_settled = true;
+      auto it = dn_of_.find(p);
+      if (it != dn_of_.end()) {
+        for (TermId q : it->second) {
+          TermId dns_q = store_.MakeApply(magic_.dns_sym, {q});
+          if (!facts_.ContainsGround(dns_q)) {
+            all_settled = false;
+            break;
+          }
+        }
+      }
+      if (!all_settled) {
+        pending_minus_[keep++] = p;
+        continue;
+      }
+      if (result_.box_firings >= options_.max_box_firings) {
+        result_.truncated = true;
+        break;
+      }
+      ++result_.box_firings;
+      ++fired;
+      Derive(box_p);
+    }
+    pending_minus_.resize(keep);
+    return fired;
+  }
+
+  void CollectAnswers() {
+    // Answers: ground facts that are instances of the query.
+    for (TermId fact : facts_.Candidates(magic_.query)) {
+      if (!store_.IsGround(fact)) continue;
+      if (store_.PredName(fact) == magic_.magic_sym ||
+          store_.PredName(fact) == magic_.box_sym) {
+        continue;
+      }
+      Substitution subst;
+      if (MatchInto(store_, magic_.query, fact, &subst)) {
+        result_.answers.push_back(fact);
+      }
+    }
+    // Settled-false query instances.
+    for (TermId fact : facts_.WithName(magic_.box_sym)) {
+      TermId inner = store_.apply_args(fact)[0];
+      Substitution subst;
+      if (MatchInto(store_, magic_.query, inner, &subst)) {
+        result_.settled_false.push_back(inner);
+      }
+    }
+    // Unsettled negative calls.
+    for (TermId fact : facts_.WithName(magic_.magic_sym)) {
+      auto args = store_.apply_args(fact);
+      if (args.size() != 2 || args[1] != magic_.minus_sym) continue;
+      TermId p = args[0];
+      if (!store_.IsGround(p)) continue;
+      TermId box_p = store_.MakeApply(magic_.box_sym, {p});
+      if (!facts_.ContainsGround(box_p) && !CurrentlyTrue(p)) {
+        result_.unsettled_negative_calls.push_back(p);
+      }
+    }
+    if (store_.IsGround(magic_.query)) {
+      if (CurrentlyTrue(magic_.query)) {
+        result_.ground_status = QueryStatus::kTrue;
+      } else if (facts_.ContainsGround(
+                     store_.MakeApply(magic_.box_sym, {magic_.query}))) {
+        result_.ground_status = QueryStatus::kSettledFalse;
+      } else {
+        result_.ground_status = QueryStatus::kUnsettled;
+      }
+    }
+  }
+
+  TermStore& store_;
+  const MagicProgram& magic_;
+  MagicEvalOptions options_;
+  VariantFactStore facts_;
+  std::deque<TermId> worklist_;
+  std::unordered_map<TermId, std::vector<std::pair<size_t, size_t>>> by_name_;
+  std::vector<std::pair<size_t, size_t>> wildcard_;
+  // Incremental indices for box firing: negative dependencies by caller,
+  // and the ground negatively-called atoms not yet settled.
+  std::unordered_map<TermId, std::vector<TermId>> dn_of_;
+  std::vector<TermId> pending_minus_;
+  MagicEvalResult result_;
+};
+
+}  // namespace
+
+MagicEvalResult EvaluateMagic(TermStore& store, const MagicProgram& magic,
+                              const MagicEvalOptions& options,
+                              const std::vector<TermId>* preloaded) {
+  Evaluator evaluator(store, magic, options, preloaded);
+  return evaluator.Run();
+}
+
+}  // namespace hilog

@@ -1,0 +1,93 @@
+#include "src/eval/resolution.h"
+
+#include <deque>
+
+#include "src/lang/printer.h"
+#include "src/term/unify.h"
+
+namespace hilog {
+namespace {
+
+class Resolver {
+ public:
+  Resolver(TermStore& store, const Program& program, TermId query,
+           const ResolutionOptions& options)
+      : store_(store), program_(program), query_(query), options_(options) {}
+
+  ResolutionResult Run() {
+    for (const Rule& rule : program_.rules) {
+      for (const Literal& lit : rule.body) {
+        if (!lit.positive()) {
+          result_.error =
+              "resolution handles definite programs only; offending rule: " +
+              RuleToString(store_, rule);
+          return result_;
+        }
+      }
+    }
+    std::vector<TermId> goals = {query_};
+    Substitution empty;
+    Prove(goals, empty, options_.max_depth);
+    return result_;
+  }
+
+ private:
+  // Proves the goal list left to right under `subst`; on success records
+  // the query instance. Returns false when budgets say stop everything.
+  bool Prove(const std::vector<TermId>& goals, const Substitution& subst,
+             size_t depth_left) {
+    if (result_.solutions.size() >= options_.max_solutions) return false;
+    if (++result_.steps > options_.max_steps) {
+      result_.exhausted = false;
+      return false;
+    }
+    if (goals.empty()) {
+      RecordSolution(subst.Apply(store_, query_));
+      return true;
+    }
+    if (depth_left == 0) {
+      result_.exhausted = false;  // Cut off: completeness not guaranteed.
+      return true;
+    }
+    TermId selected = subst.Apply(store_, goals.front());
+    for (const Rule& rule : program_.rules) {
+      Rule renamed = RenameRuleApart(store_, rule);
+      Substitution extended = subst;
+      if (!UnifyInto(store_, selected, renamed.head, &extended)) continue;
+      std::vector<TermId> rest;
+      rest.reserve(renamed.body.size() + goals.size() - 1);
+      for (const Literal& lit : renamed.body) rest.push_back(lit.atom);
+      rest.insert(rest.end(), goals.begin() + 1, goals.end());
+      if (!Prove(rest, extended, depth_left - 1)) return false;
+    }
+    return true;
+  }
+
+  void RecordSolution(TermId instance) {
+    for (TermId existing : result_.solutions) {
+      if (existing == instance ||
+          (!store_.IsGround(instance) &&
+           IsVariant(store_, existing, instance))) {
+        return;
+      }
+    }
+    result_.solutions.push_back(instance);
+  }
+
+  TermStore& store_;
+  const Program& program_;
+  TermId query_;
+  ResolutionOptions options_;
+  ResolutionResult result_;
+};
+
+}  // namespace
+
+ResolutionResult SolveByResolution(TermStore& store, const Program& program,
+                                   TermId query,
+                                   const ResolutionOptions& options) {
+  Resolver resolver(store, program, query, options);
+  return resolver.Run();
+}
+
+}  // namespace hilog

@@ -1,0 +1,46 @@
+#ifndef HILOG_EVAL_RESOLUTION_H_
+#define HILOG_EVAL_RESOLUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/term/subst.h"
+
+namespace hilog {
+
+/// Options for top-down SLD resolution.
+struct ResolutionOptions {
+  /// Depth-first iterative deepening limit on resolution steps per proof.
+  size_t max_depth = 64;
+  /// Total derivation-step budget across the whole search.
+  size_t max_steps = 1000000;
+  size_t max_solutions = 1024;
+};
+
+struct ResolutionResult {
+  /// Ground (or most-general) instances of the query proven true, in
+  /// discovery order, deduplicated up to variance.
+  std::vector<TermId> solutions;
+  /// True if the search space was exhausted within the budgets (so the
+  /// solution list is complete up to the depth bound).
+  bool exhausted = true;
+  size_t steps = 0;
+  std::string error;
+};
+
+/// Top-down SLD resolution for *definite* HiLog programs (no negation;
+/// Chen-Kifer-Warren prove resolution sound and complete for HiLog, which
+/// is what gives the paper's Section 2 semantics its procedural reading).
+/// Selected-literal strategy: leftmost; clauses tried in program order;
+/// depth-bounded to keep recursive HiLog programs terminating.
+///
+/// Rules with negative/aggregate/builtin literals make the call fail with
+/// an error — use the WFS engines for negation.
+ResolutionResult SolveByResolution(TermStore& store, const Program& program,
+                                   TermId query,
+                                   const ResolutionOptions& options);
+
+}  // namespace hilog
+
+#endif  // HILOG_EVAL_RESOLUTION_H_

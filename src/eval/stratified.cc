@@ -1,0 +1,117 @@
+#include "src/eval/stratified.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "src/analysis/range_restriction.h"
+#include "src/analysis/stratification.h"
+#include "src/lang/printer.h"
+
+namespace hilog {
+
+StratifiedEvalResult EvaluateStratified(TermStore& store,
+                                        const Program& program,
+                                        const BottomUpOptions& options) {
+  StratifiedEvalResult result;
+
+  std::unordered_map<TermId, int> levels;
+  if (!IsStratified(store, program, &levels)) {
+    result.error = "program is not stratified (Definition 6.1)";
+    return result;
+  }
+  if (!IsStronglyRangeRestricted(store, program)) {
+    result.error =
+        "stratified evaluation requires a strongly range-restricted "
+        "program (heads and negative literals bound by positive bodies)";
+    return result;
+  }
+  bool has_negation = false;
+  for (const Rule& rule : program.rules) {
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kAggregate ||
+          lit.kind == Literal::Kind::kBuiltin) {
+        result.error = "aggregates/builtins belong to the aggregate "
+                       "evaluator, not stratified evaluation";
+        return result;
+      }
+      if (!lit.negative()) continue;
+      has_negation = true;
+      if (!store.IsGround(store.PredName(lit.atom))) {
+        result.error =
+            "negative literal with a non-ground predicate name cannot be "
+            "stratified syntactically: " +
+            LiteralToString(store, lit);
+        return result;
+      }
+    }
+  }
+  if (has_negation) {
+    // A variable-named head could create facts for *any* predicate,
+    // invalidating the syntactic level assignment under negation.
+    for (const Rule& rule : program.rules) {
+      std::vector<TermId> head_name_vars;
+      CollectNameVariables(store, rule.head, &head_name_vars);
+      if (!head_name_vars.empty()) {
+        result.error =
+            "variable in a head predicate name is incompatible with "
+            "syntactic stratification (use the well-founded engine): " +
+            RuleToString(store, rule);
+        return result;
+      }
+    }
+  }
+
+  // Group rules by the level of their head predicate name.
+  std::map<int, std::vector<const Rule*>> strata;
+  for (const Rule& rule : program.rules) {
+    strata[levels[store.PredName(rule.head)]].push_back(&rule);
+  }
+
+  size_t derivations = 0;
+  for (const auto& [level, rules] : strata) {
+    ++result.strata;
+    // Iterate this stratum to fixpoint; negative subgoals consult the
+    // facts accumulated so far (complete for all lower levels, and
+    // stratification guarantees no same-level negation).
+    bool changed = true;
+    size_t rounds = 0;
+    while (changed) {
+      if (++rounds > options.max_rounds) {
+        result.error = "stratum iteration exceeded the round budget";
+        return result;
+      }
+      changed = false;
+      for (const Rule* rule : rules) {
+        bool budget_hit = false;
+        ForEachPositiveMatch(
+            store, *rule, result.facts, [&](const Substitution& theta) {
+              for (const Literal& lit : rule->body) {
+                if (!lit.negative()) continue;
+                TermId atom = theta.Apply(store, lit.atom);
+                if (!store.IsGround(atom)) return true;  // Unbound: skip.
+                if (result.facts.Contains(atom)) return true;  // Blocked.
+              }
+              TermId head = theta.Apply(store, rule->head);
+              if (!store.IsGround(head)) return true;
+              if (result.facts.Insert(store, head)) {
+                changed = true;
+                if (++derivations > options.max_facts) {
+                  budget_hit = true;
+                  return false;
+                }
+              }
+              return true;
+            });
+        if (budget_hit) {
+          result.error = "fact budget exhausted";
+          return result;
+        }
+      }
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace hilog

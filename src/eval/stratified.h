@@ -1,0 +1,38 @@
+#ifndef HILOG_EVAL_STRATIFIED_H_
+#define HILOG_EVAL_STRATIFIED_H_
+
+#include <string>
+
+#include "src/eval/bottomup.h"
+#include "src/lang/ast.h"
+
+namespace hilog {
+
+/// Result of stratified evaluation.
+struct StratifiedEvalResult {
+  bool ok = false;
+  std::string error;
+  /// The perfect model's true atoms (everything else false).
+  FactBase facts;
+  /// Number of strata evaluated.
+  size_t strata = 0;
+};
+
+/// Evaluates a *stratified* program (Definition 6.1) by the classic
+/// iterated least-fixpoint construction of Apt-Blair-Walker: predicates
+/// are assigned levels; stratum k is evaluated semi-naively with negative
+/// subgoals answered against the completed strata below. For stratified
+/// programs the result coincides with the (total) well-founded model —
+/// property-tested against both WFS engines.
+///
+/// Requirements: the program must be stratified and safe for bottom-up
+/// evaluation (every rule head and negative literal bound by the positive
+/// body, i.e. strongly range restricted); otherwise `ok` is false with an
+/// explanatory error.
+StratifiedEvalResult EvaluateStratified(TermStore& store,
+                                        const Program& program,
+                                        const BottomUpOptions& options);
+
+}  // namespace hilog
+
+#endif  // HILOG_EVAL_STRATIFIED_H_

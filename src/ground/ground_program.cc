@@ -1,0 +1,61 @@
+#include "src/ground/ground_program.h"
+
+#include <sstream>
+
+namespace hilog {
+
+void GroundProgram::CollectAtoms(AtomTable* table) const {
+  for (const GroundRule& rule : rules) {
+    table->Intern(rule.head);
+    for (TermId a : rule.pos) table->Intern(a);
+    for (TermId a : rule.neg) table->Intern(a);
+  }
+}
+
+std::string GroundProgram::ToString(const TermStore& store) const {
+  std::ostringstream os;
+  for (const GroundRule& rule : rules) {
+    os << store.ToString(rule.head);
+    if (!rule.pos.empty() || !rule.neg.empty()) {
+      os << " :- ";
+      bool first = true;
+      for (TermId a : rule.pos) {
+        if (!first) os << ", ";
+        first = false;
+        os << store.ToString(a);
+      }
+      for (TermId a : rule.neg) {
+        if (!first) os << ", ";
+        first = false;
+        os << "~" << store.ToString(a);
+      }
+    }
+    os << ".\n";
+  }
+  return os.str();
+}
+
+bool ToGroundProgram(const TermStore& store, const Program& program,
+                     GroundProgram* out) {
+  for (const Rule& rule : program.rules) {
+    if (!IsRuleGround(store, rule)) return false;
+    GroundRule ground;
+    ground.head = rule.head;
+    for (const Literal& lit : rule.body) {
+      switch (lit.kind) {
+        case Literal::Kind::kPositive:
+          ground.pos.push_back(lit.atom);
+          break;
+        case Literal::Kind::kNegative:
+          ground.neg.push_back(lit.atom);
+          break;
+        default:
+          return false;
+      }
+    }
+    out->Add(std::move(ground));
+  }
+  return true;
+}
+
+}  // namespace hilog

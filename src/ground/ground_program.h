@@ -1,0 +1,72 @@
+#ifndef HILOG_GROUND_GROUND_PROGRAM_H_
+#define HILOG_GROUND_GROUND_PROGRAM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/term/term_store.h"
+
+namespace hilog {
+
+/// A fully instantiated rule: head <- pos_1,...,pos_m, ~neg_1,...,~neg_k.
+/// All terms are ground.
+struct GroundRule {
+  TermId head = kNoTerm;
+  std::vector<TermId> pos;
+  std::vector<TermId> neg;
+
+  bool operator==(const GroundRule& other) const = default;
+};
+
+/// Dense numbering of ground atoms, so semantics engines can use flat
+/// arrays instead of hash maps keyed on TermId.
+class AtomTable {
+ public:
+  /// Returns the dense index of `atom`, interning it if new.
+  uint32_t Intern(TermId atom) {
+    auto [it, inserted] = index_.emplace(atom, atoms_.size());
+    if (inserted) atoms_.push_back(atom);
+    return it->second;
+  }
+
+  /// Returns the dense index, or UINT32_MAX if the atom is unknown.
+  uint32_t Find(TermId atom) const {
+    auto it = index_.find(atom);
+    return it == index_.end() ? UINT32_MAX : it->second;
+  }
+
+  TermId atom(uint32_t index) const { return atoms_[index]; }
+  size_t size() const { return atoms_.size(); }
+  const std::vector<TermId>& atoms() const { return atoms_; }
+
+ private:
+  std::vector<TermId> atoms_;
+  std::unordered_map<TermId, uint32_t> index_;
+};
+
+/// A ground (Herbrand-instantiated) program, the input to the semantics
+/// engines of Section 3 / Section 4.
+struct GroundProgram {
+  std::vector<GroundRule> rules;
+
+  void Add(GroundRule rule) { rules.push_back(std::move(rule)); }
+  size_t size() const { return rules.size(); }
+
+  /// Interns every atom occurring in the program into `table`.
+  void CollectAtoms(AtomTable* table) const;
+
+  /// Renders for debugging.
+  std::string ToString(const TermStore& store) const;
+};
+
+/// Converts a ground `Program` (only positive/negative literals, all terms
+/// ground) into a `GroundProgram`. Returns false if some rule is non-ground
+/// or uses aggregate/builtin literals.
+bool ToGroundProgram(const TermStore& store, const Program& program,
+                     GroundProgram* out);
+
+}  // namespace hilog
+
+#endif  // HILOG_GROUND_GROUND_PROGRAM_H_

@@ -1,0 +1,69 @@
+#include "src/ground/grounder.h"
+
+#include <sstream>
+
+#include "src/lang/printer.h"
+
+namespace hilog {
+
+RelevanceGroundingResult GroundWithRelevance(TermStore& store,
+                                             const Program& program,
+                                             const BottomUpOptions& options) {
+  RelevanceGroundingResult result;
+  BottomUpResult envelope =
+      LeastModelOfPositiveProjection(store, program, options);
+  result.truncated = envelope.truncated;
+  result.envelope_size = envelope.facts.size();
+  if (!envelope.unsafe_rules.empty()) {
+    std::ostringstream os;
+    os << "rule is not safe for relevance grounding (head not bound by "
+          "positive body): "
+       << RuleToString(store, program.rules[envelope.unsafe_rules[0]]);
+    result.ok = false;
+    result.error = os.str();
+    return result;
+  }
+
+  for (const Rule& rule : program.rules) {
+    bool plain = true;
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kAggregate ||
+          lit.kind == Literal::Kind::kBuiltin) {
+        plain = false;
+      }
+    }
+    if (!plain) {
+      result.ok = false;
+      result.error =
+          "aggregate/builtin literals require the aggregate evaluator, not "
+          "the grounder: " +
+          RuleToString(store, rule);
+      return result;
+    }
+    ForEachPositiveMatch(
+        store, rule, envelope.facts, [&](const Substitution& theta) {
+          GroundRule ground;
+          ground.head = theta.Apply(store, rule.head);
+          bool safe = store.IsGround(ground.head);
+          for (const Literal& lit : rule.body) {
+            TermId atom = theta.Apply(store, lit.atom);
+            if (!store.IsGround(atom)) safe = false;
+            (lit.positive() ? ground.pos : ground.neg).push_back(atom);
+          }
+          if (!safe) {
+            result.ok = false;
+            result.error =
+                "rule instance stayed non-ground (program is not strongly "
+                "range restricted): " +
+                RuleToString(store, rule);
+            return false;
+          }
+          result.program.Add(std::move(ground));
+          return true;
+        });
+    if (!result.ok) return result;
+  }
+  return result;
+}
+
+}  // namespace hilog

@@ -1,0 +1,39 @@
+#ifndef HILOG_GROUND_GROUNDER_H_
+#define HILOG_GROUND_GROUNDER_H_
+
+#include <string>
+
+#include "src/eval/bottomup.h"
+#include "src/ground/ground_program.h"
+#include "src/lang/ast.h"
+
+namespace hilog {
+
+/// Result of relevance-based grounding.
+struct RelevanceGroundingResult {
+  GroundProgram program;
+  bool ok = true;
+  bool truncated = false;
+  std::string error;
+  /// Size of the positive envelope used to drive instantiation.
+  size_t envelope_size = 0;
+};
+
+/// Grounds `program` by instantiating each rule's positive body against the
+/// least model of the program's positive projection (the "envelope").
+///
+/// Soundness: any atom outside the envelope is false in the well-founded
+/// model (it is unfounded even ignoring negation), so rule instances whose
+/// positive body leaves the envelope can never fire and are not needed.
+/// This grounder is exact for strongly range-restricted programs
+/// (Definition 5.6), where every rule variable is bound by the positive
+/// body; it fails (with an explanatory error) when some instance's head or
+/// negative literal stays non-ground, in which case the exhaustive
+/// `InstantiateOverUniverse` path must be used instead.
+RelevanceGroundingResult GroundWithRelevance(TermStore& store,
+                                             const Program& program,
+                                             const BottomUpOptions& options);
+
+}  // namespace hilog
+
+#endif  // HILOG_GROUND_GROUNDER_H_

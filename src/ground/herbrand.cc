@@ -1,0 +1,226 @@
+#include "src/ground/herbrand.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hilog {
+namespace {
+
+// Appends to `out` all applications name(args...) built from `parts`
+// (indexable pool) with the given arity, such that at least one
+// constituent has depth exactly `depth - 1` (so each term is generated at
+// its own depth exactly once). Respects max_terms.
+void GenerateAtDepth(TermStore& store, const std::vector<TermId>& parts,
+                     size_t arity, int depth, size_t max_terms,
+                     std::vector<TermId>* out, bool* truncated) {
+  // Odometer over (name, arg_1, ..., arg_n) from `parts`.
+  std::vector<size_t> idx(arity + 1, 0);
+  std::vector<TermId> args(arity);
+  while (true) {
+    if (out->size() >= max_terms) {
+      *truncated = true;
+      return;
+    }
+    int max_part_depth = store.Depth(parts[idx[0]]);
+    for (size_t i = 0; i < arity; ++i) {
+      args[i] = parts[idx[i + 1]];
+      max_part_depth = std::max(max_part_depth, store.Depth(args[i]));
+    }
+    if (max_part_depth == depth - 1) {
+      out->push_back(store.MakeApply(parts[idx[0]], args));
+    }
+    // Advance odometer.
+    size_t k = 0;
+    for (; k <= arity; ++k) {
+      if (++idx[k] < parts.size()) break;
+      idx[k] = 0;
+    }
+    if (k > arity) return;
+  }
+}
+
+}  // namespace
+
+Universe EnumerateHiLogUniverse(TermStore& store,
+                                const std::vector<TermId>& symbols,
+                                const std::vector<size_t>& arities,
+                                const UniverseBound& bound) {
+  Universe result;
+  result.terms = symbols;
+  if (result.terms.size() > bound.max_terms) {
+    result.terms.resize(bound.max_terms);
+    result.truncated = true;
+    return result;
+  }
+  for (int depth = 1; depth <= bound.max_depth && !result.truncated; ++depth) {
+    std::vector<TermId> parts = result.terms;  // Snapshot of lower depths.
+    for (size_t arity : arities) {
+      GenerateAtDepth(store, parts, arity, depth, bound.max_terms,
+                      &result.terms, &result.truncated);
+      if (result.truncated) break;
+    }
+  }
+  return result;
+}
+
+Universe ProgramHiLogUniverse(TermStore& store, const Program& program,
+                              const UniverseBound& bound) {
+  std::vector<TermId> symbols;
+  CollectProgramSymbols(store, program, &symbols);
+  std::vector<size_t> arities;
+  CollectProgramArities(store, program, &arities);
+  if (arities.empty()) arities.push_back(1);  // Degenerate symbol-only case.
+  return EnumerateHiLogUniverse(store, symbols, arities, bound);
+}
+
+namespace {
+
+// Collects first-order constants (symbols in argument position that are
+// never applied) and function symbols (names of applications occurring in
+// argument position) with their arities.
+void CollectFirstOrderVocabulary(
+    const TermStore& store, TermId t, bool in_arg_position,
+    std::unordered_set<TermId>* constants,
+    std::vector<std::pair<TermId, size_t>>* functions) {
+  if (store.IsSymbol(t)) {
+    if (in_arg_position) constants->insert(t);
+    return;
+  }
+  if (store.IsVariable(t)) return;
+  // Application.
+  TermId name = store.apply_name(t);
+  if (in_arg_position && store.IsSymbol(name)) {
+    std::pair<TermId, size_t> fn{name, store.arity(t)};
+    bool seen = false;
+    for (const auto& f : *functions) {
+      if (f == fn) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) functions->push_back(fn);
+  }
+  for (TermId a : store.apply_args(t)) {
+    CollectFirstOrderVocabulary(store, a, /*in_arg_position=*/true, constants,
+                                functions);
+  }
+}
+
+}  // namespace
+
+Universe NormalHerbrandUniverse(TermStore& store, const Program& program,
+                                const UniverseBound& bound) {
+  std::unordered_set<TermId> constant_set;
+  std::vector<std::pair<TermId, size_t>> functions;
+  for (const Rule& rule : program.rules) {
+    CollectFirstOrderVocabulary(store, rule.head, false, &constant_set,
+                                &functions);
+    for (const Literal& lit : rule.body) {
+      if (lit.atom != kNoTerm) {
+        CollectFirstOrderVocabulary(store, lit.atom, false, &constant_set,
+                                    &functions);
+      }
+    }
+  }
+  Universe result;
+  result.terms.assign(constant_set.begin(), constant_set.end());
+  // Deterministic order helps reproducibility.
+  std::sort(result.terms.begin(), result.terms.end());
+  if (functions.empty()) return result;
+  for (int depth = 1; depth <= bound.max_depth && !result.truncated; ++depth) {
+    std::vector<TermId> parts = result.terms;
+    for (const auto& [fn, arity] : functions) {
+      // Reuse the HiLog generator but with a fixed symbol name: emulate by
+      // generating tuples manually.
+      std::vector<size_t> idx(arity, 0);
+      if (parts.empty()) break;
+      std::vector<TermId> args(arity);
+      while (true) {
+        if (result.terms.size() >= bound.max_terms) {
+          result.truncated = true;
+          break;
+        }
+        int max_d = 0;
+        for (size_t i = 0; i < arity; ++i) {
+          args[i] = parts[idx[i]];
+          max_d = std::max(max_d, store.Depth(args[i]));
+        }
+        if (max_d == depth - 1) {
+          result.terms.push_back(store.MakeApply(fn, args));
+        }
+        size_t k = 0;
+        for (; k < arity; ++k) {
+          if (++idx[k] < parts.size()) break;
+          idx[k] = 0;
+        }
+        if (k >= arity) break;
+      }
+      if (result.truncated) break;
+    }
+  }
+  return result;
+}
+
+InstantiationResult InstantiateOverUniverse(TermStore& store,
+                                            const Program& program,
+                                            const std::vector<TermId>& universe,
+                                            size_t max_instances) {
+  InstantiationResult result;
+  result.universe_size = universe.size();
+  for (const Rule& rule : program.rules) {
+    bool plain = true;
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kPositive &&
+          lit.kind != Literal::Kind::kNegative) {
+        plain = false;
+      }
+    }
+    if (!plain) {
+      result.truncated = true;
+      continue;
+    }
+    std::vector<TermId> vars;
+    CollectRuleVariables(store, rule, &vars);
+    if (vars.empty()) {
+      GroundRule ground;
+      ground.head = rule.head;
+      for (const Literal& lit : rule.body) {
+        (lit.positive() ? ground.pos : ground.neg).push_back(lit.atom);
+      }
+      result.program.Add(std::move(ground));
+      continue;
+    }
+    if (universe.empty()) continue;  // No instances.
+    std::vector<size_t> idx(vars.size(), 0);
+    Substitution subst;
+    bool rule_truncated = false;
+    while (!rule_truncated) {
+      if (result.program.size() >= max_instances) {
+        // Stop expanding this rule but keep processing later rules (facts
+        // in particular must not be silently dropped).
+        result.truncated = true;
+        rule_truncated = true;
+        break;
+      }
+      for (size_t i = 0; i < vars.size(); ++i) {
+        subst.Bind(vars[i], universe[idx[i]]);
+      }
+      GroundRule ground;
+      ground.head = subst.Apply(store, rule.head);
+      for (const Literal& lit : rule.body) {
+        TermId atom = subst.Apply(store, lit.atom);
+        (lit.positive() ? ground.pos : ground.neg).push_back(atom);
+      }
+      result.program.Add(std::move(ground));
+      size_t k = 0;
+      for (; k < vars.size(); ++k) {
+        if (++idx[k] < universe.size()) break;
+        idx[k] = 0;
+      }
+      if (k >= vars.size()) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace hilog

@@ -1,0 +1,210 @@
+#include "src/lang/ast.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hilog {
+namespace {
+
+void PushUnique(std::vector<TermId>* out, TermId t) {
+  for (TermId v : *out) {
+    if (v == t) return;
+  }
+  out->push_back(t);
+}
+
+}  // namespace
+
+void CollectArgumentVariables(const TermStore& store, TermId t,
+                              std::vector<TermId>* out) {
+  // The argument variables of the atom t(t_1,...,t_n) are the variables of
+  // the arguments t_i. Variables occurring only inside the name t (e.g. G
+  // in tc(G)(X,Y)) are *name* occurrences; this split is what makes
+  // tc(G)(X,Y) <- G(X,Y) range restricted but not strongly so
+  // (Example 5.3).
+  if (!store.IsApply(t)) return;
+  std::vector<TermId> vars;
+  for (TermId a : store.apply_args(t)) store.CollectVariables(a, &vars);
+  for (TermId v : vars) PushUnique(out, v);
+}
+
+void CollectNameVariables(const TermStore& store, TermId t,
+                          std::vector<TermId>* out) {
+  // All variables occurring anywhere within the name term: for tc(G)(X,Y)
+  // the name is tc(G), contributing {G}; for a bare-variable atom X the
+  // name is X itself.
+  std::vector<TermId> vars;
+  store.CollectVariables(store.PredName(t), &vars);
+  for (TermId v : vars) PushUnique(out, v);
+}
+
+void CollectLiteralVariables(const TermStore& store, const Literal& lit,
+                             std::vector<TermId>* out) {
+  switch (lit.kind) {
+    case Literal::Kind::kPositive:
+    case Literal::Kind::kNegative:
+      store.CollectVariables(lit.atom, out);
+      return;
+    case Literal::Kind::kAggregate:
+      PushUnique(out, lit.result);
+      store.CollectVariables(lit.atom, out);
+      return;
+    case Literal::Kind::kBuiltin:
+      PushUnique(out, lit.result);
+      store.CollectVariables(lit.lhs, out);
+      store.CollectVariables(lit.rhs, out);
+      return;
+  }
+}
+
+void CollectRuleVariables(const TermStore& store, const Rule& rule,
+                          std::vector<TermId>* out) {
+  store.CollectVariables(rule.head, out);
+  for (const Literal& lit : rule.body) CollectLiteralVariables(store, lit, out);
+}
+
+Literal SubstituteLiteral(TermStore& store, const Literal& lit,
+                          const Substitution& subst) {
+  Literal out = lit;
+  if (lit.atom != kNoTerm) out.atom = subst.Apply(store, lit.atom);
+  if (lit.result != kNoTerm) out.result = subst.Apply(store, lit.result);
+  if (lit.value != kNoTerm) out.value = subst.Apply(store, lit.value);
+  if (lit.lhs != kNoTerm) out.lhs = subst.Apply(store, lit.lhs);
+  if (lit.rhs != kNoTerm) out.rhs = subst.Apply(store, lit.rhs);
+  return out;
+}
+
+Rule SubstituteRule(TermStore& store, const Rule& rule,
+                    const Substitution& subst) {
+  Rule out;
+  out.head = subst.Apply(store, rule.head);
+  out.body.reserve(rule.body.size());
+  for (const Literal& lit : rule.body) {
+    out.body.push_back(SubstituteLiteral(store, lit, subst));
+  }
+  return out;
+}
+
+Rule RenameRuleApart(TermStore& store, const Rule& rule) {
+  std::vector<TermId> vars;
+  CollectRuleVariables(store, rule, &vars);
+  Substitution renaming;
+  for (TermId v : vars) renaming.Bind(v, store.MakeFreshVariable());
+  return SubstituteRule(store, rule, renaming);
+}
+
+bool IsRuleGround(const TermStore& store, const Rule& rule) {
+  if (!store.IsGround(rule.head)) return false;
+  for (const Literal& lit : rule.body) {
+    if (lit.atom != kNoTerm && !store.IsGround(lit.atom)) return false;
+    if (lit.result != kNoTerm && !store.IsGround(lit.result)) return false;
+    if (lit.lhs != kNoTerm && !store.IsGround(lit.lhs)) return false;
+    if (lit.rhs != kNoTerm && !store.IsGround(lit.rhs)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Walks all atoms of the program.
+template <typename Fn>
+void ForEachAtom(const Program& program, Fn&& fn) {
+  for (const Rule& rule : program.rules) {
+    fn(rule.head);
+    for (const Literal& lit : rule.body) {
+      if (lit.atom != kNoTerm) fn(lit.atom);
+    }
+  }
+}
+
+// True if a symbol occurs in argument position anywhere within `t`.
+void CollectArgPositionSymbols(const TermStore& store, TermId t,
+                               std::unordered_set<TermId>* out) {
+  if (!store.IsApply(t)) return;
+  for (TermId a : store.apply_args(t)) {
+    std::vector<TermId> syms;
+    store.CollectSymbols(a, &syms);
+    out->insert(syms.begin(), syms.end());
+  }
+  CollectArgPositionSymbols(store, store.apply_name(t), out);
+}
+
+}  // namespace
+
+bool IsNormalProgram(const TermStore& store, const Program& program) {
+  bool normal = true;
+  std::unordered_map<TermId, size_t> pred_arity;
+  std::unordered_set<TermId> pred_symbols;
+  std::unordered_set<TermId> arg_symbols;
+  ForEachAtom(program, [&](TermId atom) {
+    if (!normal) return;
+    TermId name = store.PredName(atom);
+    if (!store.IsSymbol(name)) {
+      normal = false;  // Variable or compound predicate name.
+      return;
+    }
+    auto [it, inserted] = pred_arity.emplace(name, store.arity(atom));
+    if (!inserted && it->second != store.arity(atom)) {
+      normal = false;  // Arity-polymorphic predicate.
+      return;
+    }
+    pred_symbols.insert(name);
+    CollectArgPositionSymbols(store, atom, &arg_symbols);
+    // Arguments must be first-order terms: no variable in any name
+    // position within arguments.
+    for (TermId a : store.apply_args(atom)) {
+      std::vector<TermId> name_vars;
+      // A first-order term has symbols in every functor position; check
+      // recursively that no apply inside has a non-symbol name.
+      struct Checker {
+        const TermStore& s;
+        bool ok = true;
+        void Check(TermId t) {
+          if (!ok || !s.IsApply(t)) return;
+          if (!s.IsSymbol(s.apply_name(t))) {
+            ok = false;
+            return;
+          }
+          for (TermId x : s.apply_args(t)) Check(x);
+        }
+      } checker{store};
+      checker.Check(a);
+      if (!checker.ok) normal = false;
+      (void)name_vars;
+    }
+  });
+  if (!normal) return false;
+  // A predicate symbol must not appear in argument position (that is the
+  // HiLog-only idiom of passing relations as values).
+  for (TermId p : pred_symbols) {
+    if (arg_symbols.count(p) > 0) return false;
+  }
+  return true;
+}
+
+void CollectProgramSymbols(const TermStore& store, const Program& program,
+                           std::vector<TermId>* out) {
+  ForEachAtom(program, [&](TermId atom) { store.CollectSymbols(atom, out); });
+}
+
+void CollectProgramArities(const TermStore& store, const Program& program,
+                           std::vector<size_t>* out) {
+  std::unordered_set<TermId> visited;
+  auto visit = [&](auto&& self, TermId t) -> void {
+    if (!store.IsApply(t)) return;
+    if (!visited.insert(t).second) return;
+    size_t n = store.arity(t);
+    for (size_t a : *out) {
+      if (a == n) {
+        n = SIZE_MAX;
+        break;
+      }
+    }
+    if (n != SIZE_MAX) out->push_back(n);
+    self(self, store.apply_name(t));
+    for (TermId x : store.apply_args(t)) self(self, x);
+  };
+  ForEachAtom(program, [&](TermId atom) { visit(visit, atom); });
+}
+
+}  // namespace hilog

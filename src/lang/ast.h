@@ -1,0 +1,156 @@
+#ifndef HILOG_LANG_AST_H_
+#define HILOG_LANG_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/term/subst.h"
+#include "src/term/term_store.h"
+
+namespace hilog {
+
+/// Aggregate functions supported by the engine, covering the paper's
+/// parts-explosion example (Section 6) and the usual companions.
+enum class AggregateFunc : uint8_t { kSum, kCount, kMin, kMax };
+
+/// Arithmetic built-ins needed by the parts-explosion program
+/// (`N = P * M`) and companions.
+enum class BuiltinOp : uint8_t { kMul, kAdd, kSub };
+
+/// One element of a rule body.
+///
+/// The paper's HiLog literals are positive or negative HiLog terms
+/// (Definition 2.1). We additionally support the aggregation literal
+/// `R = sum(V, Atom)` from Section 6 (parts explosion) and arithmetic
+/// `R = A * B`; both are extensions the paper uses informally.
+struct Literal {
+  enum class Kind : uint8_t { kPositive, kNegative, kAggregate, kBuiltin };
+
+  Kind kind = Kind::kPositive;
+
+  /// For kPositive/kNegative: the atom. For kAggregate: the inner atom
+  /// being aggregated over. Unused for kBuiltin.
+  TermId atom = kNoTerm;
+
+  /// For kAggregate and kBuiltin: the variable receiving the result.
+  TermId result = kNoTerm;
+
+  /// For kAggregate: the variable of `atom` being aggregated.
+  TermId value = kNoTerm;
+  AggregateFunc agg_func = AggregateFunc::kSum;
+
+  /// For kBuiltin: `result = lhs op rhs`.
+  BuiltinOp builtin_op = BuiltinOp::kMul;
+  TermId lhs = kNoTerm;
+  TermId rhs = kNoTerm;
+
+  bool positive() const { return kind == Kind::kPositive; }
+  bool negative() const { return kind == Kind::kNegative; }
+
+  static Literal Pos(TermId atom) {
+    Literal l;
+    l.kind = Kind::kPositive;
+    l.atom = atom;
+    return l;
+  }
+  static Literal Neg(TermId atom) {
+    Literal l;
+    l.kind = Kind::kNegative;
+    l.atom = atom;
+    return l;
+  }
+  static Literal Agg(AggregateFunc func, TermId result, TermId value,
+                     TermId atom) {
+    Literal l;
+    l.kind = Kind::kAggregate;
+    l.agg_func = func;
+    l.result = result;
+    l.value = value;
+    l.atom = atom;
+    return l;
+  }
+  static Literal Arith(BuiltinOp op, TermId result, TermId lhs, TermId rhs) {
+    Literal l;
+    l.kind = Kind::kBuiltin;
+    l.builtin_op = op;
+    l.result = result;
+    l.lhs = lhs;
+    l.rhs = rhs;
+    return l;
+  }
+
+  bool operator==(const Literal& other) const = default;
+};
+
+/// A HiLog rule `head <- body` (Definition 2.1). A fact is a rule with an
+/// empty body.
+struct Rule {
+  TermId head = kNoTerm;
+  std::vector<Literal> body;
+
+  bool IsFact() const { return body.empty(); }
+  bool operator==(const Rule& other) const = default;
+};
+
+/// A HiLog program: a finite set of HiLog rules.
+struct Program {
+  std::vector<Rule> rules;
+
+  void Add(Rule rule) { rules.push_back(std::move(rule)); }
+  size_t size() const { return rules.size(); }
+};
+
+/// Variables occurring in *argument position* of the atom `t`: the union of
+/// all variables of each argument subterm of t(t_1,...,t_n). Symbols and
+/// bare-variable atoms have no argument variables. (Definitions 5.5/5.6
+/// distinguish argument-position from name-position occurrences.)
+void CollectArgumentVariables(const TermStore& store, TermId t,
+                              std::vector<TermId>* out);
+
+/// Variables occurring in the *name* of the atom `t`: all variables of the
+/// name term of t(t_1,...,t_n); a bare-variable atom's name is itself.
+void CollectNameVariables(const TermStore& store, TermId t,
+                          std::vector<TermId>* out);
+
+/// All variables of a literal (atom vars, or for aggregates/builtins the
+/// operand vars as appropriate).
+void CollectLiteralVariables(const TermStore& store, const Literal& lit,
+                             std::vector<TermId>* out);
+
+/// All variables of a rule.
+void CollectRuleVariables(const TermStore& store, const Rule& rule,
+                          std::vector<TermId>* out);
+
+/// Applies `subst` to every term of the literal / rule.
+Literal SubstituteLiteral(TermStore& store, const Literal& lit,
+                          const Substitution& subst);
+Rule SubstituteRule(TermStore& store, const Rule& rule,
+                    const Substitution& subst);
+
+/// Renames all variables of `rule` to fresh ones (for resolution).
+Rule RenameRuleApart(TermStore& store, const Rule& rule);
+
+/// True if every term in the rule is ground.
+bool IsRuleGround(const TermStore& store, const Rule& rule);
+
+/// True if the program is a *normal* logic program: every atom is of the
+/// form p(t_1,...,t_n) (or a plain symbol) where p is a symbol, every
+/// argument contains no nested application whose name is used elsewhere as
+/// a predicate — formally, we check the conventional syntactic condition:
+/// all predicate names are symbols, and predicate symbols are used with a
+/// single arity and never appear in argument position.
+bool IsNormalProgram(const TermStore& store, const Program& program);
+
+/// Collects the deduplicated symbols appearing anywhere in the program.
+void CollectProgramSymbols(const TermStore& store, const Program& program,
+                           std::vector<TermId>* out);
+
+/// Collects the set of arities appearing in the program's atoms and
+/// argument subterms (used by Lemma 6.3's bound and the bounded Herbrand
+/// universe).
+void CollectProgramArities(const TermStore& store, const Program& program,
+                           std::vector<size_t>* out);
+
+}  // namespace hilog
+
+#endif  // HILOG_LANG_AST_H_

@@ -1,0 +1,168 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+
+namespace hilog {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view input) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string text) {
+    tokens.push_back(Token{kind, std::move(text), line, column});
+  };
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i < input.size() && input[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '%') {
+      while (i < input.size() && input[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[j]))) {
+        ++j;
+      }
+      push(TokenKind::kSymbol, std::string(input.substr(i, j - i)));
+      advance(j - i);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < input.size() && IsIdentChar(input[j])) ++j;
+      std::string text(input.substr(i, j - i));
+      TokenKind kind = (std::isupper(static_cast<unsigned char>(c)) ||
+                        c == '_')
+                           ? TokenKind::kVariable
+                           : TokenKind::kSymbol;
+      push(kind, std::move(text));
+      advance(j - i);
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < input.size() && input[j] != '\'') ++j;
+      if (j >= input.size()) {
+        push(TokenKind::kError, "unterminated quoted atom");
+        return tokens;
+      }
+      push(TokenKind::kSymbol, std::string(input.substr(i + 1, j - i - 1)));
+      advance(j - i + 1);
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, "(");
+        advance(1);
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")");
+        advance(1);
+        continue;
+      case ',':
+        push(TokenKind::kComma, ",");
+        advance(1);
+        continue;
+      case '.':
+        push(TokenKind::kDot, ".");
+        advance(1);
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, "[");
+        advance(1);
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, "]");
+        advance(1);
+        continue;
+      case '|':
+        push(TokenKind::kBar, "|");
+        advance(1);
+        continue;
+      case '=':
+        push(TokenKind::kEq, "=");
+        advance(1);
+        continue;
+      case '*':
+        push(TokenKind::kStar, "*");
+        advance(1);
+        continue;
+      case '+':
+        push(TokenKind::kPlus, "+");
+        advance(1);
+        continue;
+      case '~':
+        push(TokenKind::kNeg, "~");
+        advance(1);
+        continue;
+      case '\\':
+        if (i + 1 < input.size() && input[i + 1] == '+') {
+          push(TokenKind::kNeg, "\\+");
+          advance(2);
+          continue;
+        }
+        push(TokenKind::kError, "unexpected '\\'");
+        return tokens;
+      case ':':
+        if (i + 1 < input.size() && input[i + 1] == '-') {
+          push(TokenKind::kArrow, ":-");
+          advance(2);
+          continue;
+        }
+        push(TokenKind::kError, "unexpected ':'");
+        return tokens;
+      case '<':
+        if (i + 1 < input.size() && input[i + 1] == '-') {
+          push(TokenKind::kArrow, "<-");
+          advance(2);
+          continue;
+        }
+        push(TokenKind::kError, "unexpected '<'");
+        return tokens;
+      case '?':
+        if (i + 1 < input.size() && input[i + 1] == '-') {
+          push(TokenKind::kQuery, "?-");
+          advance(2);
+          continue;
+        }
+        push(TokenKind::kError, "unexpected '?'");
+        return tokens;
+      case '-':
+        push(TokenKind::kMinus, "-");
+        advance(1);
+        continue;
+      default:
+        push(TokenKind::kError, std::string("unexpected character '") + c +
+                                    "'");
+        return tokens;
+    }
+  }
+  push(TokenKind::kEof, "");
+  return tokens;
+}
+
+}  // namespace hilog

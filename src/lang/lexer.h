@@ -1,0 +1,46 @@
+#ifndef HILOG_LANG_LEXER_H_
+#define HILOG_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hilog {
+
+/// Token categories of the HiLog concrete syntax accepted by this library.
+enum class TokenKind : uint8_t {
+  kSymbol,     // lowercase identifier, number, or quoted 'atom'
+  kVariable,   // Uppercase / underscore identifier
+  kLParen,     // (
+  kRParen,     // )
+  kComma,      // ,
+  kDot,        // .
+  kArrow,      // :- or <-
+  kNeg,        // ~ or \+
+  kLBracket,   // [
+  kRBracket,   // ]
+  kBar,        // |
+  kEq,         // =
+  kStar,       // *
+  kPlus,       // +
+  kMinus,      // -
+  kQuery,      // ?-
+  kEof,
+  kError,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+/// Splits `input` into tokens. A kError token (with a message in `text`)
+/// terminates the stream on a lexical error; otherwise the stream ends
+/// with kEof. Comments run from '%' to end of line.
+std::vector<Token> Lex(std::string_view input);
+
+}  // namespace hilog
+
+#endif  // HILOG_LANG_LEXER_H_

@@ -1,0 +1,269 @@
+#include "src/lang/parser.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "src/lang/lexer.h"
+
+namespace hilog {
+namespace {
+
+class Parser {
+ public:
+  Parser(TermStore& store, std::string_view input)
+      : store_(store), tokens_(Lex(input)) {}
+
+  bool ok() const { return error_.empty(); }
+  std::string error() const { return error_; }
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+    return tokens_[idx];
+  }
+
+  Token Next() {
+    Token t = Peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+
+  void Expect(TokenKind kind, std::string_view what) {
+    if (!Accept(kind)) Fail(std::string("expected ") + std::string(what));
+  }
+
+  void Fail(std::string message) {
+    if (!error_.empty()) return;
+    std::ostringstream os;
+    const Token& t = Peek();
+    os << "parse error at line " << t.line << ", column " << t.column << ": "
+       << message << " (got '" << t.text << "')";
+    error_ = os.str();
+  }
+
+  TermId ParseTermExpr() {
+    TermId t = ParsePrimary();
+    if (!ok()) return kNoTerm;
+    while (Peek().kind == TokenKind::kLParen) {
+      Next();
+      std::vector<TermId> args;
+      if (Peek().kind != TokenKind::kRParen) {
+        args.push_back(ParseTermExpr());
+        while (ok() && Accept(TokenKind::kComma)) {
+          args.push_back(ParseTermExpr());
+        }
+      }
+      Expect(TokenKind::kRParen, "')'");
+      if (!ok()) return kNoTerm;
+      t = store_.MakeApply(t, args);
+    }
+    return t;
+  }
+
+  TermId ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kSymbol: {
+        Token tok = Next();
+        return store_.MakeSymbol(tok.text);
+      }
+      case TokenKind::kMinus: {
+        // Negative number literal.
+        Next();
+        if (Peek().kind == TokenKind::kSymbol &&
+            !Peek().text.empty() &&
+            std::isdigit(static_cast<unsigned char>(Peek().text[0]))) {
+          Token tok = Next();
+          return store_.MakeSymbol("-" + tok.text);
+        }
+        Fail("expected number after '-'");
+        return kNoTerm;
+      }
+      case TokenKind::kVariable: {
+        Token tok = Next();
+        if (tok.text == "_") return store_.MakeFreshVariable();
+        return store_.MakeVariable(tok.text);
+      }
+      case TokenKind::kLBracket:
+        return ParseList();
+      case TokenKind::kLParen: {
+        Next();
+        TermId inner = ParseTermExpr();
+        Expect(TokenKind::kRParen, "')'");
+        return inner;
+      }
+      default:
+        Fail("expected a term");
+        return kNoTerm;
+    }
+  }
+
+  TermId ParseList() {
+    Expect(TokenKind::kLBracket, "'['");
+    TermId nil = store_.MakeSymbol("[]");
+    if (Accept(TokenKind::kRBracket)) return nil;
+    std::vector<TermId> elems;
+    elems.push_back(ParseTermExpr());
+    while (ok() && Accept(TokenKind::kComma)) {
+      elems.push_back(ParseTermExpr());
+    }
+    TermId tail = nil;
+    if (Accept(TokenKind::kBar)) tail = ParseTermExpr();
+    Expect(TokenKind::kRBracket, "']'");
+    if (!ok()) return kNoTerm;
+    TermId cons = store_.MakeSymbol("cons");
+    TermId list = tail;
+    for (auto it = elems.rbegin(); it != elems.rend(); ++it) {
+      list = store_.MakeApply(cons, {*it, list});
+    }
+    return list;
+  }
+
+  std::optional<AggregateFunc> AggregateFuncFromName(std::string_view name) {
+    if (name == "sum") return AggregateFunc::kSum;
+    if (name == "count") return AggregateFunc::kCount;
+    if (name == "min") return AggregateFunc::kMin;
+    if (name == "max") return AggregateFunc::kMax;
+    return std::nullopt;
+  }
+
+  Literal ParseBodyElem() {
+    if (Accept(TokenKind::kNeg)) {
+      TermId atom = ParseTermExpr();
+      return Literal::Neg(atom);
+    }
+    // Var '=' ... forms: aggregate or arithmetic.
+    if (Peek().kind == TokenKind::kVariable &&
+        Peek(1).kind == TokenKind::kEq) {
+      Token var_tok = Next();
+      TermId result = var_tok.text == "_" ? store_.MakeFreshVariable()
+                                          : store_.MakeVariable(var_tok.text);
+      Next();  // '='
+      if (Peek().kind == TokenKind::kSymbol &&
+          Peek(1).kind == TokenKind::kLParen) {
+        auto func = AggregateFuncFromName(Peek().text);
+        if (func.has_value()) {
+          Next();  // function name
+          Expect(TokenKind::kLParen, "'('");
+          TermId value = ParseTermExpr();
+          Expect(TokenKind::kComma, "','");
+          TermId atom = ParseTermExpr();
+          Expect(TokenKind::kRParen, "')'");
+          if (ok() && !store_.IsVariable(value)) {
+            Fail("aggregate value must be a variable");
+          }
+          return Literal::Agg(*func, result, value, atom);
+        }
+      }
+      TermId lhs = ParsePrimary();
+      BuiltinOp op;
+      if (Accept(TokenKind::kStar)) {
+        op = BuiltinOp::kMul;
+      } else if (Accept(TokenKind::kPlus)) {
+        op = BuiltinOp::kAdd;
+      } else if (Accept(TokenKind::kMinus)) {
+        op = BuiltinOp::kSub;
+      } else {
+        Fail("expected '*', '+' or '-' in arithmetic literal");
+        return Literal::Pos(kNoTerm);
+      }
+      TermId rhs = ParsePrimary();
+      return Literal::Arith(op, result, lhs, rhs);
+    }
+    TermId atom = ParseTermExpr();
+    return Literal::Pos(atom);
+  }
+
+  std::vector<Literal> ParseBody() {
+    std::vector<Literal> body;
+    body.push_back(ParseBodyElem());
+    while (ok() && Accept(TokenKind::kComma)) {
+      body.push_back(ParseBodyElem());
+    }
+    return body;
+  }
+
+  Rule ParseRule() {
+    Rule rule;
+    rule.head = ParseTermExpr();
+    if (!ok()) return rule;
+    if (Accept(TokenKind::kArrow)) {
+      rule.body = ParseBody();
+    }
+    Expect(TokenKind::kDot, "'.'");
+    return rule;
+  }
+
+  Program ParseProgramAll() {
+    Program program;
+    while (ok() && Peek().kind != TokenKind::kEof) {
+      if (Peek().kind == TokenKind::kError) {
+        Fail(Peek().text);
+        break;
+      }
+      program.Add(ParseRule());
+    }
+    return program;
+  }
+
+ private:
+  TermStore& store_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult<Program> ParseProgram(TermStore& store, std::string_view input) {
+  Parser parser(store, input);
+  Program program = parser.ParseProgramAll();
+  ParseResult<Program> result;
+  if (parser.ok()) {
+    result.value = std::move(program);
+  } else {
+    result.error = parser.error();
+  }
+  return result;
+}
+
+ParseResult<TermId> ParseTerm(TermStore& store, std::string_view input) {
+  Parser parser(store, input);
+  TermId t = parser.ParseTermExpr();
+  ParseResult<TermId> result;
+  if (parser.ok() && parser.Peek().kind == TokenKind::kEof) {
+    result.value = t;
+  } else if (parser.ok()) {
+    result.error = "trailing input after term";
+  } else {
+    result.error = parser.error();
+  }
+  return result;
+}
+
+ParseResult<std::vector<Literal>> ParseQuery(TermStore& store,
+                                             std::string_view input) {
+  Parser parser(store, input);
+  parser.Accept(TokenKind::kQuery);
+  std::vector<Literal> body = parser.ParseBody();
+  parser.Accept(TokenKind::kDot);
+  ParseResult<std::vector<Literal>> result;
+  if (parser.ok() && parser.Peek().kind == TokenKind::kEof) {
+    result.value = std::move(body);
+  } else if (parser.ok()) {
+    result.error = "trailing input after query";
+  } else {
+    result.error = parser.error();
+  }
+  return result;
+}
+
+}  // namespace hilog

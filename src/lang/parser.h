@@ -1,0 +1,56 @@
+#ifndef HILOG_LANG_PARSER_H_
+#define HILOG_LANG_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/term/term_store.h"
+
+namespace hilog {
+
+/// Result of a parse: either a value or an error message with location.
+template <typename T>
+struct ParseResult {
+  std::optional<T> value;
+  std::string error;
+
+  bool ok() const { return value.has_value(); }
+  const T& operator*() const { return *value; }
+  T& operator*() { return *value; }
+  const T* operator->() const { return &*value; }
+};
+
+/// Parses a HiLog program.
+///
+/// Syntax (see README for a walkthrough):
+///   rule    :=  term [ (':-' | '<-') body ] '.'
+///   body    :=  elem { ',' elem }
+///   elem    :=  '~' term                      (negative literal)
+///            |  Var '=' agg '(' Var ',' term ')'   (aggregate; agg in
+///                                              {sum,count,min,max})
+///            |  Var '=' opnd ('*'|'+'|'-') opnd    (arithmetic)
+///            |  term                          (positive literal)
+///   term    :=  primary { '(' [ term {',' term} ] ')' }
+///   primary :=  symbol | Variable | number | list | '(' term ')'
+///   list    :=  '[' [ term {',' term} [ '|' term ] ] ']'
+///
+/// Lists are sugar: '[]' is the symbol "[]" and [H|T] is cons(H,T), as in
+/// the paper's universal-relation rendering of maplist. Anonymous '_'
+/// becomes a fresh variable per occurrence. Comments run from '%' to end
+/// of line.
+ParseResult<Program> ParseProgram(TermStore& store, std::string_view input);
+
+/// Parses a single term, e.g. "tc(e)(X,Y)".
+ParseResult<TermId> ParseTerm(TermStore& store, std::string_view input);
+
+/// Parses a query: "?- lit, ..., lit." (the "?-" and trailing "." are
+/// optional). Returns the body literals.
+ParseResult<std::vector<Literal>> ParseQuery(TermStore& store,
+                                             std::string_view input);
+
+}  // namespace hilog
+
+#endif  // HILOG_LANG_PARSER_H_

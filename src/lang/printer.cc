@@ -1,0 +1,82 @@
+#include "src/lang/printer.h"
+
+#include <sstream>
+
+namespace hilog {
+namespace {
+
+std::string_view AggName(AggregateFunc func) {
+  switch (func) {
+    case AggregateFunc::kSum:
+      return "sum";
+    case AggregateFunc::kCount:
+      return "count";
+    case AggregateFunc::kMin:
+      return "min";
+    case AggregateFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+char OpChar(BuiltinOp op) {
+  switch (op) {
+    case BuiltinOp::kMul:
+      return '*';
+    case BuiltinOp::kAdd:
+      return '+';
+    case BuiltinOp::kSub:
+      return '-';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string LiteralToString(const TermStore& store, const Literal& lit) {
+  std::ostringstream os;
+  switch (lit.kind) {
+    case Literal::Kind::kPositive:
+      os << store.ToString(lit.atom);
+      break;
+    case Literal::Kind::kNegative:
+      os << "~" << store.ToString(lit.atom);
+      break;
+    case Literal::Kind::kAggregate:
+      os << store.ToString(lit.result) << " = " << AggName(lit.agg_func) << "("
+         << store.ToString(lit.value) << ", " << store.ToString(lit.atom)
+         << ")";
+      break;
+    case Literal::Kind::kBuiltin:
+      os << store.ToString(lit.result) << " = " << store.ToString(lit.lhs)
+         << " " << OpChar(lit.builtin_op) << " " << store.ToString(lit.rhs);
+      break;
+  }
+  return os.str();
+}
+
+std::string RuleToString(const TermStore& store, const Rule& rule) {
+  std::ostringstream os;
+  os << store.ToString(rule.head);
+  if (!rule.body.empty()) {
+    os << " :- ";
+    bool first = true;
+    for (const Literal& lit : rule.body) {
+      if (!first) os << ", ";
+      first = false;
+      os << LiteralToString(store, lit);
+    }
+  }
+  os << ".";
+  return os.str();
+}
+
+std::string ProgramToString(const TermStore& store, const Program& program) {
+  std::ostringstream os;
+  for (const Rule& rule : program.rules) {
+    os << RuleToString(store, rule) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hilog

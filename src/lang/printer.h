@@ -1,0 +1,23 @@
+#ifndef HILOG_LANG_PRINTER_H_
+#define HILOG_LANG_PRINTER_H_
+
+#include <string>
+
+#include "src/lang/ast.h"
+#include "src/term/term_store.h"
+
+namespace hilog {
+
+/// Renders a literal in concrete syntax, e.g. "~w(M)(Y)" or
+/// "N = sum(P, in(M,X,Y,Z,P))".
+std::string LiteralToString(const TermStore& store, const Literal& lit);
+
+/// Renders a rule, e.g. "tc(G)(X,Y) :- G(X,Z), tc(G)(Z,Y)."
+std::string RuleToString(const TermStore& store, const Rule& rule);
+
+/// Renders the whole program, one rule per line.
+std::string ProgramToString(const TermStore& store, const Program& program);
+
+}  // namespace hilog
+
+#endif  // HILOG_LANG_PRINTER_H_

@@ -1,0 +1,48 @@
+#include "src/term/subst.h"
+
+namespace hilog {
+
+TermId Substitution::Apply(TermStore& store, TermId t) const {
+  switch (store.kind(t)) {
+    case TermKind::kSymbol:
+      return t;
+    case TermKind::kVariable: {
+      TermId bound = Lookup(t);
+      return bound == kNoTerm ? t : bound;
+    }
+    case TermKind::kApply: {
+      if (store.IsGround(t)) return t;
+      TermId name = Apply(store, store.apply_name(t));
+      std::vector<TermId> args;
+      args.reserve(store.arity(t));
+      for (TermId a : store.apply_args(t)) args.push_back(Apply(store, a));
+      return store.MakeApply(name, args);
+    }
+  }
+  return t;
+}
+
+Substitution Substitution::Compose(TermStore& store,
+                                   const Substitution& other) const {
+  Substitution out;
+  for (const auto& [var, term] : map_) {
+    out.Bind(var, other.Apply(store, term));
+  }
+  for (const auto& [var, term] : other.map_) {
+    if (!out.Contains(var)) out.Bind(var, term);
+  }
+  return out;
+}
+
+TermId RenameApart(TermStore& store, TermId t, Substitution* renaming) {
+  std::vector<TermId> vars;
+  store.CollectVariables(t, &vars);
+  Substitution local;
+  Substitution* subst = renaming == nullptr ? &local : renaming;
+  for (TermId v : vars) {
+    if (!subst->Contains(v)) subst->Bind(v, store.MakeFreshVariable());
+  }
+  return subst->Apply(store, t);
+}
+
+}  // namespace hilog

@@ -1,0 +1,54 @@
+#ifndef HILOG_TERM_SUBST_H_
+#define HILOG_TERM_SUBST_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/term/term_store.h"
+
+namespace hilog {
+
+/// A substitution: a finite map from variables to terms.
+///
+/// `Apply` performs *simultaneous* substitution: bindings are not chased
+/// through each other, so a substitution produced by the unifier must be
+/// fully resolved first (the unifier does this before returning).
+class Substitution {
+ public:
+  Substitution() = default;
+
+  /// Binds `var` (must be a variable) to `term`, replacing any previous
+  /// binding.
+  void Bind(TermId var, TermId term) { map_[var] = term; }
+
+  /// Returns the binding of `var`, or kNoTerm if unbound.
+  TermId Lookup(TermId var) const {
+    auto it = map_.find(var);
+    return it == map_.end() ? kNoTerm : it->second;
+  }
+
+  bool Contains(TermId var) const { return map_.count(var) > 0; }
+  bool empty() const { return map_.empty(); }
+  size_t size() const { return map_.size(); }
+  void Clear() { map_.clear(); }
+
+  /// Applies the substitution to `t`, interning the result in `store`.
+  TermId Apply(TermStore& store, TermId t) const;
+
+  /// Composition: returns a substitution s with s(t) == other(this(t)).
+  Substitution Compose(TermStore& store, const Substitution& other) const;
+
+  const std::unordered_map<TermId, TermId>& bindings() const { return map_; }
+
+ private:
+  std::unordered_map<TermId, TermId> map_;
+};
+
+/// Returns a copy of `t` with every variable renamed to a fresh variable.
+/// Used to rename rules apart before unification-based resolution. The
+/// mapping used is appended to `renaming` if non-null.
+TermId RenameApart(TermStore& store, TermId t, Substitution* renaming);
+
+}  // namespace hilog
+
+#endif  // HILOG_TERM_SUBST_H_

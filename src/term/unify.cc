@@ -1,0 +1,189 @@
+#include "src/term/unify.h"
+
+#include <unordered_map>
+
+namespace hilog {
+namespace {
+
+// Dereferences a variable through the binding chain.
+TermId Walk(const TermStore& store, TermId t, const Substitution& subst) {
+  while (store.IsVariable(t)) {
+    TermId bound = subst.Lookup(t);
+    if (bound == kNoTerm) return t;
+    t = bound;
+  }
+  return t;
+}
+
+// Rebuilds `t` with every variable fully dereferenced and substituted.
+TermId DeepResolve(TermStore& store, TermId t, const Substitution& subst) {
+  t = Walk(store, t, subst);
+  switch (store.kind(t)) {
+    case TermKind::kSymbol:
+    case TermKind::kVariable:
+      return t;
+    case TermKind::kApply: {
+      if (store.IsGround(t)) return t;
+      TermId name = DeepResolve(store, store.apply_name(t), subst);
+      std::vector<TermId> args;
+      args.reserve(store.arity(t));
+      for (TermId a : store.apply_args(t)) {
+        args.push_back(DeepResolve(store, a, subst));
+      }
+      return store.MakeApply(name, args);
+    }
+  }
+  return t;
+}
+
+bool UnifyWalked(TermStore& store, TermId a, TermId b, Substitution* subst) {
+  a = Walk(store, a, *subst);
+  b = Walk(store, b, *subst);
+  if (a == b) return true;
+  if (store.IsVariable(a)) {
+    if (OccursIn(store, a, b, *subst)) return false;
+    subst->Bind(a, b);
+    return true;
+  }
+  if (store.IsVariable(b)) {
+    if (OccursIn(store, b, a, *subst)) return false;
+    subst->Bind(b, a);
+    return true;
+  }
+  if (store.IsApply(a) && store.IsApply(b) &&
+      store.arity(a) == store.arity(b)) {
+    if (!UnifyWalked(store, store.apply_name(a), store.apply_name(b), subst)) {
+      return false;
+    }
+    auto args_a = store.apply_args(a);
+    auto args_b = store.apply_args(b);
+    for (size_t i = 0; i < args_a.size(); ++i) {
+      if (!UnifyWalked(store, args_a[i], args_b[i], subst)) return false;
+    }
+    return true;
+  }
+  // Distinct symbols, symbol vs apply, or arity mismatch.
+  return false;
+}
+
+// Fully resolves every binding in `subst` so simultaneous application is
+// equivalent to iterated application. Requires acyclicity (occurs check).
+void ResolveAll(TermStore& store, Substitution* subst) {
+  std::vector<std::pair<TermId, TermId>> resolved;
+  resolved.reserve(subst->size());
+  for (const auto& [var, term] : subst->bindings()) {
+    resolved.emplace_back(var, DeepResolve(store, term, *subst));
+  }
+  for (const auto& [var, term] : resolved) subst->Bind(var, term);
+}
+
+}  // namespace
+
+bool OccursIn(TermStore& store, TermId var, TermId t,
+              const Substitution& subst) {
+  t = Walk(store, t, subst);
+  switch (store.kind(t)) {
+    case TermKind::kSymbol:
+      return false;
+    case TermKind::kVariable:
+      return t == var;
+    case TermKind::kApply: {
+      if (store.IsGround(t)) return false;
+      if (OccursIn(store, var, store.apply_name(t), subst)) return true;
+      for (TermId a : store.apply_args(t)) {
+        if (OccursIn(store, var, a, subst)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool UnifyInto(TermStore& store, TermId a, TermId b, Substitution* subst) {
+  Substitution trial = *subst;
+  if (!UnifyWalked(store, a, b, &trial)) return false;
+  ResolveAll(store, &trial);
+  *subst = std::move(trial);
+  return true;
+}
+
+std::optional<Substitution> Unify(TermStore& store, TermId a, TermId b) {
+  Substitution subst;
+  if (!UnifyInto(store, a, b, &subst)) return std::nullopt;
+  return subst;
+}
+
+namespace {
+
+bool MatchWalked(TermStore& store, TermId pattern, TermId target,
+                 Substitution* subst) {
+  if (store.IsVariable(pattern)) {
+    TermId bound = subst->Lookup(pattern);
+    if (bound != kNoTerm) return bound == target;
+    subst->Bind(pattern, target);
+    return true;
+  }
+  if (store.IsSymbol(pattern)) return pattern == target;
+  if (!store.IsApply(target) || store.arity(pattern) != store.arity(target)) {
+    return false;
+  }
+  if (!MatchWalked(store, store.apply_name(pattern), store.apply_name(target),
+                   subst)) {
+    return false;
+  }
+  auto args_p = store.apply_args(pattern);
+  auto args_t = store.apply_args(target);
+  for (size_t i = 0; i < args_p.size(); ++i) {
+    if (!MatchWalked(store, args_p[i], args_t[i], subst)) return false;
+  }
+  return true;
+}
+
+bool VariantWalked(TermStore& store, TermId a, TermId b,
+                   std::unordered_map<TermId, TermId>* fwd,
+                   std::unordered_map<TermId, TermId>* bwd) {
+  if (store.IsVariable(a) && store.IsVariable(b)) {
+    auto fit = fwd->find(a);
+    auto bit = bwd->find(b);
+    if (fit == fwd->end() && bit == bwd->end()) {
+      fwd->emplace(a, b);
+      bwd->emplace(b, a);
+      return true;
+    }
+    return fit != fwd->end() && bit != bwd->end() && fit->second == b &&
+           bit->second == a;
+  }
+  if (store.kind(a) != store.kind(b)) return false;
+  if (store.IsSymbol(a)) return a == b;
+  if (store.IsVariable(a)) return false;  // Handled above.
+  if (store.arity(a) != store.arity(b)) return false;
+  if (!VariantWalked(store, store.apply_name(a), store.apply_name(b), fwd,
+                     bwd)) {
+    return false;
+  }
+  auto args_a = store.apply_args(a);
+  auto args_b = store.apply_args(b);
+  for (size_t i = 0; i < args_a.size(); ++i) {
+    if (!VariantWalked(store, args_a[i], args_b[i], fwd, bwd)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool MatchInto(TermStore& store, TermId pattern, TermId target,
+               Substitution* subst) {
+  Substitution trial = *subst;
+  TermId walked = trial.Apply(store, pattern);
+  if (!MatchWalked(store, walked, target, &trial)) return false;
+  *subst = std::move(trial);
+  return true;
+}
+
+bool IsVariant(TermStore& store, TermId a, TermId b) {
+  std::unordered_map<TermId, TermId> fwd;
+  std::unordered_map<TermId, TermId> bwd;
+  return VariantWalked(store, a, b, &fwd, &bwd);
+}
+
+}  // namespace hilog

@@ -1,0 +1,105 @@
+#include "src/transform/universal.h"
+
+#include <string>
+
+namespace hilog {
+
+UniversalTransform::UniversalTransform(TermStore& store)
+    : store_(store), call_(store.MakeSymbol("call")) {}
+
+TermId UniversalTransform::u_symbol(size_t i) {
+  while (u_cache_.size() <= i) {
+    u_cache_.push_back(
+        store_.MakeSymbol("u" + std::to_string(u_cache_.size())));
+  }
+  return u_cache_[i];
+}
+
+TermId UniversalTransform::EncodeTerm(TermId t) {
+  switch (store_.kind(t)) {
+    case TermKind::kSymbol:
+    case TermKind::kVariable:
+      return t;
+    case TermKind::kApply: {
+      std::vector<TermId> encoded;
+      encoded.reserve(store_.arity(t) + 1);
+      encoded.push_back(EncodeTerm(store_.apply_name(t)));
+      for (TermId a : store_.apply_args(t)) encoded.push_back(EncodeTerm(a));
+      TermId u = u_symbol(store_.arity(t) + 1);
+      return store_.MakeApply(u, encoded);
+    }
+  }
+  return t;
+}
+
+TermId UniversalTransform::EncodeAtom(TermId atom) {
+  return store_.MakeApply(call_, {EncodeTerm(atom)});
+}
+
+std::optional<TermId> UniversalTransform::DecodeTerm(TermId t) {
+  switch (store_.kind(t)) {
+    case TermKind::kSymbol:
+      // u_i and call must not appear in decoded positions on their own;
+      // plain symbols decode to themselves.
+      return t;
+    case TermKind::kVariable:
+      return t;
+    case TermKind::kApply: {
+      TermId name = store_.apply_name(t);
+      size_t n = store_.arity(t);
+      if (!store_.IsSymbol(name) || name != u_symbol(n)) return std::nullopt;
+      if (n == 0) return std::nullopt;
+      auto args = store_.apply_args(t);
+      std::optional<TermId> inner_name = DecodeTerm(args[0]);
+      if (!inner_name.has_value()) return std::nullopt;
+      std::vector<TermId> inner_args;
+      inner_args.reserve(n - 1);
+      for (size_t i = 1; i < n; ++i) {
+        std::optional<TermId> a = DecodeTerm(args[i]);
+        if (!a.has_value()) return std::nullopt;
+        inner_args.push_back(*a);
+      }
+      return store_.MakeApply(*inner_name, inner_args);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TermId> UniversalTransform::DecodeAtom(TermId atom) {
+  if (!store_.IsApply(atom) || store_.apply_name(atom) != call_ ||
+      store_.arity(atom) != 1) {
+    return std::nullopt;
+  }
+  return DecodeTerm(store_.apply_args(atom)[0]);
+}
+
+Program UniversalTransform::EncodeProgram(const Program& program) {
+  Program out;
+  for (const Rule& rule : program.rules) {
+    Rule encoded;
+    encoded.head = EncodeAtom(rule.head);
+    for (const Literal& lit : rule.body) {
+      switch (lit.kind) {
+        case Literal::Kind::kPositive:
+          encoded.body.push_back(Literal::Pos(EncodeAtom(lit.atom)));
+          break;
+        case Literal::Kind::kNegative:
+          encoded.body.push_back(Literal::Neg(EncodeAtom(lit.atom)));
+          break;
+        case Literal::Kind::kAggregate:
+        case Literal::Kind::kBuiltin:
+          // Aggregates/builtins pass through with their atom encoded.
+          {
+            Literal copy = lit;
+            if (copy.atom != kNoTerm) copy.atom = EncodeAtom(copy.atom);
+            encoded.body.push_back(copy);
+          }
+          break;
+      }
+    }
+    out.Add(std::move(encoded));
+  }
+  return out;
+}
+
+}  // namespace hilog

@@ -1,0 +1,55 @@
+#ifndef HILOG_TRANSFORM_UNIVERSAL_H_
+#define HILOG_TRANSFORM_UNIVERSAL_H_
+
+#include <optional>
+
+#include "src/lang/ast.h"
+#include "src/term/term_store.h"
+
+namespace hilog {
+
+/// The universal-relation encoding of Section 2: HiLog atoms become atoms
+/// of a single unary predicate `call` over first-order terms built with
+/// generic function symbols u_i (one per arity i; `apply_i` in
+/// Chen-Kifer-Warren):
+///
+///   t(t_1,...,t_n)  ~~>  u_{n+1}(enc(t), enc(t_1), ..., enc(t_n))
+///
+/// e.g. p(a,X)(Y)(b, f(c)(d)) becomes
+///   call(u3(u2(u3(p,a,X),Y), b, u2(u2(f,c),d))).
+///
+/// The paper uses this encoding to give HiLog its first-order semantics —
+/// and then shows (Section 6) that it *cannot* be used for stratification
+/// or modular stratification, because it merges predicates into the single
+/// `call` relation. Both facts are exercised in tests/benches.
+class UniversalTransform {
+ public:
+  explicit UniversalTransform(TermStore& store);
+
+  /// The u_{n+1} term encoding (no `call` wrapper).
+  TermId EncodeTerm(TermId t);
+
+  /// call(EncodeTerm(atom)).
+  TermId EncodeAtom(TermId atom);
+
+  /// Inverse of EncodeTerm; nullopt if `t` is not a valid encoding.
+  std::optional<TermId> DecodeTerm(TermId t);
+
+  /// Inverse of EncodeAtom.
+  std::optional<TermId> DecodeAtom(TermId atom);
+
+  /// Encodes every literal atom of every rule.
+  Program EncodeProgram(const Program& program);
+
+  TermId call_symbol() const { return call_; }
+  TermId u_symbol(size_t i);
+
+ private:
+  TermStore& store_;
+  TermId call_;
+  std::vector<TermId> u_cache_;
+};
+
+}  // namespace hilog
+
+#endif  // HILOG_TRANSFORM_UNIVERSAL_H_

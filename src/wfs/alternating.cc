@@ -1,0 +1,102 @@
+#include "src/wfs/alternating.h"
+
+namespace hilog {
+
+PreparedGround::PreparedGround(const GroundProgram& ground) {
+  ground.CollectAtoms(&table_);
+  heads_.reserve(ground.rules.size());
+  pos_.reserve(ground.rules.size());
+  neg_.reserve(ground.rules.size());
+  watchers_.resize(table_.size());
+  for (const GroundRule& rule : ground.rules) {
+    uint32_t rule_index = static_cast<uint32_t>(heads_.size());
+    heads_.push_back(table_.Find(rule.head));
+    std::vector<uint32_t> pos;
+    pos.reserve(rule.pos.size());
+    for (TermId a : rule.pos) {
+      uint32_t idx = table_.Find(a);
+      pos.push_back(idx);
+      watchers_[idx].push_back(rule_index);
+    }
+    std::vector<uint32_t> neg;
+    neg.reserve(rule.neg.size());
+    for (TermId a : rule.neg) neg.push_back(table_.Find(a));
+    pos_.push_back(std::move(pos));
+    neg_.push_back(std::move(neg));
+  }
+}
+
+std::vector<char> PreparedGround::GammaOperator(
+    const std::vector<char>& assumed_true) const {
+  // Counter-based Horn least model: remaining[r] = number of positive
+  // subgoals of rule r not yet derived; blocked rules (negative literal on
+  // an assumed-true atom) are skipped entirely.
+  std::vector<uint32_t> remaining(heads_.size(), 0);
+  std::vector<char> blocked(heads_.size(), 0);
+  std::vector<char> derived(table_.size(), 0);
+  std::vector<uint32_t> queue;
+  queue.reserve(table_.size());
+
+  for (size_t r = 0; r < heads_.size(); ++r) {
+    for (uint32_t n : neg_[r]) {
+      if (assumed_true[n]) {
+        blocked[r] = 1;
+        break;
+      }
+    }
+    if (blocked[r]) continue;
+    remaining[r] = static_cast<uint32_t>(pos_[r].size());
+    if (remaining[r] == 0 && !derived[heads_[r]]) {
+      derived[heads_[r]] = 1;
+      queue.push_back(heads_[r]);
+    }
+  }
+  for (size_t q = 0; q < queue.size(); ++q) {
+    uint32_t atom = queue[q];
+    for (uint32_t r : watchers_[atom]) {
+      if (blocked[r]) continue;
+      // An atom may occur several times in one body; watchers_ registers
+      // each occurrence, so the counter reaches zero exactly when all
+      // occurrences are satisfied.
+      if (remaining[r] > 0 && --remaining[r] == 0) {
+        if (!derived[heads_[r]]) {
+          derived[heads_[r]] = 1;
+          queue.push_back(heads_[r]);
+        }
+      }
+    }
+  }
+  return derived;
+}
+
+WfsResult ComputeWfsAlternating(const GroundProgram& ground) {
+  PreparedGround prepared(ground);
+  size_t n = prepared.num_atoms();
+  std::vector<char> lower(n, 0);  // A_i: atoms known true.
+  std::vector<char> upper(n, 1);  // B_i: atoms possibly true.
+
+  WfsResult result;
+  while (true) {
+    ++result.iterations;
+    std::vector<char> next_upper = prepared.GammaOperator(lower);
+    std::vector<char> next_lower = prepared.GammaOperator(next_upper);
+    if (next_lower == lower && next_upper == upper) break;
+    lower = std::move(next_lower);
+    upper = std::move(next_upper);
+  }
+
+  AtomTable table = prepared.table();
+  result.model = Interpretation(std::move(table));
+  for (uint32_t i = 0; i < n; ++i) {
+    if (lower[i]) {
+      result.model.SetAt(i, TruthValue::kTrue);
+    } else if (upper[i]) {
+      result.model.SetAt(i, TruthValue::kUndefined);
+    } else {
+      result.model.SetAt(i, TruthValue::kFalse);
+    }
+  }
+  return result;
+}
+
+}  // namespace hilog

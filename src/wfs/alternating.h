@@ -1,0 +1,44 @@
+#ifndef HILOG_WFS_ALTERNATING_H_
+#define HILOG_WFS_ALTERNATING_H_
+
+#include "src/wfs/wfs.h"
+
+namespace hilog {
+
+/// A ground program compiled to dense indices for fast repeated
+/// least-model computations (the inner loop of the alternating fixpoint
+/// and of stable-model checking).
+class PreparedGround {
+ public:
+  explicit PreparedGround(const GroundProgram& ground);
+
+  const AtomTable& table() const { return table_; }
+  size_t num_atoms() const { return table_.size(); }
+  size_t num_rules() const { return heads_.size(); }
+
+  /// Least model of the Gelfond-Lifschitz reduct P^A where A is the set of
+  /// atoms marked true in `assumed_true` (indexed by atom table index):
+  /// delete rules with a negative literal on an atom in A, drop remaining
+  /// negative literals, take the least model of the resulting Horn program.
+  /// This is the Gamma operator; Gamma is antimonotone, and the paper's
+  /// well-founded model is the least fixpoint of Gamma^2.
+  std::vector<char> GammaOperator(const std::vector<char>& assumed_true) const;
+
+ private:
+  AtomTable table_;
+  std::vector<uint32_t> heads_;
+  std::vector<std::vector<uint32_t>> pos_;
+  std::vector<std::vector<uint32_t>> neg_;
+  // For each atom, the rules in whose positive body it occurs (with
+  // multiplicity folded into pos counts).
+  std::vector<std::vector<uint32_t>> watchers_;
+};
+
+/// Computes the well-founded model by the alternating fixpoint:
+///   A_0 = {},  B_i = Gamma(A_i),  A_{i+1} = Gamma(B_i)
+/// increasing A-limit = true atoms; decreasing B-limit = non-false atoms.
+WfsResult ComputeWfsAlternating(const GroundProgram& ground);
+
+}  // namespace hilog
+
+#endif  // HILOG_WFS_ALTERNATING_H_

@@ -1,0 +1,48 @@
+#include "src/wfs/interpretation.h"
+
+namespace hilog {
+
+bool Interpretation::IsTotal() const {
+  for (TruthValue v : values_) {
+    if (v == TruthValue::kUndefined) return false;
+  }
+  return true;
+}
+
+std::vector<TermId> Interpretation::TrueAtoms() const {
+  std::vector<TermId> out;
+  for (uint32_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == TruthValue::kTrue) out.push_back(table_.atom(i));
+  }
+  return out;
+}
+
+std::vector<TermId> Interpretation::UndefinedAtoms() const {
+  std::vector<TermId> out;
+  for (uint32_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == TruthValue::kUndefined) out.push_back(table_.atom(i));
+  }
+  return out;
+}
+
+std::vector<TermId> Interpretation::FalseAtomsInTable() const {
+  std::vector<TermId> out;
+  for (uint32_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == TruthValue::kFalse) out.push_back(table_.atom(i));
+  }
+  return out;
+}
+
+size_t Interpretation::CountTrue() const {
+  size_t n = 0;
+  for (TruthValue v : values_) n += v == TruthValue::kTrue;
+  return n;
+}
+
+size_t Interpretation::CountUndefined() const {
+  size_t n = 0;
+  for (TruthValue v : values_) n += v == TruthValue::kUndefined;
+  return n;
+}
+
+}  // namespace hilog

@@ -1,0 +1,120 @@
+#include "src/wfs/stable.h"
+
+#include <algorithm>
+
+#include "src/wfs/wfs.h"
+
+namespace hilog {
+namespace {
+
+std::vector<char> MarkTrue(const AtomTable& table,
+                           const std::vector<TermId>& true_atoms) {
+  std::vector<char> marks(table.size(), 0);
+  for (TermId a : true_atoms) {
+    uint32_t idx = table.Find(a);
+    if (idx != UINT32_MAX) marks[idx] = 1;
+  }
+  return marks;
+}
+
+}  // namespace
+
+bool IsStableModel(const GroundProgram& ground,
+                   const std::vector<TermId>& true_atoms) {
+  PreparedGround prepared(ground);
+  // Atoms claimed true but absent from the program's base can never be
+  // derived, so they refute stability immediately.
+  for (TermId a : true_atoms) {
+    if (prepared.table().Find(a) == UINT32_MAX) return false;
+  }
+  std::vector<char> assumed = MarkTrue(prepared.table(), true_atoms);
+  std::vector<char> least = prepared.GammaOperator(assumed);
+  return least == assumed;
+}
+
+bool IsTwoValuedFixpointOfW(const GroundProgram& ground,
+                            const std::vector<TermId>& true_atoms) {
+  AtomTable table;
+  ground.CollectAtoms(&table);
+  for (TermId a : true_atoms) {
+    if (table.Find(a) == UINT32_MAX) return false;
+  }
+  std::vector<char> marks = MarkTrue(table, true_atoms);
+  std::vector<TruthValue> current(table.size(), TruthValue::kFalse);
+  for (uint32_t i = 0; i < table.size(); ++i) {
+    if (marks[i]) current[i] = TruthValue::kTrue;
+  }
+  std::vector<TruthValue> tp = ApplyTp(ground, table, current);
+  std::vector<bool> unfounded = GreatestUnfoundedSet(ground, table, current);
+  // W_P(I) = T_P(I) union not.U_P(I) must equal I exactly.
+  for (uint32_t i = 0; i < table.size(); ++i) {
+    bool w_true = tp[i] == TruthValue::kTrue;
+    bool w_false = unfounded[i];
+    if (w_true && w_false) return false;  // Inconsistent (cannot happen).
+    TruthValue w = w_true ? TruthValue::kTrue
+                          : (w_false ? TruthValue::kFalse
+                                     : TruthValue::kUndefined);
+    if (w != current[i]) return false;
+  }
+  return true;
+}
+
+StableModelsResult EnumerateStableModels(const GroundProgram& ground,
+                                         const StableOptions& options) {
+  StableModelsResult result;
+  PreparedGround prepared(ground);
+  WfsResult wfs = ComputeWfsAlternating(ground);
+
+  std::vector<uint32_t> branch_atoms;
+  const AtomTable& table = wfs.model.atoms();
+  for (uint32_t i = 0; i < table.size(); ++i) {
+    if (wfs.model.ValueAt(i) == TruthValue::kUndefined) {
+      branch_atoms.push_back(i);
+    }
+  }
+  if (branch_atoms.size() > options.max_branch_atoms) {
+    result.complete = false;
+    return result;
+  }
+
+  // Base assignment from the well-founded model (every stable model is a
+  // two-valued extension of it, per Van Gelder-Ross-Schlipf).
+  std::vector<char> base(table.size(), 0);
+  for (uint32_t i = 0; i < table.size(); ++i) {
+    base[i] = wfs.model.ValueAt(i) == TruthValue::kTrue ? 1 : 0;
+  }
+
+  uint64_t combos = 1ull << branch_atoms.size();
+  for (uint64_t mask = 0; mask < combos; ++mask) {
+    std::vector<char> candidate = base;
+    for (size_t b = 0; b < branch_atoms.size(); ++b) {
+      candidate[branch_atoms[b]] = (mask >> b) & 1 ? 1 : 0;
+    }
+    ++result.candidates_checked;
+    // The candidate's stability must be checked against the prepared
+    // program's own table (same table as wfs.model's by construction).
+    std::vector<char> assumed(prepared.num_atoms(), 0);
+    for (uint32_t i = 0; i < table.size(); ++i) {
+      if (candidate[i]) {
+        uint32_t idx = prepared.table().Find(table.atom(i));
+        assumed[idx] = 1;
+      }
+    }
+    std::vector<char> least = prepared.GammaOperator(assumed);
+    if (least == assumed) {
+      StableModel model;
+      for (uint32_t i = 0; i < prepared.num_atoms(); ++i) {
+        if (assumed[i]) model.true_atoms.push_back(prepared.table().atom(i));
+      }
+      std::sort(model.true_atoms.begin(), model.true_atoms.end());
+      result.models.push_back(std::move(model));
+      if (result.models.size() >= options.max_models) {
+        result.complete = mask + 1 == combos;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hilog

@@ -1,0 +1,122 @@
+#include "src/wfs/wfs.h"
+
+namespace hilog {
+namespace {
+
+// True if `value` makes the positive occurrence of the atom true.
+bool LiteralTrue(TruthValue value, bool positive) {
+  return positive ? value == TruthValue::kTrue : value == TruthValue::kFalse;
+}
+
+// True if `value` makes the positive occurrence of the atom false, i.e.
+// the literal's complement is in I (a witness of unusability, Def 3.3).
+bool LiteralFalse(TruthValue value, bool positive) {
+  return positive ? value == TruthValue::kFalse : value == TruthValue::kTrue;
+}
+
+}  // namespace
+
+std::vector<TruthValue> ApplyTp(const GroundProgram& ground,
+                                const AtomTable& table,
+                                const std::vector<TruthValue>& current) {
+  std::vector<TruthValue> next(table.size(), TruthValue::kUndefined);
+  for (const GroundRule& rule : ground.rules) {
+    bool body_true = true;
+    for (TermId a : rule.pos) {
+      uint32_t idx = table.Find(a);
+      if (idx == UINT32_MAX || !LiteralTrue(current[idx], true)) {
+        body_true = false;
+        break;
+      }
+    }
+    if (body_true) {
+      for (TermId a : rule.neg) {
+        uint32_t idx = table.Find(a);
+        TruthValue v = idx == UINT32_MAX ? TruthValue::kFalse : current[idx];
+        if (!LiteralTrue(v, false)) {
+          body_true = false;
+          break;
+        }
+      }
+    }
+    if (body_true) next[table.Find(rule.head)] = TruthValue::kTrue;
+  }
+  return next;
+}
+
+std::vector<bool> GreatestUnfoundedSet(const GroundProgram& ground,
+                                       const AtomTable& table,
+                                       const std::vector<TruthValue>& current) {
+  // Greatest unfounded set = complement of the least fixpoint of the
+  // "founded" operator: p is founded if some instantiated rule for p has
+  // (a) no witness of unusability of type 1 (no body literal whose
+  //     complement is in I), and
+  // (b) all positive subgoals already founded (ruling out witnesses of
+  //     type 2 for the candidate unfounded set = complement of founded).
+  std::vector<bool> founded(table.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const GroundRule& rule : ground.rules) {
+      uint32_t head = table.Find(rule.head);
+      if (founded[head]) continue;
+      bool usable = true;
+      for (TermId a : rule.pos) {
+        uint32_t idx = table.Find(a);
+        TruthValue v = idx == UINT32_MAX ? TruthValue::kFalse : current[idx];
+        if (LiteralFalse(v, true) || idx == UINT32_MAX || !founded[idx]) {
+          usable = false;
+          break;
+        }
+      }
+      if (usable) {
+        for (TermId a : rule.neg) {
+          uint32_t idx = table.Find(a);
+          TruthValue v = idx == UINT32_MAX ? TruthValue::kFalse : current[idx];
+          if (LiteralFalse(v, false)) {
+            usable = false;
+            break;
+          }
+        }
+      }
+      if (usable) {
+        founded[head] = true;
+        changed = true;
+      }
+    }
+  }
+  std::vector<bool> unfounded(table.size(), false);
+  for (size_t i = 0; i < founded.size(); ++i) unfounded[i] = !founded[i];
+  return unfounded;
+}
+
+WfsResult ComputeWfsViaOperator(const GroundProgram& ground) {
+  AtomTable table;
+  ground.CollectAtoms(&table);
+  std::vector<TruthValue> current(table.size(), TruthValue::kUndefined);
+
+  WfsResult result;
+  while (true) {
+    ++result.iterations;
+    std::vector<TruthValue> true_part = ApplyTp(ground, table, current);
+    std::vector<bool> unfounded = GreatestUnfoundedSet(ground, table, current);
+    std::vector<TruthValue> next(table.size(), TruthValue::kUndefined);
+    for (uint32_t i = 0; i < table.size(); ++i) {
+      if (true_part[i] == TruthValue::kTrue) {
+        next[i] = TruthValue::kTrue;
+      } else if (unfounded[i]) {
+        next[i] = TruthValue::kFalse;
+      }
+    }
+    if (next == current) break;
+    current = std::move(next);
+  }
+
+  result.model = Interpretation(std::move(table));
+  for (uint32_t i = 0; i < current.size(); ++i) {
+    result.model.SetAt(i, current[i]);
+  }
+  return result;
+}
+
+}  // namespace hilog

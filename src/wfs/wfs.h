@@ -1,0 +1,45 @@
+#ifndef HILOG_WFS_WFS_H_
+#define HILOG_WFS_WFS_H_
+
+#include "src/wfs/interpretation.h"
+
+namespace hilog {
+
+/// Result of a well-founded model computation.
+struct WfsResult {
+  Interpretation model;
+  /// Number of applications of the outer operator (W_P iterations, or
+  /// alternating-fixpoint Gamma pairs).
+  size_t iterations = 0;
+};
+
+/// Computes the well-founded partial model by literally iterating the
+/// paper's W_P operator (Definitions 3.3-3.5):
+///
+///   W_P(I) = T_P(I)  union  not . U_P(I)
+///
+/// where T_P derives heads of rules with true bodies and U_P(I) is the
+/// greatest unfounded set with respect to I, computed as the complement of
+/// the least fixpoint of the "founded" operator (an atom is founded if some
+/// rule for it has no witness of unusability and only founded positive
+/// subgoals). The least fixpoint of W_P is the well-founded model M_WF(P).
+///
+/// This is the reference implementation: clear, close to the text, and
+/// cross-checked in tests against the faster alternating fixpoint.
+WfsResult ComputeWfsViaOperator(const GroundProgram& ground);
+
+/// One application of T_P to the partial interpretation `current`
+/// (exposed so tests can replay the paper's Example 3.1 trace).
+/// `current` maps table indices to truth values.
+std::vector<TruthValue> ApplyTp(const GroundProgram& ground,
+                                const AtomTable& table,
+                                const std::vector<TruthValue>& current);
+
+/// The greatest unfounded set U_P(I) as a boolean vector over `table`.
+std::vector<bool> GreatestUnfoundedSet(const GroundProgram& ground,
+                                       const AtomTable& table,
+                                       const std::vector<TruthValue>& current);
+
+}  // namespace hilog
+
+#endif  // HILOG_WFS_WFS_H_

@@ -1,0 +1,85 @@
+// Integration corpus: every .hl program shipped under examples/programs
+// must load, classify, and run through the engines appropriate to it
+// without errors — guarding the shipped artifacts against library drift.
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+
+#ifndef HILOG_SOURCE_DIR
+#define HILOG_SOURCE_DIR "."
+#endif
+
+namespace hilog {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << path;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+std::string ProgramPath(const char* name) {
+  return std::string(HILOG_SOURCE_DIR) + "/examples/programs/" + name;
+}
+
+TEST(CorpusTest, GameHl) {
+  Engine engine;
+  ASSERT_EQ(engine.Load(ReadFile(ProgramPath("game.hl"))), "");
+  AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.strongly_range_restricted);
+  EXPECT_TRUE(report.modularly_stratified) << report.modular_reason;
+  Engine::WfsAnswer wfs = engine.SolveWellFounded();
+  ASSERT_TRUE(wfs.ok);
+  EXPECT_TRUE(wfs.model.IsTotal());
+  Engine::QueryAnswer q = engine.Query("winning(move1)(b)");
+  EXPECT_EQ(q.ground_status, QueryStatus::kTrue);
+}
+
+TEST(CorpusTest, TcHl) {
+  Engine engine;
+  ASSERT_EQ(engine.Load(ReadFile(ProgramPath("tc.hl"))), "");
+  AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.range_restricted);
+  // The open tc rules keep it from being strongly range restricted.
+  EXPECT_FALSE(report.strongly_range_restricted);
+  Engine::QueryAnswer q = engine.Query("tc(flight)(sfo, X)");
+  ASSERT_TRUE(q.ok);
+  EXPECT_EQ(q.answers.size(), 3u);
+  TabledResult tabled = engine.ProveTabled("stc(flight)(sfo, X)");
+  ASSERT_TRUE(tabled.error.empty());
+  EXPECT_EQ(tabled.answers.size(), 3u);
+}
+
+TEST(CorpusTest, PartsHl) {
+  Engine engine;
+  ASSERT_EQ(engine.Load(ReadFile(ProgramPath("parts.hl"))), "");
+  AggregateEvalResult result = engine.SolveAggregates();
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.converged);
+  TermId spokes =
+      *ParseTerm(engine.store(), "contains(bike,bicycle,spoke,94)");
+  EXPECT_TRUE(result.facts.Contains(spokes));
+}
+
+TEST(CorpusTest, NegationZooHl) {
+  Engine engine;
+  ASSERT_EQ(engine.Load(ReadFile(ProgramPath("negation_zoo.hl"))), "");
+  Engine::WfsAnswer wfs = engine.SolveWellFounded();
+  ASSERT_TRUE(wfs.ok);
+  TermId u = *ParseTerm(engine.store(), "u");
+  TermId r = *ParseTerm(engine.store(), "r");
+  EXPECT_EQ(wfs.model.Value(u), TruthValue::kUndefined);
+  EXPECT_EQ(wfs.model.Value(r), TruthValue::kTrue);
+  StableModelsResult stable = engine.SolveStable();
+  // The u :- ~u rule kills all stable models of the combined file.
+  EXPECT_TRUE(stable.models.empty());
+}
+
+}  // namespace
+}  // namespace hilog

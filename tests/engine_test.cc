@@ -1,0 +1,151 @@
+// Tests for the Engine facade.
+
+#include "src/core/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace hilog {
+namespace {
+
+TEST(EngineTest, LoadReportsParseErrors) {
+  Engine engine;
+  EXPECT_EQ(engine.Load("p :- q."), "");
+  EXPECT_NE(engine.Load("p :- ."), "");
+  // A failed Load leaves the engine usable.
+  EXPECT_EQ(engine.Load("p :- q. q."), "");
+  EXPECT_EQ(engine.program().size(), 2u);
+}
+
+TEST(EngineTest, LoadMoreAppends) {
+  Engine engine;
+  ASSERT_EQ(engine.Load("p :- q."), "");
+  ASSERT_EQ(engine.LoadMore("q."), "");
+  EXPECT_EQ(engine.program().size(), 2u);
+}
+
+TEST(EngineTest, AnalyzeClassifiesTheGameProgram) {
+  Engine engine;
+  ASSERT_EQ(engine.Load(
+                "winning(M,X) :- game(M), M(X,Y), ~winning(M,Y)."
+                "game(mv). mv(a,b). mv(b,c)."),
+            "");
+  AnalysisReport report = engine.Analyze();
+  EXPECT_FALSE(report.normal);  // mv is used as both predicate and value.
+  EXPECT_TRUE(report.range_restricted);
+  EXPECT_TRUE(report.strongly_range_restricted);
+  EXPECT_TRUE(report.datahilog);
+  EXPECT_FALSE(report.stratified);
+  EXPECT_FALSE(report.flounders);
+  EXPECT_TRUE(report.modularly_stratified) << report.modular_reason;
+  EXPECT_GT(report.datahilog_atom_bound, 0u);
+}
+
+TEST(EngineTest, AnalyzeNormalProgram) {
+  Engine engine;
+  ASSERT_EQ(engine.Load("p(X) :- q(X), ~r(X). q(a). r(b)."), "");
+  AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.normal);
+  EXPECT_TRUE(report.normal_range_restricted);
+  EXPECT_TRUE(report.stratified);
+  EXPECT_TRUE(report.modularly_stratified);
+}
+
+TEST(EngineTest, SolveWellFoundedPicksRelevanceGrounder) {
+  Engine engine;
+  ASSERT_EQ(engine.Load(
+                "w(X) :- m(X,Y), ~w(Y). m(1,2). m(2,3)."),
+            "");
+  Engine::WfsAnswer answer = engine.SolveWellFounded();
+  ASSERT_TRUE(answer.ok) << answer.notes;
+  EXPECT_EQ(answer.grounder, GrounderKind::kRelevance);
+  EXPECT_TRUE(answer.exact);
+  TermId w2 = *ParseTerm(engine.store(), "w(2)");
+  TermId w3 = *ParseTerm(engine.store(), "w(3)");
+  EXPECT_EQ(answer.model.Value(w2), TruthValue::kTrue);
+  EXPECT_EQ(answer.model.Value(w3), TruthValue::kFalse);
+}
+
+TEST(EngineTest, SolveWellFoundedFallsBackToHerbrand) {
+  Engine engine;
+  // Example 4.1: not range restricted; needs the bounded Herbrand path.
+  ASSERT_EQ(engine.Load("p :- ~q(X). q(a)."), "");
+  Engine::WfsAnswer answer = engine.SolveWellFounded();
+  ASSERT_TRUE(answer.ok);
+  EXPECT_EQ(answer.grounder, GrounderKind::kHerbrand);
+  EXPECT_FALSE(answer.exact);
+  TermId p = *ParseTerm(engine.store(), "p");
+  EXPECT_EQ(answer.model.Value(p), TruthValue::kTrue);
+}
+
+TEST(EngineTest, SolveStable) {
+  Engine engine;
+  ASSERT_EQ(engine.Load("p :- ~q. q :- ~p."), "");
+  StableModelsResult stable = engine.SolveStable();
+  EXPECT_TRUE(stable.complete);
+  EXPECT_EQ(stable.models.size(), 2u);
+}
+
+TEST(EngineTest, SolveModular) {
+  Engine engine;
+  ASSERT_EQ(engine.Load(
+                "winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y)."
+                "game(mv). mv(a,b)."),
+            "");
+  ModularResult result = engine.SolveModular();
+  ASSERT_TRUE(result.modularly_stratified) << result.reason;
+  TermId wa = *ParseTerm(engine.store(), "winning(mv)(a)");
+  EXPECT_TRUE(result.model.IsTrue(wa));
+}
+
+TEST(EngineTest, QueryViaMagicSets) {
+  Engine engine;
+  ASSERT_EQ(engine.Load(
+                "w(M)(X) :- g(M), M(X,Y), ~w(M)(Y)."
+                "g(m). m(a,b). m(b,c)."),
+            "");
+  Engine::QueryAnswer yes = engine.Query("w(m)(b)");
+  ASSERT_TRUE(yes.ok) << yes.error;
+  EXPECT_EQ(yes.ground_status, QueryStatus::kTrue);
+
+  Engine::QueryAnswer no = engine.Query("w(m)(a)");
+  EXPECT_EQ(no.ground_status, QueryStatus::kSettledFalse);
+
+  Engine::QueryAnswer open = engine.Query("w(m)(X)");
+  EXPECT_EQ(open.answers.size(), 1u);
+
+  Engine::QueryAnswer bad = engine.Query("w(m)(");
+  EXPECT_FALSE(bad.ok);
+}
+
+TEST(EngineTest, SolveAggregates) {
+  Engine engine;
+  ASSERT_EQ(engine.Load(
+                "in(M,X,Y,null,N) :- assoc(M,P), P(X,Y,N)."
+                "in(M,X,Y,Z,N) :- assoc(M,P), P(X,Z,Q),"
+                "                 contains(M,Z,Y,R), N = Q * R."
+                "contains(M,X,Y,N) :- N = sum(P, in(M,X,Y,_,P))."
+                "assoc(bike, bp). bp(bicycle, wheel, 2). bp(wheel, spoke, 47)."),
+            "");
+  AggregateEvalResult result = engine.SolveAggregates();
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.converged);
+  TermId spokes =
+      *ParseTerm(engine.store(), "contains(bike,bicycle,spoke,94)");
+  EXPECT_TRUE(result.facts.Contains(spokes));
+}
+
+TEST(EngineTest, ForcedGrounderAgreesWithAutomatic) {
+  Engine engine;
+  ASSERT_EQ(engine.Load("w(X) :- m(X,Y), ~w(Y). m(1,2). m(2,3)."), "");
+  Engine::WfsAnswer rel =
+      engine.SolveWellFoundedWith(GrounderKind::kRelevance);
+  Engine::WfsAnswer her = engine.SolveWellFoundedWith(GrounderKind::kHerbrand);
+  ASSERT_TRUE(rel.ok && her.ok);
+  for (TermId atom : rel.model.atoms().atoms()) {
+    EXPECT_EQ(rel.model.Value(atom), her.model.Value(atom))
+        << engine.store().ToString(atom);
+  }
+}
+
+}  // namespace
+}  // namespace hilog

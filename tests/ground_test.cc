@@ -1,0 +1,188 @@
+#include "src/ground/grounder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/ground/herbrand.h"
+#include "src/lang/parser.h"
+#include "src/wfs/alternating.h"
+
+namespace hilog {
+namespace {
+
+class GroundTest : public ::testing::Test {
+ protected:
+  Program P(std::string_view text) {
+    ParseResult<Program> parsed = ParseProgram(store_, text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    return *parsed;
+  }
+  TermId T(std::string_view text) { return *ParseTerm(store_, text); }
+  TermStore store_;
+};
+
+TEST_F(GroundTest, HiLogUniverseDepthZeroIsSymbols) {
+  Program p = P("q(a).");
+  UniverseBound bound;
+  bound.max_depth = 0;
+  Universe u = ProgramHiLogUniverse(store_, p, bound);
+  EXPECT_FALSE(u.truncated);
+  // Symbols: q, a.
+  EXPECT_EQ(u.terms.size(), 2u);
+}
+
+TEST_F(GroundTest, HiLogUniverseDepthOne) {
+  Program p = P("q(a).");
+  UniverseBound bound;
+  bound.max_depth = 1;
+  Universe u = ProgramHiLogUniverse(store_, p, bound);
+  // Depth 0: q, a. Depth 1 (arity set {1}): all n(x) with n,x in {q,a}:
+  // q(q), q(a), a(q), a(a) -> total 6.
+  EXPECT_EQ(u.terms.size(), 6u);
+  EXPECT_TRUE(std::count(u.terms.begin(), u.terms.end(), T("q(a)")) == 1);
+  EXPECT_TRUE(std::count(u.terms.begin(), u.terms.end(), T("a(q)")) == 1);
+}
+
+TEST_F(GroundTest, UniverseEnumerationHasNoDuplicates) {
+  Program p = P("p(a,b).");
+  UniverseBound bound;
+  bound.max_depth = 2;
+  bound.max_terms = 100000;
+  Universe u = ProgramHiLogUniverse(store_, p, bound);
+  std::vector<TermId> sorted = u.terms;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+  for (TermId t : u.terms) EXPECT_LE(store_.Depth(t), 2);
+}
+
+TEST_F(GroundTest, UniverseTruncationIsReported) {
+  Program p = P("p(a,b).");
+  UniverseBound bound;
+  bound.max_depth = 3;
+  bound.max_terms = 50;
+  Universe u = ProgramHiLogUniverse(store_, p, bound);
+  EXPECT_TRUE(u.truncated);
+  EXPECT_EQ(u.terms.size(), 50u);
+}
+
+TEST_F(GroundTest, NormalUniverseIsConstantsOnly) {
+  // Example 4.1: the normal Herbrand universe of {p :- ~q(X). q(a).} is
+  // just {a}.
+  Program p = P("p :- ~q(X). q(a).");
+  Universe u = NormalHerbrandUniverse(store_, p, UniverseBound());
+  ASSERT_EQ(u.terms.size(), 1u);
+  EXPECT_EQ(u.terms[0], T("a"));
+}
+
+TEST_F(GroundTest, NormalUniverseWithFunctionSymbols) {
+  Program p = P("q(f(a)).");
+  UniverseBound bound;
+  bound.max_depth = 2;
+  Universe u = NormalHerbrandUniverse(store_, p, bound);
+  // a, f(a), f(f(a)).
+  EXPECT_EQ(u.terms.size(), 3u);
+  EXPECT_TRUE(std::count(u.terms.begin(), u.terms.end(), T("f(f(a))")) == 1);
+}
+
+TEST_F(GroundTest, InstantiateOverUniverseCoversAllCombinations) {
+  Program p = P("p :- ~q(X).");
+  std::vector<TermId> universe = {T("a"), T("b"), T("c")};
+  InstantiationResult r = InstantiateOverUniverse(store_, p, universe, 1000);
+  EXPECT_EQ(r.program.size(), 3u);
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST_F(GroundTest, InstantiationRespectsCap) {
+  Program p = P("r(X,Y) :- s(X), ~t(Y).");
+  std::vector<TermId> universe = {T("a"), T("b"), T("c"), T("d")};
+  InstantiationResult r = InstantiateOverUniverse(store_, p, universe, 10);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.program.size(), 10u);
+}
+
+TEST_F(GroundTest, RelevanceGroundingOfTransitiveClosure) {
+  Program p = P(
+      "e(1,2). e(2,3). e(3,4)."
+      "tc(G)(X,Y) :- graph(G), G(X,Y)."
+      "tc(G)(X,Y) :- graph(G), G(X,Z), tc(G)(Z,Y)."
+      "graph(e).");
+  RelevanceGroundingResult r =
+      GroundWithRelevance(store_, p, BottomUpOptions());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.truncated);
+  // Envelope: e facts, graph(e), tc(e)(x,y) for all 1<=x<y<=4.
+  WfsResult wfs = ComputeWfsAlternating(r.program);
+  EXPECT_TRUE(wfs.model.IsTrue(T("tc(e)(1,4)")));
+  EXPECT_TRUE(wfs.model.IsTrue(T("tc(e)(2,3)")));
+  EXPECT_TRUE(wfs.model.IsFalse(T("tc(e)(4,1)")));
+}
+
+TEST_F(GroundTest, RelevanceGroundingRejectsUnsafeRule) {
+  Program p = P("p(X) :- ~q(X).");
+  RelevanceGroundingResult r =
+      GroundWithRelevance(store_, p, BottomUpOptions());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("not safe"), std::string::npos) << r.error;
+}
+
+TEST_F(GroundTest, RelevanceGroundingHiLogGame) {
+  // Example 6.3 shape.
+  Program p = P(
+      "winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y)."
+      "game(move1). move1(a,b). move1(b,c).");
+  RelevanceGroundingResult r =
+      GroundWithRelevance(store_, p, BottomUpOptions());
+  ASSERT_TRUE(r.ok) << r.error;
+  WfsResult wfs = ComputeWfsAlternating(r.program);
+  EXPECT_TRUE(wfs.model.IsTrue(T("winning(move1)(b)")));
+  EXPECT_TRUE(wfs.model.IsFalse(T("winning(move1)(c)")));
+  EXPECT_TRUE(wfs.model.IsFalse(T("winning(move1)(a)")));
+}
+
+TEST_F(GroundTest, EnvelopeIsSoundForWfs) {
+  // Atoms outside the positive envelope are false in the WFS: grounding
+  // with relevance and with the exhaustive instantiation agree on the
+  // envelope atoms.
+  Program p = P(
+      "w(X) :- m(X,Y), ~w(Y). m(1,2). m(2,3).");
+  RelevanceGroundingResult rel =
+      GroundWithRelevance(store_, p, BottomUpOptions());
+  ASSERT_TRUE(rel.ok);
+  WfsResult rel_wfs = ComputeWfsAlternating(rel.program);
+
+  Universe u = NormalHerbrandUniverse(store_, p, UniverseBound());
+  InstantiationResult inst = InstantiateOverUniverse(store_, p, u.terms, 1e6);
+  WfsResult full_wfs = ComputeWfsAlternating(inst.program);
+
+  for (TermId atom : full_wfs.model.atoms().atoms()) {
+    EXPECT_EQ(full_wfs.model.Value(atom), rel_wfs.model.Value(atom))
+        << store_.ToString(atom);
+  }
+}
+
+TEST_F(GroundTest, BottomUpSemiNaiveMatchesExpectedFactCount) {
+  Program p = P(
+      "e(1,2). e(2,3). e(3,4). e(4,5)."
+      "t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y).");
+  BottomUpResult r = LeastModelOfPositiveProjection(store_, p,
+                                                    BottomUpOptions());
+  EXPECT_FALSE(r.truncated);
+  // 4 edges + 10 transitive pairs.
+  EXPECT_EQ(r.facts.size(), 14u);
+  EXPECT_TRUE(r.facts.Contains(T("t(1,5)")));
+}
+
+TEST_F(GroundTest, BottomUpBudgetStopsInfinitePrograms) {
+  // f-chain grows forever; the budget must stop it and report truncation.
+  Program p = P("n(z). n(s(X)) :- n(X).");
+  BottomUpOptions options;
+  options.max_facts = 100;
+  BottomUpResult r = LeastModelOfPositiveProjection(store_, p, options);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_GE(r.facts.size(), 100u);
+}
+
+}  // namespace
+}  // namespace hilog

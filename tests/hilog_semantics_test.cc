@@ -1,0 +1,181 @@
+// Tests for Section 4: the HiLog well-founded / stable semantics obtained
+// by instantiating over the HiLog Herbrand universe, their divergence from
+// the normal semantics on non-domain-independent programs (Example 4.1),
+// and their agreement on range-restricted programs (Theorems 4.1, 4.2).
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/extension.h"
+#include "src/analysis/range_restriction.h"
+#include "src/ground/herbrand.h"
+#include "src/lang/parser.h"
+#include "src/wfs/alternating.h"
+#include "src/wfs/stable.h"
+
+namespace hilog {
+namespace {
+
+class HiLogSemanticsTest : public ::testing::Test {
+ protected:
+  Program P(std::string_view text) {
+    ParseResult<Program> parsed = ParseProgram(store_, text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    return *parsed;
+  }
+  TermId T(std::string_view text) { return *ParseTerm(store_, text); }
+
+  Interpretation NormalWfs(const Program& p) {
+    Universe u = NormalHerbrandUniverse(store_, p, UniverseBound());
+    InstantiationResult inst =
+        InstantiateOverUniverse(store_, p, u.terms, 1000000);
+    EXPECT_FALSE(inst.truncated);
+    return ComputeWfsAlternating(inst.program).model;
+  }
+
+  Interpretation HiLogWfs(const Program& p, int depth) {
+    UniverseBound bound;
+    bound.max_depth = depth;
+    Universe u = ProgramHiLogUniverse(store_, p, bound);
+    InstantiationResult inst =
+        InstantiateOverUniverse(store_, p, u.terms, 5000000);
+    EXPECT_FALSE(inst.truncated);
+    return ComputeWfsAlternating(inst.program).model;
+  }
+
+  TermStore store_;
+};
+
+// Example 4.1: P = { p :- ~q(X).  q(a). }
+// Normal semantics: universe {a}, q(a) true, so p is false.
+// HiLog semantics: substitutions like X/p or X/q(a) make ~q(X) succeed, so
+// p is true.
+TEST_F(HiLogSemanticsTest, Example41NegationDiverges) {
+  Program p = P("p :- ~q(X). q(a).");
+  Interpretation normal = NormalWfs(p);
+  EXPECT_TRUE(normal.IsFalse(T("p")));
+  EXPECT_TRUE(normal.IsTrue(T("q(a)")));
+
+  Interpretation hilog = HiLogWfs(p, 1);
+  EXPECT_TRUE(hilog.IsTrue(T("p")));
+  EXPECT_TRUE(hilog.IsTrue(T("q(a)")));
+  EXPECT_TRUE(hilog.IsFalse(T("q(p)")));
+
+  // The divergence persists at a deeper bound (it is not a fragment
+  // artifact).
+  Interpretation hilog2 = HiLogWfs(p, 2);
+  EXPECT_TRUE(hilog2.IsTrue(T("p")));
+}
+
+// Example 4.1 footnote: adding an unrelated fact r(b) changes the normal
+// answer for p (the universal query problem) — evidence that the program
+// is not domain independent.
+TEST_F(HiLogSemanticsTest, Example41FootnoteUniversalQueryProblem) {
+  Program p = P("p :- ~q(X). q(a). r(b).");
+  Interpretation normal = NormalWfs(p);
+  EXPECT_TRUE(normal.IsTrue(T("p")));  // X/b now witnesses ~q(X).
+}
+
+// Example 4.1, second program: p(X,X,a). Without negation the HiLog model
+// is infinite: p(t,t,a) for every HiLog term t.
+TEST_F(HiLogSemanticsTest, Example41PositiveDivergence) {
+  Program p = P("p(X,X,a).");
+  Interpretation normal = NormalWfs(p);
+  EXPECT_TRUE(normal.IsTrue(T("p(a,a,a)")));
+  EXPECT_TRUE(normal.IsFalse(T("p(p,p,a)")));  // p not in normal universe.
+
+  Interpretation hilog = HiLogWfs(p, 1);
+  EXPECT_TRUE(hilog.IsTrue(T("p(a,a,a)")));
+  EXPECT_TRUE(hilog.IsTrue(T("p(p,p,a)")));
+  // The program's only arity is 3, so the bounded universe contains
+  // depth-1 terms like a(p,p,p).
+  EXPECT_TRUE(hilog.IsTrue(T("p(a(p,p,p),a(p,p,p),a)")));
+  EXPECT_TRUE(hilog.IsFalse(T("p(a,p,a)")));
+}
+
+// Theorem 4.1: for a range-restricted normal program, the HiLog
+// well-founded model conservatively extends the normal one: values agree
+// on all normal atoms, and every HiLog-only atom is false.
+TEST_F(HiLogSemanticsTest, Theorem41ConservativeExtension) {
+  const char* programs[] = {
+      "q(a). q(b). p(X) :- q(X), ~r(X). r(a).",
+      "e(1,2). e(2,3). t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y).",
+      "m(1,2). m(2,3). m(3,4). w(X) :- m(X,Y), ~w(Y).",
+      "s. p :- s, ~q. q :- ~p.",  // Three-valued WFS case.
+  };
+  for (const char* text : programs) {
+    Program p = P(text);
+    ASSERT_TRUE(IsNormalRangeRestricted(store_, p)) << text;
+    Interpretation normal = NormalWfs(p);
+    Interpretation hilog = HiLogWfs(p, 1);
+    // Agreement on every atom of the normal instantiation.
+    Universe u = NormalHerbrandUniverse(store_, p, UniverseBound());
+    InstantiationResult inst =
+        InstantiateOverUniverse(store_, p, u.terms, 1000000);
+    AtomTable atoms;
+    inst.program.CollectAtoms(&atoms);
+    for (TermId atom : atoms.atoms()) {
+      EXPECT_EQ(hilog.Value(atom), normal.Value(atom))
+          << text << " atom " << store_.ToString(atom);
+    }
+    // HiLog-only atoms are all false.
+    for (TermId atom : hilog.atoms().atoms()) {
+      if (atoms.Find(atom) == UINT32_MAX) {
+        EXPECT_NE(hilog.Value(atom), TruthValue::kTrue)
+            << text << " atom " << store_.ToString(atom);
+      }
+    }
+  }
+}
+
+// Theorem 4.2: stable models correspond one-to-one.
+TEST_F(HiLogSemanticsTest, Theorem42StableModelCorrespondence) {
+  const char* programs[] = {
+      "s(a). p(X) :- s(X), ~q(X). q(X) :- s(X), ~p(X).",
+      "m(1,2). m(2,3). w(X) :- m(X,Y), ~w(Y).",
+  };
+  for (const char* text : programs) {
+    Program p = P(text);
+    ASSERT_TRUE(IsNormalRangeRestricted(store_, p)) << text;
+
+    Universe nu = NormalHerbrandUniverse(store_, p, UniverseBound());
+    InstantiationResult ni =
+        InstantiateOverUniverse(store_, p, nu.terms, 1000000);
+    StableModelsResult normal = EnumerateStableModels(ni.program,
+                                                      StableOptions());
+
+    UniverseBound bound;
+    bound.max_depth = 1;
+    Universe hu = ProgramHiLogUniverse(store_, p, bound);
+    InstantiationResult hi =
+        InstantiateOverUniverse(store_, p, hu.terms, 5000000);
+    StableModelsResult hilog = EnumerateStableModels(hi.program,
+                                                     StableOptions());
+
+    ASSERT_TRUE(normal.complete && hilog.complete) << text;
+    ASSERT_EQ(normal.models.size(), hilog.models.size()) << text;
+    // The true-atom sets must match exactly: all HiLog-only atoms are
+    // false in every stable model.
+    auto key = [&](const StableModel& m) { return m.true_atoms; };
+    std::vector<std::vector<TermId>> a;
+    std::vector<std::vector<TermId>> b;
+    for (const auto& m : normal.models) a.push_back(key(m));
+    for (const auto& m : hilog.models) b.push_back(key(m));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << text;
+  }
+}
+
+// Enlarging the universe bound does not change the answer fragment for
+// range-restricted programs (the bounded-universe substitution is sound).
+TEST_F(HiLogSemanticsTest, BoundDoublingStability) {
+  Program p = P("q(a). q(b). p(X) :- q(X), ~r(X). r(a).");
+  Interpretation d1 = HiLogWfs(p, 1);
+  Interpretation d2 = HiLogWfs(p, 2);
+  for (TermId atom : d1.atoms().atoms()) {
+    EXPECT_EQ(d1.Value(atom), d2.Value(atom)) << store_.ToString(atom);
+  }
+}
+
+}  // namespace
+}  // namespace hilog

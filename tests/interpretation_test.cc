@@ -1,0 +1,95 @@
+// Unit tests for three-valued interpretations, the atom table, and ground
+// program conversion.
+
+#include "src/wfs/interpretation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/parser.h"
+
+namespace hilog {
+namespace {
+
+class InterpretationTest : public ::testing::Test {
+ protected:
+  TermId T(std::string_view text) { return *ParseTerm(store_, text); }
+  TermStore store_;
+};
+
+TEST_F(InterpretationTest, AtomTableInternsAndFinds) {
+  AtomTable table;
+  uint32_t a = table.Intern(T("p(a)"));
+  uint32_t b = table.Intern(T("p(b)"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern(T("p(a)")), a);
+  EXPECT_EQ(table.Find(T("p(a)")), a);
+  EXPECT_EQ(table.Find(T("p(c)")), UINT32_MAX);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.atom(a), T("p(a)"));
+}
+
+TEST_F(InterpretationTest, DefaultsToUndefinedInsideClosedWorldOutside) {
+  AtomTable table;
+  table.Intern(T("p"));
+  Interpretation interp(std::move(table));
+  EXPECT_TRUE(interp.IsUndefined(T("p")));
+  // Atoms outside the table are false (closed world after grounding).
+  EXPECT_TRUE(interp.IsFalse(T("q")));
+  EXPECT_FALSE(interp.IsTotal());
+}
+
+TEST_F(InterpretationTest, SettersAndCounters) {
+  AtomTable table;
+  uint32_t p = table.Intern(T("p"));
+  uint32_t q = table.Intern(T("q"));
+  uint32_t r = table.Intern(T("r"));
+  Interpretation interp(std::move(table));
+  interp.SetAt(p, TruthValue::kTrue);
+  interp.SetAt(q, TruthValue::kFalse);
+  EXPECT_EQ(interp.CountTrue(), 1u);
+  EXPECT_EQ(interp.CountUndefined(), 1u);
+  EXPECT_EQ(interp.TrueAtoms(), (std::vector<TermId>{T("p")}));
+  EXPECT_EQ(interp.UndefinedAtoms(), (std::vector<TermId>{T("r")}));
+  EXPECT_EQ(interp.FalseAtomsInTable(), (std::vector<TermId>{T("q")}));
+  interp.SetAt(r, TruthValue::kTrue);
+  EXPECT_TRUE(interp.IsTotal());
+}
+
+TEST_F(InterpretationTest, ToGroundProgramAcceptsGroundRulesOnly) {
+  auto ok = ParseProgram(store_, "p :- q, ~r. q.");
+  GroundProgram ground;
+  EXPECT_TRUE(ToGroundProgram(store_, *ok, &ground));
+  EXPECT_EQ(ground.size(), 2u);
+  EXPECT_EQ(ground.rules[0].pos.size(), 1u);
+  EXPECT_EQ(ground.rules[0].neg.size(), 1u);
+
+  auto nonground = ParseProgram(store_, "p(X) :- q(X).");
+  GroundProgram g2;
+  EXPECT_FALSE(ToGroundProgram(store_, *nonground, &g2));
+
+  auto aggregate = ParseProgram(store_, "p :- N = sum(P, q(P)).");
+  GroundProgram g3;
+  EXPECT_FALSE(ToGroundProgram(store_, *aggregate, &g3));
+}
+
+TEST_F(InterpretationTest, GroundProgramToStringIsReadable) {
+  auto parsed = ParseProgram(store_, "p :- q, ~r. s.");
+  GroundProgram ground;
+  ASSERT_TRUE(ToGroundProgram(store_, *parsed, &ground));
+  std::string text = ground.ToString(store_);
+  EXPECT_NE(text.find("p :- q, ~r."), std::string::npos) << text;
+  EXPECT_NE(text.find("s."), std::string::npos) << text;
+}
+
+TEST_F(InterpretationTest, CollectAtomsCoversHeadsAndBodies) {
+  auto parsed = ParseProgram(store_, "p :- q, ~r.");
+  GroundProgram ground;
+  ASSERT_TRUE(ToGroundProgram(store_, *parsed, &ground));
+  AtomTable table;
+  ground.CollectAtoms(&table);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_NE(table.Find(T("r")), UINT32_MAX);
+}
+
+}  // namespace
+}  // namespace hilog

@@ -1,0 +1,95 @@
+// Unit tests for the lexer: token classification, locations, and error
+// reporting.
+
+#include "src/lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace hilog {
+namespace {
+
+std::vector<TokenKind> Kinds(std::string_view text) {
+  std::vector<TokenKind> kinds;
+  for (const Token& t : Lex(text)) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, BasicTokens) {
+  EXPECT_EQ(Kinds("p(X) :- q, ~r."),
+            (std::vector<TokenKind>{
+                TokenKind::kSymbol, TokenKind::kLParen, TokenKind::kVariable,
+                TokenKind::kRParen, TokenKind::kArrow, TokenKind::kSymbol,
+                TokenKind::kComma, TokenKind::kNeg, TokenKind::kSymbol,
+                TokenKind::kDot, TokenKind::kEof}));
+}
+
+TEST(LexerTest, VariablesStartUpperOrUnderscore) {
+  std::vector<Token> tokens = Lex("X _x _ abc Abc");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kSymbol);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kVariable);
+}
+
+TEST(LexerTest, NumbersAreSymbols) {
+  std::vector<Token> tokens = Lex("42 007");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kSymbol);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].text, "007");
+}
+
+TEST(LexerTest, ArrowsAndNegationVariants) {
+  EXPECT_EQ(Kinds(":- <- ~ \\+ ?-"),
+            (std::vector<TokenKind>{TokenKind::kArrow, TokenKind::kArrow,
+                                    TokenKind::kNeg, TokenKind::kNeg,
+                                    TokenKind::kQuery, TokenKind::kEof}));
+}
+
+TEST(LexerTest, ListAndArithmeticTokens) {
+  EXPECT_EQ(Kinds("[X|R] = * + -"),
+            (std::vector<TokenKind>{
+                TokenKind::kLBracket, TokenKind::kVariable, TokenKind::kBar,
+                TokenKind::kVariable, TokenKind::kRBracket, TokenKind::kEq,
+                TokenKind::kStar, TokenKind::kPlus, TokenKind::kMinus,
+                TokenKind::kEof}));
+}
+
+TEST(LexerTest, QuotedAtoms) {
+  std::vector<Token> tokens = Lex("'hello world' 'Weird-Symbol!'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kSymbol);
+  EXPECT_EQ(tokens[0].text, "hello world");
+  EXPECT_EQ(tokens[1].text, "Weird-Symbol!");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  EXPECT_EQ(Kinds("p. % comment with :- ~ tokens\nq."),
+            (std::vector<TokenKind>{TokenKind::kSymbol, TokenKind::kDot,
+                                    TokenKind::kSymbol, TokenKind::kDot,
+                                    TokenKind::kEof}));
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  std::vector<Token> tokens = Lex("p.\n  q.");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[2].line, 2);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(LexerTest, ErrorsTerminateStream) {
+  std::vector<Token> tokens = Lex("p :- &");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kError);
+  std::vector<Token> unterminated = Lex("'never closed");
+  EXPECT_EQ(unterminated.back().kind, TokenKind::kError);
+  std::vector<Token> lone_colon = Lex("p : q");
+  EXPECT_EQ(lone_colon.back().kind, TokenKind::kError);
+}
+
+TEST(LexerTest, EmptyInputIsJustEof) {
+  EXPECT_EQ(Kinds(""), (std::vector<TokenKind>{TokenKind::kEof}));
+  EXPECT_EQ(Kinds("   \n\t "), (std::vector<TokenKind>{TokenKind::kEof}));
+}
+
+}  // namespace
+}  // namespace hilog

@@ -1,0 +1,144 @@
+// Tests for the diagnostics linter: per-condition range-restriction
+// explanations (Definition 5.5's three conditions, named), floundering
+// positions, singleton variables, undefined predicates, and arity notes.
+
+#include "src/analysis/lint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/range_restriction.h"
+#include "src/lang/parser.h"
+
+namespace hilog {
+namespace {
+
+class LintTest : public ::testing::Test {
+ protected:
+  std::vector<LintFinding> Lint(std::string_view text) {
+    ParseResult<Program> parsed = ParseProgram(store_, text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    program_ = *parsed;
+    return LintProgram(store_, program_);
+  }
+  bool Has(const std::vector<LintFinding>& findings, LintCode code) {
+    for (const LintFinding& f : findings) {
+      if (f.code == code) return true;
+    }
+    return false;
+  }
+  size_t Count(const std::vector<LintFinding>& findings, LintCode code) {
+    size_t n = 0;
+    for (const LintFinding& f : findings) n += f.code == code;
+    return n;
+  }
+  TermStore store_;
+  Program program_;
+};
+
+TEST_F(LintTest, CleanProgramHasNoErrors) {
+  auto findings = Lint(
+      "winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y)."
+      "game(mv). mv(a,b).");
+  for (const LintFinding& f : findings) {
+    EXPECT_NE(f.severity, LintSeverity::kError) << f.message;
+  }
+}
+
+TEST_F(LintTest, Condition1Violation) {
+  auto findings = Lint("p(X) :- q(a).");
+  EXPECT_TRUE(Has(findings, LintCode::kHeadArgumentUnbound));
+}
+
+TEST_F(LintTest, Condition2Violation) {
+  auto findings = Lint("p :- q(a), ~r(X).");
+  EXPECT_TRUE(Has(findings, LintCode::kNegativeVariableUnbound));
+  // Head-name binding satisfies condition 2 (no error).
+  auto ok = Lint("f(X)() :- ~X(a).");
+  EXPECT_FALSE(Has(ok, LintCode::kNegativeVariableUnbound));
+}
+
+TEST_F(LintTest, Condition3Violation) {
+  // Example 5.3's not-range-restricted clause: deadlocked name variables.
+  auto findings = Lint("h(a) :- X(Y), Y(X).");
+  EXPECT_TRUE(Has(findings, LintCode::kNameVariableUnorderable));
+  // The message names the condition.
+  bool mentioned = false;
+  for (const LintFinding& f : findings) {
+    if (f.message.find("condition 3") != std::string::npos) mentioned = true;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST_F(LintTest, ErrorsAlignWithRangeRestrictionChecker) {
+  // Whenever the linter reports no 5.5-errors for a rule, the checker
+  // accepts it, and vice versa.
+  const char* rules[] = {
+      "p(X) :- q(X), ~r(X).",
+      "p(X) :- ~q(X).",
+      "tc(G)(X,Y) :- G(X,Y).",
+      "tc(G,X,Y) :- G(X,Y).",
+      "X(Y)(Z) :- p(X,Y,W), W(a)(Z), ~W(b)(Z).",
+      "not(X) :- ~X.",
+      "p(X) :- X(a).",
+  };
+  for (const char* text : rules) {
+    ParseResult<Program> parsed = ParseProgram(store_, text);
+    ASSERT_TRUE(parsed.ok());
+    auto findings = LintProgram(store_, *parsed);
+    bool lint_errors = false;
+    for (const LintFinding& f : findings) {
+      if (f.severity == LintSeverity::kError) lint_errors = true;
+    }
+    EXPECT_EQ(!lint_errors,
+              IsRangeRestrictedRule(store_, parsed->rules[0]))
+        << text;
+  }
+}
+
+TEST_F(LintTest, FlounderingWarnings) {
+  auto neg = Lint("p :- ~q(X), r(X).");
+  EXPECT_TRUE(Has(neg, LintCode::kFlounderingNegative));
+  auto name = Lint("p :- X(a), g(X).");
+  EXPECT_TRUE(Has(name, LintCode::kFlounderingName));
+  auto fine = Lint("p :- r(X), ~q(X).");
+  EXPECT_FALSE(Has(fine, LintCode::kFlounderingNegative));
+}
+
+TEST_F(LintTest, SingletonVariables) {
+  auto findings = Lint("p(X) :- q(X, Oops), r(X).");
+  EXPECT_EQ(Count(findings, LintCode::kSingletonVariable), 1u);
+  // Anonymous variables are exempt.
+  auto anon = Lint("p(X) :- q(X, _), r(X).");
+  EXPECT_FALSE(Has(anon, LintCode::kSingletonVariable));
+  // Open facts quantify deliberately (e.g. maplist(F)([],[])).
+  auto fact = Lint("maplist(F)([],[]).");
+  EXPECT_FALSE(Has(fact, LintCode::kSingletonVariable));
+}
+
+TEST_F(LintTest, UndefinedPredicate) {
+  auto findings = Lint("p(X) :- qq(X). q(a).");  // qq: likely typo of q.
+  EXPECT_TRUE(Has(findings, LintCode::kUndefinedPredicate));
+  auto fine = Lint("p(X) :- q(X). q(a).");
+  EXPECT_FALSE(Has(fine, LintCode::kUndefinedPredicate));
+  // Variable-named subgoals cannot be checked; no false positive.
+  auto hilog = Lint("p(X) :- g(M), M(X). g(mv). mv(1).");
+  EXPECT_FALSE(Has(hilog, LintCode::kUndefinedPredicate));
+}
+
+TEST_F(LintTest, ArityPolymorphismNote) {
+  auto findings = Lint("p(a). p(a,b). q :- p(a).");
+  EXPECT_TRUE(Has(findings, LintCode::kArityMismatch));
+  auto fine = Lint("p(a). p(b).");
+  EXPECT_FALSE(Has(fine, LintCode::kArityMismatch));
+}
+
+TEST_F(LintTest, RenderingMentionsRuleText) {
+  auto findings = Lint("p(X) :- q(a).");
+  std::string rendered = RenderFindings(store_, program_, findings);
+  EXPECT_NE(rendered.find("rule 1"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("p(X) :- q(a)."), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("error"), std::string::npos) << rendered;
+}
+
+}  // namespace
+}  // namespace hilog

@@ -1,0 +1,110 @@
+// Randomized property tests for Section 6 (parameterized over seeds):
+//  - Theorem 6.1: modularly stratified for HiLog => the procedure's model
+//    is the total WFS and the unique stable model;
+//  - Lemma 6.2: the HiLog procedure and the normal-program definition
+//    agree on normal programs;
+//  - cyclic game data is rejected, acyclic accepted.
+
+#include <gtest/gtest.h>
+
+#include "random_programs.h"
+#include "src/analysis/modular.h"
+#include "src/ground/grounder.h"
+#include "src/lang/parser.h"
+#include "src/wfs/alternating.h"
+#include "src/wfs/stable.h"
+
+namespace hilog {
+namespace {
+
+class ModularPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ModularPropertyTest, Theorem61OnRandomGames) {
+  TermStore store;
+  std::string text = testing::RandomGameProgram(GetParam());
+  ParseResult<Program> parsed = ParseProgram(store, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+  ModularResult modular =
+      CheckModularHiLog(store, *parsed, ModularOptions());
+  ASSERT_TRUE(modular.modularly_stratified) << text << "\n" << modular.reason;
+
+  RelevanceGroundingResult ground =
+      GroundWithRelevance(store, *parsed, BottomUpOptions());
+  ASSERT_TRUE(ground.ok) << ground.error;
+  WfsResult wfs = ComputeWfsAlternating(ground.program);
+  EXPECT_TRUE(wfs.model.IsTotal()) << text;
+  for (TermId atom : wfs.model.TrueAtoms()) {
+    EXPECT_TRUE(modular.model.IsTrue(atom))
+        << text << "\n" << store.ToString(atom);
+  }
+  for (TermId atom : modular.model.true_atoms().facts()) {
+    EXPECT_TRUE(wfs.model.IsTrue(atom))
+        << text << "\n" << store.ToString(atom);
+  }
+
+  StableModelsResult stable =
+      EnumerateStableModels(ground.program, StableOptions());
+  ASSERT_TRUE(stable.complete) << text;
+  ASSERT_EQ(stable.models.size(), 1u) << text;
+  std::vector<TermId> wfs_true = wfs.model.TrueAtoms();
+  std::sort(wfs_true.begin(), wfs_true.end());
+  EXPECT_EQ(stable.models[0].true_atoms, wfs_true) << text;
+}
+
+TEST_P(ModularPropertyTest, CyclicGamesAreRejected) {
+  TermStore store;
+  std::string text = testing::RandomGameProgram(GetParam(), /*cyclic=*/true);
+  ParseResult<Program> parsed = ParseProgram(store, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ModularResult modular =
+      CheckModularHiLog(store, *parsed, ModularOptions());
+  EXPECT_FALSE(modular.modularly_stratified) << text;
+}
+
+TEST_P(ModularPropertyTest, Lemma62OnRandomNormalPrograms) {
+  TermStore store;
+  std::string text =
+      testing::RandomRangeRestrictedNormalProgram(GetParam());
+  ParseResult<Program> parsed = ParseProgram(store, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+  ModularResult normal = CheckModularNormal(store, *parsed, ModularOptions());
+  ModularResult hilog = CheckModularHiLog(store, *parsed, ModularOptions());
+  EXPECT_EQ(normal.modularly_stratified, hilog.modularly_stratified)
+      << text << "\nnormal: " << normal.reason << "\nhilog: " << hilog.reason;
+  if (normal.modularly_stratified && hilog.modularly_stratified) {
+    for (TermId atom : normal.model.true_atoms().facts()) {
+      EXPECT_TRUE(hilog.model.IsTrue(atom))
+          << text << "\n" << store.ToString(atom);
+    }
+    for (TermId atom : hilog.model.true_atoms().facts()) {
+      EXPECT_TRUE(normal.model.IsTrue(atom))
+          << text << "\n" << store.ToString(atom);
+    }
+  }
+}
+
+TEST_P(ModularPropertyTest, AcceptedProgramsHaveTotalWfs) {
+  // Whenever the procedure accepts a random normal program, its WFS is
+  // total (the contrapositive direction of Theorem 6.1's guarantee).
+  TermStore store;
+  std::string text =
+      testing::RandomRangeRestrictedNormalProgram(GetParam() + 1000);
+  ParseResult<Program> parsed = ParseProgram(store, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ModularResult modular =
+      CheckModularHiLog(store, *parsed, ModularOptions());
+  if (!modular.modularly_stratified) return;
+  RelevanceGroundingResult ground =
+      GroundWithRelevance(store, *parsed, BottomUpOptions());
+  ASSERT_TRUE(ground.ok) << ground.error;
+  WfsResult wfs = ComputeWfsAlternating(ground.program);
+  EXPECT_TRUE(wfs.model.IsTotal()) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModularPropertyTest,
+                         ::testing::Range(1u, 41u));
+
+}  // namespace
+}  // namespace hilog

@@ -1,0 +1,342 @@
+// Tests for Section 6: modular stratification for HiLog (Definition 6.6,
+// Figure 1), the HiLog reduction (Definition 6.5), and the normal-program
+// specialization (Definition 6.4, Lemma 6.2).
+
+#include "src/analysis/modular.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ground/grounder.h"
+#include "src/lang/parser.h"
+#include "src/wfs/alternating.h"
+#include "src/wfs/stable.h"
+
+namespace hilog {
+namespace {
+
+class ModularTest : public ::testing::Test {
+ protected:
+  Program P(std::string_view text) {
+    ParseResult<Program> parsed = ParseProgram(store_, text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    return *parsed;
+  }
+  TermId T(std::string_view text) { return *ParseTerm(store_, text); }
+  TermStore store_;
+};
+
+// Example 6.1: win/move with an acyclic move relation is modularly
+// stratified; with a cyclic move relation it is not.
+TEST_F(ModularTest, Example61AcyclicGame) {
+  Program p = P(
+      "winning(X) :- move(X,Y), ~winning(Y)."
+      "move(a,b). move(b,c). move(c,d).");
+  ModularResult result = CheckModularNormal(store_, p, ModularOptions());
+  ASSERT_TRUE(result.modularly_stratified) << result.reason;
+  EXPECT_TRUE(result.model.IsTrue(T("winning(c)")));
+  EXPECT_FALSE(result.model.IsTrue(T("winning(d)")));
+  EXPECT_FALSE(result.model.IsTrue(T("winning(b)")));
+  EXPECT_TRUE(result.model.IsTrue(T("winning(a)")));
+}
+
+TEST_F(ModularTest, Example61CyclicGameRejected) {
+  Program p = P(
+      "winning(X) :- move(X,Y), ~winning(Y)."
+      "move(a,b). move(b,a).");
+  ModularResult result = CheckModularNormal(store_, p, ModularOptions());
+  EXPECT_FALSE(result.modularly_stratified);
+  EXPECT_NE(result.reason.find("locally stratified"), std::string::npos)
+      << result.reason;
+  // Figure 1 agrees (Lemma 6.2).
+  ModularResult hilog = CheckModularHiLog(store_, p, ModularOptions());
+  EXPECT_FALSE(hilog.modularly_stratified);
+}
+
+// Example 6.3: the parameterized game winning(M)(X), two acyclic move
+// relations. Modularly stratified for HiLog; Figure 1 settles the facts
+// first, then both winning(move_i) components.
+TEST_F(ModularTest, Example63ParameterizedGame) {
+  Program p = P(
+      "winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y)."
+      "game(move1). game(move2)."
+      "move1(a,b). move1(b,c)."
+      "move2(x,y).");
+  ModularResult result = CheckModularHiLog(store_, p, ModularOptions());
+  ASSERT_TRUE(result.modularly_stratified) << result.reason;
+  // Round 1 settles the EDB names; round 2 the winning(move_i) names.
+  ASSERT_GE(result.settled_per_round.size(), 2u);
+  EXPECT_TRUE(result.model.IsSettledName(T("winning(move1)")));
+  EXPECT_TRUE(result.model.IsSettledName(T("winning(move2)")));
+  // Game results: b wins (move to c, which loses), a loses, x wins.
+  EXPECT_TRUE(result.model.IsTrue(T("winning(move1)(b)")));
+  EXPECT_FALSE(result.model.IsTrue(T("winning(move1)(a)")));
+  EXPECT_FALSE(result.model.IsTrue(T("winning(move1)(c)")));
+  EXPECT_TRUE(result.model.IsTrue(T("winning(move2)(x)")));
+  EXPECT_FALSE(result.model.IsTrue(T("winning(move2)(y)")));
+}
+
+TEST_F(ModularTest, Example63CyclicParameterRejected) {
+  Program p = P(
+      "winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y)."
+      "game(move1). move1(a,b). move1(b,a).");
+  ModularResult result = CheckModularHiLog(store_, p, ModularOptions());
+  EXPECT_FALSE(result.modularly_stratified);
+}
+
+// Example 6.4: a program with a two-valued well-founded model that is
+// *not* modularly stratified — the reduced component mixes p(a)'s negative
+// self-dependency with p(b).
+TEST_F(ModularTest, Example64TwoValuedButNotModular) {
+  Program p = P(
+      "P(X) :- t(X,Y,Z,P), ~P(Y), ~P(Z)."
+      "t(a,b,a,p)."
+      "t(e,a,b,p)."
+      "P(b) :- t(X,Y,b,P).");
+  ModularResult result = CheckModularHiLog(store_, p, ModularOptions());
+  EXPECT_FALSE(result.modularly_stratified);
+  EXPECT_NE(result.reason.find("locally stratified"), std::string::npos)
+      << result.reason;
+}
+
+// ... even though its well-founded model is two-valued, with p(b) true and
+// p(a) false (computed over the relevance grounding).
+TEST_F(ModularTest, Example64HasTwoValuedWfs) {
+  Program p = P(
+      "P(X) :- t(X,Y,Z,P), ~P(Y), ~P(Z)."
+      "t(a,b,a,p)."
+      "t(e,a,b,p)."
+      "P(b) :- t(X,Y,b,P).");
+  // Ground by relevance and compute the WFS directly.
+  RelevanceGroundingResult ground =
+      GroundWithRelevance(store_, p, BottomUpOptions());
+  ASSERT_TRUE(ground.ok) << ground.error;
+  WfsResult wfs = ComputeWfsAlternating(ground.program);
+  EXPECT_TRUE(wfs.model.IsTotal());
+  EXPECT_TRUE(wfs.model.IsTrue(T("p(b)")));
+  EXPECT_TRUE(wfs.model.IsFalse(T("p(a)")));
+  EXPECT_TRUE(wfs.model.IsFalse(T("p(e)")));
+}
+
+// Example 6.5: move1 defined through rules (X :- p(X), p(X) :- q(X), with
+// move1 tuples stored as q(move1(A,B))). Figure 1 settles move1 as empty
+// before the defining rule surfaces, then rejects at the settled-head
+// check.
+TEST_F(ModularTest, Example65SettledHeadViolation) {
+  Program p = P(
+      "winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y)."
+      "game(move1). game(move2)."
+      "q(move1(a,b)). q(move1(b,c))."
+      "move2(x,y)."
+      "p(X) :- q(X)."
+      "X :- p(X).");
+  ModularResult result = CheckModularHiLog(store_, p, ModularOptions());
+  EXPECT_FALSE(result.modularly_stratified);
+  EXPECT_NE(result.reason.find("already-settled"), std::string::npos)
+      << result.reason;
+}
+
+// Contrast to Example 6.5: if move1 facts are given directly (one level of
+// indirection less), the head instantiation happens before winning(move1)
+// is considered, and the program is accepted.
+TEST_F(ModularTest, Example65DirectVariantAccepted) {
+  Program p = P(
+      "winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y)."
+      "game(move1). game(move2)."
+      "p(move1(a,b)). p(move1(b,c))."
+      "move2(x,y)."
+      "X :- p(X).");
+  ModularResult result = CheckModularHiLog(store_, p, ModularOptions());
+  ASSERT_TRUE(result.modularly_stratified) << result.reason;
+  EXPECT_TRUE(result.model.IsTrue(T("winning(move1)(b)")));
+  EXPECT_FALSE(result.model.IsTrue(T("winning(move1)(a)")));
+}
+
+// Section 6, last example before Theorem 6.1: a rule with a variable head
+// name whose body predicate p has no rules. p settles universally false,
+// the reduction empties the rule, and the program is accepted — even
+// though instantiating Q to p *textually* would look non-locally-
+// stratified.
+TEST_F(ModularTest, VariableHeadOverEmptyPredicateAccepted) {
+  Program p = P("Q(a) :- p(Q), ~Q(a).");
+  ModularResult result = CheckModularHiLog(store_, p, ModularOptions());
+  ASSERT_TRUE(result.modularly_stratified) << result.reason;
+  EXPECT_TRUE(result.model.IsSettledName(T("p")));
+  EXPECT_FALSE(result.model.IsTrue(T("p(q)")));
+}
+
+// Example 6.2's point: the components of a range-restricted HiLog program
+// depend on the data. With tuples wiring q1,q2,q3 into one cycle, the
+// component contains a negative loop and the program is rejected; with an
+// acyclic wiring it is accepted.
+TEST_F(ModularTest, Example62DataDependentComponents) {
+  // X(a,b) :- p(X,Y), ~Y(a,b): p-tuples determine who depends on whom.
+  Program cyclic = P(
+      "X(a,b) :- p(X,Y), ~Y(a,b)."
+      "p(q1,q2). p(q2,q3). p(q3,q1).");
+  ModularResult r1 = CheckModularHiLog(store_, cyclic, ModularOptions());
+  EXPECT_FALSE(r1.modularly_stratified);
+
+  Program acyclic = P(
+      "X(a,b) :- p(X,Y), ~Y(a,b)."
+      "p(r,s). p(s,tt).");
+  ModularResult r2 = CheckModularHiLog(store_, acyclic, ModularOptions());
+  ASSERT_TRUE(r2.modularly_stratified) << r2.reason;
+  // tt has no rules: false. s :- ~tt(a,b) gives s(a,b) true. r :- ~s(a,b)
+  // gives r(a,b) false.
+  EXPECT_TRUE(r2.model.IsTrue(T("s(a,b)")));
+  EXPECT_FALSE(r2.model.IsTrue(T("r(a,b)")));
+  EXPECT_FALSE(r2.model.IsTrue(T("tt(a,b)")));
+}
+
+// Theorem 6.1: modularly stratified for HiLog => the accumulated model is
+// the total WFS and the unique stable model.
+TEST_F(ModularTest, Theorem61ModelMatchesWfsAndStable) {
+  Program p = P(
+      "winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y)."
+      "game(move1). move1(a,b). move1(b,c). move1(a,c).");
+  ModularResult modular = CheckModularHiLog(store_, p, ModularOptions());
+  ASSERT_TRUE(modular.modularly_stratified) << modular.reason;
+
+  RelevanceGroundingResult ground =
+      GroundWithRelevance(store_, p, BottomUpOptions());
+  ASSERT_TRUE(ground.ok);
+  WfsResult wfs = ComputeWfsAlternating(ground.program);
+  EXPECT_TRUE(wfs.model.IsTotal());
+  // Same true atoms.
+  for (TermId atom : wfs.model.TrueAtoms()) {
+    EXPECT_TRUE(modular.model.IsTrue(atom)) << store_.ToString(atom);
+  }
+  for (TermId atom : modular.model.true_atoms().facts()) {
+    EXPECT_TRUE(wfs.model.IsTrue(atom)) << store_.ToString(atom);
+  }
+  // Unique stable model with the same true atoms.
+  StableModelsResult stable =
+      EnumerateStableModels(ground.program, StableOptions());
+  ASSERT_TRUE(stable.complete);
+  ASSERT_EQ(stable.models.size(), 1u);
+  for (TermId atom : stable.models[0].true_atoms) {
+    EXPECT_TRUE(modular.model.IsTrue(atom)) << store_.ToString(atom);
+  }
+}
+
+// Lemma 6.2: on normal programs the HiLog procedure agrees with the
+// normal-program definition.
+TEST_F(ModularTest, Lemma62NormalAgreement) {
+  const char* programs[] = {
+      // Stratified.
+      "p(X) :- q(X), ~r(X). q(a). r(b).",
+      // Modularly stratified, not locally stratified.
+      "winning(X) :- move(X,Y), ~winning(Y). move(a,b). move(b,c).",
+      // Cyclic game: rejected.
+      "winning(X) :- move(X,Y), ~winning(Y). move(a,b). move(b,a).",
+      // Two interleaved components.
+      "a(X) :- e(X), ~b(X). b(X) :- f(X), ~c(X). c(X) :- e(X). e(1). f(1).",
+      // Positive recursion only.
+      "t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y). e(1,2). e(2,1).",
+  };
+  for (const char* text : programs) {
+    Program p = P(text);
+    ModularResult normal = CheckModularNormal(store_, p, ModularOptions());
+    ModularResult hilog = CheckModularHiLog(store_, p, ModularOptions());
+    EXPECT_EQ(normal.modularly_stratified, hilog.modularly_stratified)
+        << text << "\nnormal: " << normal.reason
+        << "\nhilog: " << hilog.reason;
+    if (normal.modularly_stratified) {
+      for (TermId atom : normal.model.true_atoms().facts()) {
+        EXPECT_TRUE(hilog.model.IsTrue(atom))
+            << text << " atom " << store_.ToString(atom);
+      }
+      for (TermId atom : hilog.model.true_atoms().facts()) {
+        EXPECT_TRUE(normal.model.IsTrue(atom))
+            << text << " atom " << store_.ToString(atom);
+      }
+    }
+  }
+}
+
+// HiLog reduction (Definition 6.5) in isolation: joining a settled
+// positive literal instantiates variables elsewhere in the rule —
+// including predicate-name positions.
+TEST_F(ModularTest, HiLogReductionInstantiatesNames) {
+  Program p = P("winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y).");
+  SettledModel settled;
+  settled.SettleName(T("game"));
+  settled.AddTrue(store_, T("game(move1)"));
+  ReductionResult reduced =
+      HiLogReduce(store_, p.rules, settled, 1000);
+  ASSERT_EQ(reduced.rules.size(), 1u);
+  EXPECT_EQ(store_.ToString(reduced.rules[0].head), "winning(move1)(X)");
+  EXPECT_EQ(store_.ToString(reduced.rules[0].body[0].atom), "move1(X,Y)");
+}
+
+TEST_F(ModularTest, HiLogReductionDeletesFalsePositiveSubgoals) {
+  Program p = P("a :- b, c. d :- e.");
+  SettledModel settled;
+  settled.SettleName(T("b"));  // b settled with empty extension.
+  settled.SettleName(T("e"));
+  settled.AddTrue(store_, T("e"));
+  ReductionResult reduced = HiLogReduce(store_, p.rules, settled, 1000);
+  // a :- b, c is deleted (b false); d :- e becomes the fact d.
+  ASSERT_EQ(reduced.rules.size(), 1u);
+  EXPECT_EQ(store_.ToString(reduced.rules[0].head), "d");
+  EXPECT_TRUE(reduced.rules[0].IsFact());
+}
+
+TEST_F(ModularTest, HiLogReductionResolvesGroundNegatives) {
+  Program p = P("a :- ~b. c :- ~d.");
+  SettledModel settled;
+  settled.SettleName(T("b"));
+  settled.AddTrue(store_, T("b"));  // b true: rule for a deleted.
+  settled.SettleName(T("d"));      // d false: ~d removed.
+  ReductionResult reduced = HiLogReduce(store_, p.rules, settled, 1000);
+  ASSERT_EQ(reduced.rules.size(), 1u);
+  EXPECT_EQ(store_.ToString(reduced.rules[0].head), "c");
+  EXPECT_TRUE(reduced.rules[0].IsFact());
+}
+
+TEST_F(ModularTest, HiLogReductionKeepsUnresolvableSettledNegatives) {
+  // ~q(X) has a settled name but non-ground arguments whose binding comes
+  // from an unsettled literal: it must be kept for a later round.
+  Program p = P("a(X) :- r(X), ~q(X).");
+  SettledModel settled;
+  settled.SettleName(T("q"));
+  settled.AddTrue(store_, T("q(1)"));
+  ReductionResult reduced = HiLogReduce(store_, p.rules, settled, 1000);
+  ASSERT_EQ(reduced.rules.size(), 1u);
+  EXPECT_EQ(reduced.rules[0].body.size(), 2u);
+}
+
+TEST_F(ModularTest, NonStronglyRangeRestrictedRejected) {
+  // Definition 6.6 requires strongly range-restricted input.
+  Program p = P("tc(G)(X,Y) :- G(X,Y).");
+  ModularResult result = CheckModularHiLog(store_, p, ModularOptions());
+  EXPECT_FALSE(result.modularly_stratified);
+  EXPECT_NE(result.reason.find("strongly range-restricted"),
+            std::string::npos)
+      << result.reason;
+}
+
+TEST_F(ModularTest, StratifiedProgramsAreModularlyStratified) {
+  Program p = P("p(X) :- q(X), ~r(X). q(a). q(b). r(a).");
+  ModularResult result = CheckModularHiLog(store_, p, ModularOptions());
+  ASSERT_TRUE(result.modularly_stratified) << result.reason;
+  EXPECT_TRUE(result.model.IsTrue(T("p(b)")));
+  EXPECT_FALSE(result.model.IsTrue(T("p(a)")));
+}
+
+TEST_F(ModularTest, LeftToRightRefinement) {
+  // The magic-sets refinement builds edges only to the leftmost body
+  // predicate. With the negative literal leftmost, w's component must be
+  // settled before m is known: the graph loses the w->m edge, and w's
+  // component (a self-negative loop over unreduced rules) fails local
+  // stratification only if the move data is cyclic — here acyclic, so
+  // both orderings accept, but the settling order differs.
+  Program good = P("w(X) :- m(X,Y), ~w(Y). m(1,2). m(2,3).");
+  ModularOptions ltr;
+  ltr.leftmost_only_edges = true;
+  ModularResult r1 = CheckModularHiLog(store_, good, ltr);
+  EXPECT_TRUE(r1.modularly_stratified) << r1.reason;
+}
+
+}  // namespace
+}  // namespace hilog

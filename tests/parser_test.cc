@@ -1,0 +1,190 @@
+#include "src/lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/printer.h"
+
+namespace hilog {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  Program P(std::string_view text) {
+    ParseResult<Program> r = ParseProgram(store_, text);
+    EXPECT_TRUE(r.ok()) << r.error;
+    return r.ok() ? *r : Program();
+  }
+  TermId T(std::string_view text) {
+    ParseResult<TermId> r = ParseTerm(store_, text);
+    EXPECT_TRUE(r.ok()) << r.error;
+    return *r;
+  }
+  TermStore store_;
+};
+
+TEST_F(ParserTest, FactsAndRules) {
+  Program p = P("e(1,2). e(2,3).\n"
+                "tc(G)(X,Y) :- G(X,Y).\n"
+                "tc(G)(X,Y) :- G(X,Z), tc(G)(Z,Y).\n");
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_TRUE(p.rules[0].IsFact());
+  EXPECT_EQ(p.rules[2].body.size(), 1u);
+  EXPECT_EQ(p.rules[3].body.size(), 2u);
+  EXPECT_EQ(store_.ToString(p.rules[3].head), "tc(G)(X,Y)");
+}
+
+TEST_F(ParserTest, ArrowVariants) {
+  Program p = P("p :- q. r <- s.");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.rules[0].body.size(), 1u);
+  EXPECT_EQ(p.rules[1].body.size(), 1u);
+}
+
+TEST_F(ParserTest, NegationForms) {
+  Program p = P("t :- s, ~p. u :- \\+ v.");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.rules[0].body[1].negative());
+  EXPECT_TRUE(p.rules[1].body[0].negative());
+}
+
+TEST_F(ParserTest, ZeroAryApplication) {
+  // The paper's footnote: p(3)() is the 0-ary atom named p(3).
+  TermId t = T("p(3)()");
+  EXPECT_EQ(store_.arity(t), 0u);
+  EXPECT_EQ(store_.ToString(store_.PredName(t)), "p(3)");
+  EXPECT_NE(t, T("p(3)"));
+}
+
+TEST_F(ParserTest, CurriedApplications) {
+  TermId t = T("p(a,X)(Y)(b,f(c)(d))");
+  EXPECT_EQ(store_.ToString(t), "p(a,X)(Y)(b,f(c)(d))");
+  EXPECT_EQ(store_.arity(t), 2u);
+  EXPECT_EQ(store_.OutermostFunctor(t), T("p"));
+}
+
+TEST_F(ParserTest, VariableAtom) {
+  // not(X) :- ~X: a body literal that is a bare variable.
+  Program p = P("not(X) :- ~X.");
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_TRUE(store_.IsVariable(p.rules[0].body[0].atom));
+}
+
+TEST_F(ParserTest, Lists) {
+  EXPECT_EQ(store_.ToString(T("[]")), "[]");
+  EXPECT_EQ(store_.ToString(T("[a]")), "cons(a,[])");
+  EXPECT_EQ(store_.ToString(T("[a,b]")), "cons(a,cons(b,[]))");
+  EXPECT_EQ(store_.ToString(T("[X|R]")), "cons(X,R)");
+  EXPECT_EQ(store_.ToString(T("[a,b|T]")), "cons(a,cons(b,T))");
+}
+
+TEST_F(ParserTest, MaplistExample) {
+  // Example 2.2 from the paper.
+  Program p = P(
+      "maplist(F)([],[]).\n"
+      "maplist(F)([X|R],[Y|Z]) :- F(X,Y), maplist(F)(R,Z).\n");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(store_.ToString(p.rules[1].head),
+            "maplist(F)(cons(X,R),cons(Y,Z))");
+}
+
+TEST_F(ParserTest, AnonymousVariablesAreFreshPerOccurrence) {
+  Program p = P("p(X) :- q(_, _), r(X).");
+  std::vector<TermId> vars;
+  store_.CollectVariables(p.rules[0].body[0].atom, &vars);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_NE(vars[0], vars[1]);
+}
+
+TEST_F(ParserTest, AggregateLiteral) {
+  Program p = P("contains(M,X,Y,N) :- N = sum(P, in(M,X,Y,_,P)).");
+  ASSERT_EQ(p.size(), 1u);
+  const Literal& lit = p.rules[0].body[0];
+  EXPECT_EQ(lit.kind, Literal::Kind::kAggregate);
+  EXPECT_EQ(lit.agg_func, AggregateFunc::kSum);
+  EXPECT_EQ(lit.result, T("N"));
+  EXPECT_EQ(lit.value, T("P"));
+}
+
+TEST_F(ParserTest, AllAggregateFunctions) {
+  Program p = P(
+      "a(N) :- N = sum(P, f(P)).\n"
+      "b(N) :- N = count(P, f(P)).\n"
+      "c(N) :- N = min(P, f(P)).\n"
+      "d(N) :- N = max(P, f(P)).\n");
+  EXPECT_EQ(p.rules[0].body[0].agg_func, AggregateFunc::kSum);
+  EXPECT_EQ(p.rules[1].body[0].agg_func, AggregateFunc::kCount);
+  EXPECT_EQ(p.rules[2].body[0].agg_func, AggregateFunc::kMin);
+  EXPECT_EQ(p.rules[3].body[0].agg_func, AggregateFunc::kMax);
+}
+
+TEST_F(ParserTest, ArithmeticLiteral) {
+  Program p = P("r(N) :- q(P,M), N = P * M.");
+  const Literal& lit = p.rules[0].body[1];
+  EXPECT_EQ(lit.kind, Literal::Kind::kBuiltin);
+  EXPECT_EQ(lit.builtin_op, BuiltinOp::kMul);
+  Program p2 = P("r(N) :- q(P,M), N = P + M. s(N) :- q(P,M), N = P - M.");
+  EXPECT_EQ(p2.rules[0].body[1].builtin_op, BuiltinOp::kAdd);
+  EXPECT_EQ(p2.rules[1].body[1].builtin_op, BuiltinOp::kSub);
+}
+
+TEST_F(ParserTest, NumbersAndNegativeNumbers) {
+  EXPECT_EQ(store_.NumberValue(T("42")), 42);
+  EXPECT_EQ(store_.NumberValue(T("-3")), -3);
+}
+
+TEST_F(ParserTest, QuotedAtoms) {
+  TermId t = T("'Hello world'");
+  EXPECT_EQ(store_.kind(t), TermKind::kSymbol);
+  EXPECT_EQ(store_.text(t), "Hello world");
+}
+
+TEST_F(ParserTest, Comments) {
+  Program p = P("p. % a fact\n% full line comment\nq :- p.\n");
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST_F(ParserTest, Queries) {
+  auto q = ParseQuery(store_, "?- tc(e)(X,Y), ~blocked(X).");
+  ASSERT_TRUE(q.ok()) << q.error;
+  ASSERT_EQ(q->size(), 2u);
+  EXPECT_TRUE((*q)[0].positive());
+  EXPECT_TRUE((*q)[1].negative());
+}
+
+TEST_F(ParserTest, ErrorsCarryLocation) {
+  auto r = ParseProgram(store_, "p :- q\nr.");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("line 2"), std::string::npos) << r.error;
+}
+
+TEST_F(ParserTest, ErrorOnGarbage) {
+  EXPECT_FALSE(ParseProgram(store_, "p :- &.").ok());
+  EXPECT_FALSE(ParseProgram(store_, "p(.").ok());
+  EXPECT_FALSE(ParseTerm(store_, "p(a) extra").ok());
+}
+
+TEST_F(ParserTest, PrinterRoundTrip) {
+  const char* text =
+      "winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y).\n"
+      "tc(G)(X,Y) :- G(X,Z), tc(G)(Z,Y).\n"
+      "p(3)() :- q(f(a)(b)).\n";
+  Program p1 = P(text);
+  std::string printed = ProgramToString(store_, p1);
+  Program p2 = P(printed);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1.rules[i], p2.rules[i]) << printed;
+  }
+}
+
+TEST_F(ParserTest, AggregatePrinterRoundTrip) {
+  Program p1 = P("c(M,N) :- N = sum(P, in(M,P)), q(M).\n"
+                 "d(N) :- q(P,M), N = P * M.\n");
+  Program p2 = P(ProgramToString(store_, p1));
+  ASSERT_EQ(p1.size(), p2.size());
+  EXPECT_EQ(p1.rules[0].body[0].kind, p2.rules[0].body[0].kind);
+  EXPECT_EQ(p1.rules[1].body[1].kind, p2.rules[1].body[1].kind);
+}
+
+}  // namespace
+}  // namespace hilog

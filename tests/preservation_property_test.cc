@@ -1,0 +1,197 @@
+// Randomized property tests for Section 5 (parameterized over seeds):
+//  - Theorem 5.3: the WFS of range-restricted HiLog programs is preserved
+//    under disjoint ground extensions;
+//  - Theorem 5.4: for strongly range-restricted programs, every stable
+//    model is conservatively extended by one of the union (when the
+//    extension has a stable model);
+//  - Theorems 4.1/4.2 as the normal-program special case.
+
+#include <gtest/gtest.h>
+
+#include "random_programs.h"
+#include "src/analysis/extension.h"
+#include "src/analysis/range_restriction.h"
+#include "src/ground/herbrand.h"
+#include "src/lang/parser.h"
+#include "src/wfs/alternating.h"
+#include "src/wfs/stable.h"
+
+namespace hilog {
+namespace {
+
+class PreservationPropertyTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  // WFS of `p` instantiated over the depth-0 universe (symbols) of
+  // `vocab`. Depth 0 keeps instantiation tractable for multi-variable
+  // rules while still letting extension symbols flow into base rules,
+  // which is the content of preservation under extensions.
+  Interpretation Wfs(TermStore& store, const Program& p,
+                     const Program& vocab) {
+    Universe u = ProgramHiLogUniverse(store, vocab, UniverseBound{0, 100000});
+    InstantiationResult inst =
+        InstantiateOverUniverse(store, p, u.terms, 3000000);
+    EXPECT_FALSE(inst.truncated);
+    return ComputeWfsAlternating(inst.program).model;
+  }
+};
+
+TEST_P(PreservationPropertyTest, Theorem53WfsPreserved) {
+  TermStore store;
+  std::string text = testing::RandomGameProgram(GetParam(), false, 4);
+  ParseResult<Program> parsed = ParseProgram(store, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_TRUE(IsRangeRestricted(store, *parsed)) << text;
+
+  DisjointExtensionSpec spec;
+  spec.seed = GetParam();
+  Program extension = GenerateDisjointGroundProgram(store, spec);
+  ASSERT_TRUE(SharesNoSymbols(store, *parsed, extension));
+  Program both = UnionPrograms(*parsed, extension);
+
+  Interpretation small = Wfs(store, *parsed, both);
+  Interpretation big = Wfs(store, both, both);
+
+  // Fragment: every atom of the base program's own instantiation.
+  Universe base_universe =
+      ProgramHiLogUniverse(store, *parsed, UniverseBound{0, 100000});
+  InstantiationResult base_inst =
+      InstantiateOverUniverse(store, *parsed, base_universe.terms, 3000000);
+  AtomTable fragment;
+  base_inst.program.CollectAtoms(&fragment);
+  TermId witness = kNoTerm;
+  EXPECT_TRUE(ConservativelyExtendsOnFragment(big, small, fragment.atoms(),
+                                              &witness))
+      << text << "\nwitness: "
+      << (witness == kNoTerm ? "?" : store.ToString(witness));
+}
+
+TEST_P(PreservationPropertyTest, Theorem54StableModelsPreserved) {
+  TermStore store;
+  std::string text = testing::RandomGameProgram(GetParam(), false, 3);
+  ParseResult<Program> parsed = ParseProgram(store, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_TRUE(IsStronglyRangeRestricted(store, *parsed)) << text;
+
+  DisjointExtensionSpec spec;
+  spec.seed = GetParam();
+  spec.allow_negation = false;  // Guarantee Q has a stable model.
+  Program extension = GenerateDisjointGroundProgram(store, spec);
+  ASSERT_TRUE(SharesNoSymbols(store, *parsed, extension));
+  Program both = UnionPrograms(*parsed, extension);
+
+  // P's stable models over its own language (strong range restriction
+  // makes P domain independent, so the base universe suffices); the
+  // conservative-extension comparison is on atoms over P's symbols only.
+  Universe base_u =
+      ProgramHiLogUniverse(store, *parsed, UniverseBound{0, 100000});
+  InstantiationResult base_inst =
+      InstantiateOverUniverse(store, *parsed, base_u.terms, 3000000);
+  StableModelsResult base_models =
+      EnumerateStableModels(base_inst.program, StableOptions());
+  Universe u = ProgramHiLogUniverse(store, both, UniverseBound{0, 100000});
+  InstantiationResult union_inst =
+      InstantiateOverUniverse(store, both, u.terms, 3000000);
+  StableModelsResult union_models =
+      EnumerateStableModels(union_inst.program, StableOptions());
+  ASSERT_TRUE(base_models.complete && union_models.complete) << text;
+
+  // Every base stable model appears as the base-atom restriction of some
+  // union stable model.
+  AtomTable base_atoms;
+  base_inst.program.CollectAtoms(&base_atoms);
+  auto restrict = [&](const StableModel& m) {
+    std::vector<TermId> atoms;
+    for (TermId a : m.true_atoms) {
+      if (base_atoms.Find(a) != UINT32_MAX) atoms.push_back(a);
+    }
+    std::sort(atoms.begin(), atoms.end());
+    return atoms;
+  };
+  for (const StableModel& base_model : base_models.models) {
+    std::vector<TermId> want = base_model.true_atoms;
+    std::sort(want.begin(), want.end());
+    bool found = false;
+    for (const StableModel& union_model : union_models.models) {
+      if (restrict(union_model) == want) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << text;
+  }
+}
+
+TEST_P(PreservationPropertyTest, Theorem41OnRandomNormalPrograms) {
+  TermStore store;
+  std::string text =
+      testing::RandomRangeRestrictedNormalProgram(GetParam());
+  ParseResult<Program> parsed = ParseProgram(store, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_TRUE(IsNormalRangeRestricted(store, *parsed)) << text;
+
+  // Normal WFS.
+  Universe nu = NormalHerbrandUniverse(store, *parsed, UniverseBound());
+  InstantiationResult ni =
+      InstantiateOverUniverse(store, *parsed, nu.terms, 1000000);
+  Interpretation normal = ComputeWfsAlternating(ni.program).model;
+
+  // HiLog WFS over the depth-1 universe.
+  Universe hu =
+      ProgramHiLogUniverse(store, *parsed, UniverseBound{1, 100000});
+  InstantiationResult hi =
+      InstantiateOverUniverse(store, *parsed, hu.terms, 3000000);
+  ASSERT_FALSE(hi.truncated);
+  Interpretation hilog = ComputeWfsAlternating(hi.program).model;
+
+  AtomTable atoms;
+  ni.program.CollectAtoms(&atoms);
+  for (TermId atom : atoms.atoms()) {
+    EXPECT_EQ(hilog.Value(atom), normal.Value(atom))
+        << text << "\n" << store.ToString(atom);
+  }
+  // All HiLog-only atoms are false or undefined-free: Theorem 4.1 says
+  // they are unfounded, hence false.
+  for (TermId atom : hilog.atoms().atoms()) {
+    if (atoms.Find(atom) == UINT32_MAX) {
+      EXPECT_EQ(hilog.Value(atom), TruthValue::kFalse)
+          << text << "\n" << store.ToString(atom);
+    }
+  }
+}
+
+TEST_P(PreservationPropertyTest, Theorem42OnRandomNormalPrograms) {
+  TermStore store;
+  std::string text =
+      testing::RandomRangeRestrictedNormalProgram(GetParam() + 500);
+  ParseResult<Program> parsed = ParseProgram(store, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+  Universe nu = NormalHerbrandUniverse(store, *parsed, UniverseBound());
+  InstantiationResult ni =
+      InstantiateOverUniverse(store, *parsed, nu.terms, 1000000);
+  StableModelsResult normal =
+      EnumerateStableModels(ni.program, StableOptions());
+
+  Universe hu =
+      ProgramHiLogUniverse(store, *parsed, UniverseBound{1, 100000});
+  InstantiationResult hi =
+      InstantiateOverUniverse(store, *parsed, hu.terms, 3000000);
+  StableModelsResult hilog =
+      EnumerateStableModels(hi.program, StableOptions());
+
+  if (!normal.complete || !hilog.complete) return;  // Branch budget.
+  ASSERT_EQ(normal.models.size(), hilog.models.size()) << text;
+  std::vector<std::vector<TermId>> a;
+  std::vector<std::vector<TermId>> b;
+  for (const auto& m : normal.models) a.push_back(m.true_atoms);
+  for (const auto& m : hilog.models) b.push_back(m.true_atoms);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreservationPropertyTest,
+                         ::testing::Range(1u, 31u));
+
+}  // namespace
+}  // namespace hilog

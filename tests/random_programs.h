@@ -1,0 +1,90 @@
+// Random program generators shared by the property-test suites.
+#ifndef HILOG_TESTS_RANDOM_PROGRAMS_H_
+#define HILOG_TESTS_RANDOM_PROGRAMS_H_
+
+#include <random>
+#include <string>
+
+namespace hilog::testing {
+
+// A random range-restricted normal program (Definition 4.1) over a small
+// vocabulary: facts over constants, rules whose head and negative
+// variables are bound by positive body literals.
+inline std::string RandomRangeRestrictedNormalProgram(unsigned seed) {
+  std::mt19937 rng(seed);
+  const char* preds[] = {"p", "q", "r", "s"};
+  const char* consts[] = {"a", "b", "c"};
+  std::string text;
+  // Facts.
+  int facts = 2 + rng() % 4;
+  for (int i = 0; i < facts; ++i) {
+    text += std::string(preds[rng() % 4]) + "(" + consts[rng() % 3] + ").\n";
+  }
+  // Rules: head(X) :- base(X) [, ~other(X)].
+  int rules = 1 + rng() % 4;
+  for (int i = 0; i < rules; ++i) {
+    std::string head = preds[rng() % 4];
+    std::string pos = preds[rng() % 4];
+    text += head + "(X) :- " + pos + "(X)";
+    if (rng() % 2 == 0) {
+      text += ", ~" + std::string(preds[rng() % 4]) + "(X)";
+    }
+    text += ".\n";
+  }
+  return text;
+}
+
+// A random *strongly range-restricted* HiLog game program: the
+// parameterized win/move rule plus acyclic move relations (Example 6.3
+// family). `cyclic` injects a back edge making it non-modularly
+// stratified.
+inline std::string RandomGameProgram(unsigned seed, bool cyclic = false,
+                                     int positions = 5) {
+  std::mt19937 rng(seed);
+  std::string text =
+      "winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y).\n";
+  int games = 1 + rng() % 2;
+  for (int g = 0; g < games; ++g) {
+    std::string mv = "mv" + std::to_string(g);
+    text += "game(" + mv + ").\n";
+    for (int i = 0; i < positions; ++i) {
+      // Forward edges only: acyclic.
+      int from = i;
+      int to = i + 1 + static_cast<int>(rng() % 2);
+      if (to > positions) to = positions;
+      text += mv + "(n" + std::to_string(from) + ",n" + std::to_string(to) +
+              ").\n";
+    }
+    if (cyclic && g == 0) {
+      text += mv + "(n" + std::to_string(positions) + ",n0).\n";
+    }
+  }
+  return text;
+}
+
+// A random ground normal program with negation (for WFS engine
+// cross-checks): atoms a0..a{n-1}, random rules.
+inline std::string RandomGroundProgram(unsigned seed, int atoms = 8,
+                                       int rules = 12) {
+  std::mt19937 rng(seed);
+  auto atom = [&](int i) { return "a" + std::to_string(i); };
+  std::string text;
+  for (int r = 0; r < rules; ++r) {
+    text += atom(rng() % atoms);
+    int body = rng() % 3;
+    if (body > 0) {
+      text += " :- ";
+      for (int b = 0; b < body; ++b) {
+        if (b > 0) text += ", ";
+        if (rng() % 3 == 0) text += "~";
+        text += atom(rng() % atoms);
+      }
+    }
+    text += ".\n";
+  }
+  return text;
+}
+
+}  // namespace hilog::testing
+
+#endif  // HILOG_TESTS_RANDOM_PROGRAMS_H_

@@ -1,0 +1,186 @@
+#include "src/analysis/range_restriction.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/parser.h"
+
+namespace hilog {
+namespace {
+
+class RangeRestrictionTest : public ::testing::Test {
+ protected:
+  Rule R(std::string_view text) {
+    ParseResult<Program> parsed = ParseProgram(store_, text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed->rules.size(), 1u);
+    return parsed->rules[0];
+  }
+  Program P(std::string_view text) {
+    ParseResult<Program> parsed = ParseProgram(store_, text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    return *parsed;
+  }
+  TermStore store_;
+};
+
+// ---- Example 5.3, first group: strongly range restricted. ----
+
+TEST_F(RangeRestrictionTest, Example53StronglyRangeRestricted) {
+  const char* clauses[] = {
+      "X(Y)(Z) :- p(X,Y,W), W(a)(Z), ~W(b)(Z).",
+      "p(X) :- X(a), q(X).",
+      "tc(G,X,Y) :- graph(G), G(X,Y).",
+  };
+  for (const char* text : clauses) {
+    Rule rule = R(text);
+    EXPECT_TRUE(IsStronglyRangeRestrictedRule(store_, rule)) << text;
+    // Strong range restriction implies range restriction.
+    EXPECT_TRUE(IsRangeRestrictedRule(store_, rule)) << text;
+  }
+}
+
+// ---- Example 5.3, second group: range restricted but not strongly. ----
+
+TEST_F(RangeRestrictionTest, Example53RangeRestrictedNotStrongly) {
+  const char* clauses[] = {
+      "X(Y)(Z) :- p(Y,Z,W), X(a)(Z), ~X(b)(Z).",
+      "tc(G)(X,Y) :- G(X,Y).",
+      "not(X)() :- ~X.",
+  };
+  for (const char* text : clauses) {
+    Rule rule = R(text);
+    EXPECT_TRUE(IsRangeRestrictedRule(store_, rule)) << text;
+    EXPECT_FALSE(IsStronglyRangeRestrictedRule(store_, rule)) << text;
+  }
+}
+
+// ---- Example 5.3, third group: not range restricted. ----
+
+TEST_F(RangeRestrictionTest, Example53NotRangeRestricted) {
+  const char* clauses[] = {
+      "X(Y)(Z) :- Z(X,Y,W), W(a)(Z), ~W(b)(Z).",
+      "p(X) :- X(a).",
+      "tc(G,X,Y) :- G(X,Y).",
+      "not(X) :- ~X.",
+  };
+  for (const char* text : clauses) {
+    Rule rule = R(text);
+    EXPECT_FALSE(IsRangeRestrictedRule(store_, rule)) << text;
+    EXPECT_FALSE(IsStronglyRangeRestrictedRule(store_, rule)) << text;
+  }
+}
+
+// ---- Definition 4.1 (normal range restriction). ----
+
+TEST_F(RangeRestrictionTest, NormalRangeRestriction) {
+  EXPECT_TRUE(IsNormalRangeRestrictedRule(store_, R("p(X) :- q(X), ~r(X).")));
+  EXPECT_FALSE(IsNormalRangeRestrictedRule(store_, R("p(X) :- ~q(X).")));
+  EXPECT_FALSE(IsNormalRangeRestrictedRule(store_, R("p(X,a).")));
+  EXPECT_TRUE(IsNormalRangeRestrictedRule(store_, R("p(a,a).")));
+  // Example 4.1's program is not range restricted.
+  EXPECT_FALSE(IsNormalRangeRestricted(store_, P("p :- ~q(X). q(a).")));
+}
+
+TEST_F(RangeRestrictionTest, NormalRangeRestrictionImpliesHiLogClasses) {
+  // A normal range-restricted rule is strongly range restricted as a
+  // HiLog rule (predicate names have no variables).
+  const char* clauses[] = {
+      "p(X) :- q(X), ~r(X).",
+      "t(X,Y) :- e(X,Z), t(Z,Y).",
+      "w(X) :- m(X,Y), ~w(Y).",
+  };
+  for (const char* text : clauses) {
+    Rule rule = R(text);
+    ASSERT_TRUE(IsNormalRangeRestrictedRule(store_, rule)) << text;
+    EXPECT_TRUE(IsStronglyRangeRestrictedRule(store_, rule)) << text;
+  }
+}
+
+// ---- Condition-by-condition edge cases. ----
+
+TEST_F(RangeRestrictionTest, OrderingConditionRequiresChains) {
+  // W is bound by the first literal's argument; fine.
+  EXPECT_TRUE(IsStronglyRangeRestrictedRule(
+      store_, R("h(Z) :- p(W), W(Z).")));
+  // Mutual deadlock: each name variable is only bound by the other.
+  EXPECT_FALSE(IsRangeRestrictedRule(
+      store_, R("h(a) :- X(Y), Y(X).")));
+  // Example 5.1's rule: p :- X(Y), Y(X) is not range restricted.
+  EXPECT_FALSE(IsRangeRestrictedRule(store_, R("p :- X(Y), Y(X).")));
+}
+
+TEST_F(RangeRestrictionTest, HeadNameMayBindNegativeVarsOnlyInWeakForm) {
+  // Variables of negative literals may come from the head *name* under
+  // Definition 5.5 but not 5.6.
+  Rule rule = R("f(X)() :- ~X(a).");
+  EXPECT_TRUE(IsRangeRestrictedRule(store_, rule));
+  EXPECT_FALSE(IsStronglyRangeRestrictedRule(store_, rule));
+}
+
+TEST_F(RangeRestrictionTest, FactsAreStronglyRangeRestrictedOnlyIfGround) {
+  EXPECT_TRUE(IsStronglyRangeRestrictedRule(store_, R("p(a,b).")));
+  EXPECT_FALSE(IsStronglyRangeRestrictedRule(store_, R("X(a,b).")));
+  // Lemma 6.3's counterexample X(a,b) is range restricted (name variable
+  // in head is unconstrained by Definition 5.5) but not strongly.
+  EXPECT_TRUE(IsRangeRestrictedRule(store_, R("X(a,b).")));
+}
+
+// ---- Query restriction. ----
+
+TEST_F(RangeRestrictionTest, QueryRestriction) {
+  auto q1 = ParseQuery(store_, "tc(e)(X,Y).");
+  EXPECT_TRUE(IsRangeRestrictedQuery(store_, *q1));
+  // Unbound predicate name in the query: not allowed for RR programs.
+  auto q2 = ParseQuery(store_, "tc(G)(X,Y).");
+  EXPECT_FALSE(IsRangeRestrictedQuery(store_, *q2));
+  // Binding the name variable by an earlier positive literal is fine.
+  auto q3 = ParseQuery(store_, "graph(G), tc(G)(X,Y).");
+  EXPECT_TRUE(IsRangeRestrictedQuery(store_, *q3));
+  // Negative literals in the query need their variables bound.
+  auto q4 = ParseQuery(store_, "~blocked(X).");
+  EXPECT_FALSE(IsRangeRestrictedQuery(store_, *q4));
+  auto q5 = ParseQuery(store_, "node(X), ~blocked(X).");
+  EXPECT_TRUE(IsRangeRestrictedQuery(store_, *q5));
+}
+
+// ---- Datahilog (Definition 6.7). ----
+
+TEST_F(RangeRestrictionTest, DatahilogClassification) {
+  // The paper's own examples after Definition 6.7.
+  EXPECT_TRUE(IsDatahilog(
+      store_,
+      P("winning(M,X) :- game(M), M(X,Y), ~winning(M,Y).")));
+  EXPECT_FALSE(IsDatahilog(
+      store_, P("tc(G)(X,Y) :- graph(G), G(X,Z), tc(G)(Z,Y).")));
+  EXPECT_TRUE(IsDatahilog(store_, P("p(a). q(X) :- p(X). r :- X(a).")));
+  EXPECT_FALSE(IsDatahilog(store_, P("p(f(a)).")));
+}
+
+TEST_F(RangeRestrictionTest, DatahilogBoundLemma63) {
+  // Symbols {p, a, b}; arities {2}. |T| = 3^3 = 27.
+  Program p = P("p(a,b). p(b,a).");
+  EXPECT_EQ(DatahilogAtomBound(store_, p), 27u);
+  // Adding arity 1 contributes 3^2 = 9 more... with a new symbol q:
+  // symbols {p,a,b,q}, arities {2,1}: 4^3 + 4^2 = 80.
+  Program p2 = P("p(a,b). p(b,a). q(a).");
+  EXPECT_EQ(DatahilogAtomBound(store_, p2), 80u);
+}
+
+// ---- Floundering (Section 6.1 footnote). ----
+
+TEST_F(RangeRestrictionTest, FlounderingDetection) {
+  // Negative subgoal with a variable unbound at its position.
+  EXPECT_TRUE(RuleFlounders(store_, R("p :- ~q(X), r(X).")));
+  EXPECT_FALSE(RuleFlounders(store_, R("p :- r(X), ~q(X).")));
+  // Subgoal with an unbound variable as predicate name is floundering.
+  EXPECT_TRUE(RuleFlounders(store_, R("p :- X(a), g(X).")));
+  EXPECT_FALSE(RuleFlounders(store_, R("p :- g(X), X(a).")));
+  // Head variables count as bound (they come from the call).
+  EXPECT_FALSE(RuleFlounders(store_, R("p(X) :- ~q(X).")));
+  EXPECT_FALSE(ProgramFlounders(
+      store_,
+      P("winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y). game(m).")));
+}
+
+}  // namespace
+}  // namespace hilog

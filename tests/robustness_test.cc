@@ -1,0 +1,150 @@
+// Budget, truncation, and error-path coverage across the engines: every
+// computation over the (potentially infinite) HiLog Herbrand universe
+// must terminate within its budget and say so honestly.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+
+namespace hilog {
+namespace {
+
+TEST(RobustnessTest, FunctionSymbolRecursionIsBudgeted) {
+  // n(s(X)) :- n(X): the envelope is infinite; relevance grounding must
+  // stop and report rather than loop.
+  EngineOptions options;
+  options.bottomup.max_facts = 200;
+  Engine engine(options);
+  ASSERT_EQ(engine.Load("n(z). n(s(X)) :- n(X)."), "");
+  Engine::WfsAnswer answer = engine.SolveWellFounded();
+  ASSERT_TRUE(answer.ok);
+  EXPECT_FALSE(answer.exact);
+  EXPECT_NE(answer.notes.find("truncated"), std::string::npos);
+}
+
+TEST(RobustnessTest, HerbrandPathIsBudgeted) {
+  EngineOptions options;
+  options.universe_bound.max_depth = 2;
+  options.universe_bound.max_terms = 50;
+  options.max_instances = 500;
+  Engine engine(options);
+  ASSERT_EQ(engine.Load("p :- ~q(X). q(a)."), "");
+  Engine::WfsAnswer answer = engine.SolveWellFounded();
+  ASSERT_TRUE(answer.ok);
+  EXPECT_EQ(answer.grounder, GrounderKind::kHerbrand);
+  EXPECT_FALSE(answer.exact);
+  EXPECT_LE(answer.ground_rules, 500u);
+}
+
+TEST(RobustnessTest, MagicEvaluatorFactBudget) {
+  EngineOptions options;
+  options.magic.max_facts = 50;
+  Engine engine(options);
+  std::string program = "t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y).";
+  for (int i = 0; i < 30; ++i) {
+    program += "e(n" + std::to_string(i) + ",n" + std::to_string(i + 1) +
+               ").";
+  }
+  ASSERT_EQ(engine.Load(program), "");
+  Engine::QueryAnswer answer = engine.Query("t(n0,X)");
+  ASSERT_TRUE(answer.ok);
+  EXPECT_LE(answer.facts_derived, 51u);
+}
+
+TEST(RobustnessTest, StableEnumerationBudgetThroughEngine) {
+  EngineOptions options;
+  options.stable.max_branch_atoms = 4;
+  Engine engine(options);
+  std::string program;
+  for (int i = 0; i < 6; ++i) {
+    std::string a = "a" + std::to_string(i);
+    std::string b = "b" + std::to_string(i);
+    program += a + " :- ~" + b + ". " + b + " :- ~" + a + ". ";
+  }
+  ASSERT_EQ(engine.Load(program), "");
+  StableModelsResult stable = engine.SolveStable();
+  EXPECT_FALSE(stable.complete);
+}
+
+TEST(RobustnessTest, ModularRoundBudget) {
+  EngineOptions options;
+  options.modular.max_rounds = 1;
+  Engine engine(options);
+  // Needs two rounds (facts, then winning components).
+  ASSERT_EQ(engine.Load(
+                "winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y)."
+                "game(mv). mv(a,b)."),
+            "");
+  ModularResult result = engine.SolveModular();
+  EXPECT_FALSE(result.modularly_stratified);
+  EXPECT_NE(result.reason.find("budget"), std::string::npos)
+      << result.reason;
+}
+
+TEST(RobustnessTest, AggregateOuterRoundBudget) {
+  EngineOptions options;
+  options.aggregate.max_outer_rounds = 2;
+  Engine engine(options);
+  ASSERT_EQ(engine.Load(
+                "in(M,X,Y,null,N) :- assoc(M,P), P(X,Y,N)."
+                "in(M,X,Y,Z,N) :- assoc(M,P), P(X,Z,Q),"
+                "                 contains(M,Z,Y,R), N = Q * R."
+                "contains(M,X,Y,N) :- N = sum(P, in(M,X,Y,_,P))."
+                "assoc(m, pp). pp(a,b,2). pp(b,c,3). pp(c,d,5)."),
+            "");
+  AggregateEvalResult result = engine.SolveAggregates();
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(RobustnessTest, EmptyProgramEverywhere) {
+  Engine engine;
+  ASSERT_EQ(engine.Load(""), "");
+  EXPECT_TRUE(engine.SolveWellFounded().ok);
+  EXPECT_TRUE(engine.SolveStable().models.size() == 1u);  // Empty model.
+  EXPECT_TRUE(engine.SolveModular().modularly_stratified);
+  Engine::QueryAnswer q = engine.Query("p");
+  ASSERT_TRUE(q.ok);
+  EXPECT_EQ(q.ground_status, QueryStatus::kSettledFalse);
+}
+
+TEST(RobustnessTest, SelfReferentialNameTerms) {
+  // Pathological but legal HiLog: a symbol applied to itself at several
+  // arities, names nested through themselves.
+  Engine engine;
+  ASSERT_EQ(engine.Load(
+                "p(p). p(p)(p) :- p(p). p(p)(p)(p) :- p(p)(p)."),
+            "");
+  Engine::WfsAnswer answer = engine.SolveWellFounded();
+  ASSERT_TRUE(answer.ok);
+  TermId deep = *ParseTerm(engine.store(), "p(p)(p)(p)");
+  EXPECT_EQ(answer.model.Value(deep), TruthValue::kTrue);
+}
+
+TEST(RobustnessTest, ZeroAryAtomsThroughTheEngine) {
+  Engine engine;
+  ASSERT_EQ(engine.Load("p(3)() :- q. q."), "");
+  Engine::WfsAnswer answer = engine.SolveWellFounded();
+  ASSERT_TRUE(answer.ok);
+  TermId atom = *ParseTerm(engine.store(), "p(3)()");
+  EXPECT_EQ(answer.model.Value(atom), TruthValue::kTrue);
+  // The 0-ary atom and the bare name are distinct.
+  TermId name = *ParseTerm(engine.store(), "p(3)");
+  EXPECT_EQ(answer.model.Value(name), TruthValue::kFalse);
+}
+
+TEST(RobustnessTest, LargeFactLoad) {
+  Engine engine;
+  std::string program = "t(X,Y) :- e(X,Y).";
+  for (int i = 0; i < 5000; ++i) {
+    program += "e(n" + std::to_string(i) + ",n" + std::to_string(i + 1) +
+               ").";
+  }
+  ASSERT_EQ(engine.Load(program), "");
+  Engine::WfsAnswer answer = engine.SolveWellFounded();
+  ASSERT_TRUE(answer.ok);
+  EXPECT_TRUE(answer.exact);
+  EXPECT_EQ(answer.model.CountTrue(), 10000u);
+}
+
+}  // namespace
+}  // namespace hilog

@@ -1,0 +1,173 @@
+#include "src/wfs/stable.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/lang/parser.h"
+
+namespace hilog {
+namespace {
+
+class StableTest : public ::testing::Test {
+ protected:
+  GroundProgram G(std::string_view text) {
+    ParseResult<Program> parsed = ParseProgram(store_, text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    GroundProgram ground;
+    EXPECT_TRUE(ToGroundProgram(store_, *parsed, &ground));
+    return ground;
+  }
+  TermId T(std::string_view text) { return *ParseTerm(store_, text); }
+
+  std::vector<TermId> Atoms(std::initializer_list<std::string_view> names) {
+    std::vector<TermId> atoms;
+    for (auto n : names) atoms.push_back(T(n));
+    std::sort(atoms.begin(), atoms.end());
+    return atoms;
+  }
+
+  TermStore store_;
+};
+
+// Example 3.2: p :- ~q. q :- ~p. r :- p. r :- q. t :- p, ~p.
+// Stable models {p,r} and {q,r}; the well-founded model is all-undefined.
+TEST_F(StableTest, PaperExample32) {
+  GroundProgram ground = G("p :- ~q. q :- ~p. r :- p. r :- q. t :- p, ~p.");
+  StableModelsResult result = EnumerateStableModels(ground, StableOptions());
+  ASSERT_TRUE(result.complete);
+  ASSERT_EQ(result.models.size(), 2u);
+  std::vector<std::vector<TermId>> expected = {Atoms({"p", "r"}),
+                                               Atoms({"q", "r"})};
+  std::vector<std::vector<TermId>> got = {result.models[0].true_atoms,
+                                          result.models[1].true_atoms};
+  std::sort(expected.begin(), expected.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+
+  WfsResult wfs = ComputeWfsAlternating(ground);
+  EXPECT_TRUE(wfs.model.IsUndefined(T("p")));
+  EXPECT_TRUE(wfs.model.IsUndefined(T("q")));
+  EXPECT_TRUE(wfs.model.IsUndefined(T("r")));
+  EXPECT_TRUE(wfs.model.IsUndefined(T("t")));
+}
+
+// Section 3.2: the program of Example 3.1 has no stable models because of
+// the rule u :- ~u.
+TEST_F(StableTest, PaperExample31HasNoStableModels) {
+  GroundProgram ground = G(
+      "p :- q. q :- p. r :- s, ~p. s. t :- ~r. u :- ~u.");
+  StableModelsResult result = EnumerateStableModels(ground, StableOptions());
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.models.empty());
+}
+
+TEST_F(StableTest, TwoValuedWfsIsUniqueStableModel) {
+  GroundProgram ground = G("a. b :- a, ~c. d :- ~b.");
+  StableModelsResult result = EnumerateStableModels(ground, StableOptions());
+  ASSERT_TRUE(result.complete);
+  ASSERT_EQ(result.models.size(), 1u);
+  EXPECT_EQ(result.models[0].true_atoms, Atoms({"a", "b"}));
+  WfsResult wfs = ComputeWfsAlternating(ground);
+  EXPECT_TRUE(wfs.model.IsTotal());
+}
+
+TEST_F(StableTest, IsStableModelAgreesWithEnumeration) {
+  GroundProgram ground = G("p :- ~q. q :- ~p. r :- p. r :- q. t :- p, ~p.");
+  EXPECT_TRUE(IsStableModel(ground, Atoms({"p", "r"})));
+  EXPECT_TRUE(IsStableModel(ground, Atoms({"q", "r"})));
+  EXPECT_FALSE(IsStableModel(ground, Atoms({"p", "q", "r"})));
+  EXPECT_FALSE(IsStableModel(ground, Atoms({"p"})));
+  EXPECT_FALSE(IsStableModel(ground, Atoms({})));
+  EXPECT_FALSE(IsStableModel(ground, Atoms({"t", "p", "r"})));
+}
+
+// Definition 3.6: stable models are exactly the two-valued fixpoints of
+// W_P. Cross-check the two characterizations on several programs.
+TEST_F(StableTest, WFixpointCharacterizationMatchesGelfondLifschitz) {
+  const char* programs[] = {
+      "p :- ~q. q :- ~p. r :- p. r :- q. t :- p, ~p.",
+      "a. b :- a, ~c. d :- ~b.",
+      "p :- q. q :- p. r :- s, ~p. s. t :- ~r. u :- ~u.",
+      "w(1) :- m(1,2), ~w(2). w(2) :- m(2,3), ~w(3). m(1,2). m(2,3).",
+      "x :- ~y. y :- ~x. z :- ~z.",
+  };
+  for (const char* text : programs) {
+    GroundProgram ground = G(text);
+    AtomTable table;
+    ground.CollectAtoms(&table);
+    // Enumerate all subsets of atoms (programs are small).
+    size_t n = table.size();
+    ASSERT_LE(n, 12u);
+    for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+      std::vector<TermId> trues;
+      for (size_t i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) trues.push_back(table.atom(i));
+      }
+      EXPECT_EQ(IsStableModel(ground, trues),
+                IsTwoValuedFixpointOfW(ground, trues))
+          << text << " mask=" << mask;
+    }
+  }
+}
+
+TEST_F(StableTest, EveryStableModelExtendsWellFoundedModel) {
+  const char* programs[] = {
+      "p :- ~q. q :- ~p. s. r :- s, ~x. x :- y. y :- x.",
+      "a :- ~b. b :- ~a. c :- a. c :- b. f.",
+  };
+  for (const char* text : programs) {
+    GroundProgram ground = G(text);
+    WfsResult wfs = ComputeWfsAlternating(ground);
+    StableModelsResult result = EnumerateStableModels(ground, StableOptions());
+    for (const StableModel& model : result.models) {
+      for (TermId t : wfs.model.TrueAtoms()) {
+        EXPECT_TRUE(std::count(model.true_atoms.begin(),
+                               model.true_atoms.end(), t) > 0)
+            << text;
+      }
+      for (TermId t : model.true_atoms) {
+        EXPECT_FALSE(wfs.model.IsFalse(t)) << text;
+      }
+    }
+  }
+}
+
+TEST_F(StableTest, StableModelsAreMinimalModels) {
+  // Property: no stable model is a strict subset of another (antichain).
+  GroundProgram ground =
+      G("p :- ~q. q :- ~p. r :- p. r :- q. s :- ~r. t.");
+  StableModelsResult result = EnumerateStableModels(ground, StableOptions());
+  for (const StableModel& a : result.models) {
+    for (const StableModel& b : result.models) {
+      if (&a == &b) continue;
+      bool subset = std::includes(b.true_atoms.begin(), b.true_atoms.end(),
+                                  a.true_atoms.begin(), a.true_atoms.end());
+      EXPECT_FALSE(subset);
+    }
+  }
+}
+
+TEST_F(StableTest, BranchBudgetReportsIncomplete) {
+  // 30 independent negative loops -> 2^30 candidates; refuse politely.
+  std::string text;
+  for (int i = 0; i < 30; ++i) {
+    std::string a = "a" + std::to_string(i);
+    std::string b = "b" + std::to_string(i);
+    text += a + " :- ~" + b + ". " + b + " :- ~" + a + ". ";
+  }
+  GroundProgram ground = G(text);
+  StableOptions options;
+  options.max_branch_atoms = 10;
+  StableModelsResult result = EnumerateStableModels(ground, options);
+  EXPECT_FALSE(result.complete);
+}
+
+TEST_F(StableTest, ClaimingUnknownAtomTrueIsNotStable) {
+  GroundProgram ground = G("p.");
+  EXPECT_FALSE(IsStableModel(ground, Atoms({"p", "ghost"})));
+  EXPECT_FALSE(IsTwoValuedFixpointOfW(ground, Atoms({"p", "ghost"})));
+}
+
+}  // namespace
+}  // namespace hilog

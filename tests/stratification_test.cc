@@ -1,0 +1,147 @@
+#include "src/analysis/stratification.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/parser.h"
+
+namespace hilog {
+namespace {
+
+class StratificationTest : public ::testing::Test {
+ protected:
+  Program P(std::string_view text) {
+    ParseResult<Program> parsed = ParseProgram(store_, text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    return *parsed;
+  }
+  GroundProgram G(std::string_view text) {
+    GroundProgram ground;
+    EXPECT_TRUE(ToGroundProgram(store_, P(text), &ground));
+    return ground;
+  }
+  TermId T(std::string_view text) { return *ParseTerm(store_, text); }
+  TermStore store_;
+};
+
+TEST_F(StratificationTest, StratifiedProgramGetsLevels) {
+  std::unordered_map<TermId, int> levels;
+  ASSERT_TRUE(IsStratified(
+      store_, P("p(X) :- q(X), ~r(X). q(a). r(b)."), &levels));
+  // Definition 6.1: head level strictly above negated predicates, at
+  // least the level of positive ones.
+  EXPECT_GT(levels[T("p")], levels[T("r")]);
+  EXPECT_GE(levels[T("p")], levels[T("q")]);
+}
+
+TEST_F(StratificationTest, NegativeRecursionIsNotStratified) {
+  EXPECT_FALSE(IsStratified(store_, P("p :- ~q. q :- ~p."), nullptr));
+  // Example 6.1: winning depends negatively on itself.
+  EXPECT_FALSE(IsStratified(
+      store_, P("winning(X) :- move(X,Y), ~winning(Y)."), nullptr));
+}
+
+TEST_F(StratificationTest, PositiveRecursionIsStratified) {
+  EXPECT_TRUE(IsStratified(
+      store_, P("t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y)."), nullptr));
+}
+
+TEST_F(StratificationTest, NegationBelowRecursionIsStratified) {
+  std::unordered_map<TermId, int> levels;
+  ASSERT_TRUE(IsStratified(
+      store_,
+      P("p(X) :- q(X). q(X) :- p(X). q(X) :- ~r(X), s(X). r(a). s(a)."),
+      &levels));
+  EXPECT_EQ(levels[T("p")], levels[T("q")]);
+  EXPECT_GT(levels[T("q")], levels[T("r")]);
+}
+
+TEST_F(StratificationTest, AggregationCountsAsNegation) {
+  // The parts-explosion recursion through sum is not stratified.
+  Program p = P(
+      "in(M,X,Y,Z,N) :- assoc(M,P), P(X,Z,Q), contains(M,Z,Y,R), N = Q * R."
+      "contains(M,X,Y,N) :- N = sum(P, in(M,X,Y,Z,P)).");
+  EXPECT_FALSE(IsStratified(store_, p, nullptr));
+}
+
+TEST_F(StratificationTest, LocallyStratifiedChain) {
+  EXPECT_TRUE(IsLocallyStratified(G(
+      "w(1) :- m(1,2), ~w(2). w(2) :- m(2,3), ~w(3). m(1,2). m(2,3).")));
+}
+
+TEST_F(StratificationTest, GroundNegativeCycleNotLocallyStratified) {
+  // Example 6.1's instantiated rule winning(a) :- move(a,a), ~winning(a).
+  EXPECT_FALSE(IsLocallyStratified(
+      G("winning(a) :- move(a,a), ~winning(a). move(a,a).")));
+  EXPECT_FALSE(IsLocallyStratified(
+      G("w(a) :- ~w(b). w(b) :- ~w(a).")));
+}
+
+TEST_F(StratificationTest, LocalStratificationIsFinerThanStratification) {
+  // Not stratified at the predicate level, but the ground instances are
+  // acyclic: locally stratified.
+  Program p = P("w(1) :- m(1,2), ~w(2). m(1,2).");
+  EXPECT_FALSE(IsStratified(store_, P("w(X) :- m(X,Y), ~w(Y)."), nullptr));
+  GroundProgram ground;
+  ASSERT_TRUE(ToGroundProgram(store_, p, &ground));
+  EXPECT_TRUE(IsLocallyStratified(ground));
+}
+
+TEST_F(StratificationTest, LocalLevelsRespectConstraints) {
+  GroundProgram ground = G(
+      "a :- b, ~c. b :- d. c :- ~d. d.");
+  std::unordered_map<TermId, int> levels;
+  ASSERT_TRUE(LocalStratificationLevels(ground, &levels));
+  EXPECT_GT(levels[T("a")], levels[T("c")]);
+  EXPECT_GE(levels[T("a")], levels[T("b")]);
+  EXPECT_GT(levels[T("c")], levels[T("d")]);
+}
+
+TEST_F(StratificationTest, SccComputation) {
+  DependencyGraph graph;
+  TermId a = T("a");
+  TermId b = T("b");
+  TermId c = T("c");
+  TermId d = T("d");
+  graph.AddEdge(a, b, false);
+  graph.AddEdge(b, a, false);
+  graph.AddEdge(b, c, true);
+  graph.AddEdge(c, d, false);
+  graph.AddEdge(d, c, false);
+  uint32_t n = 0;
+  std::vector<uint32_t> comp = graph.StronglyConnectedComponents(&n);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(comp[graph.Find(a)], comp[graph.Find(b)]);
+  EXPECT_EQ(comp[graph.Find(c)], comp[graph.Find(d)]);
+  EXPECT_NE(comp[graph.Find(a)], comp[graph.Find(c)]);
+  // {c,d} is the sink component ({a,b} has an outgoing edge).
+  std::vector<uint32_t> sinks = graph.SinkComponents(comp, n);
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sinks[0], comp[graph.Find(c)]);
+  EXPECT_FALSE(graph.ComponentHasInternalNegativeEdge(comp));
+}
+
+TEST_F(StratificationTest, SelfLoopComponent) {
+  DependencyGraph graph;
+  TermId a = T("a");
+  graph.AddEdge(a, a, true);
+  uint32_t n = 0;
+  std::vector<uint32_t> comp = graph.StronglyConnectedComponents(&n);
+  EXPECT_EQ(n, 1u);
+  EXPECT_TRUE(graph.ComponentHasInternalNegativeEdge(comp));
+  // A self-loop does not leave the component: still a sink.
+  EXPECT_EQ(graph.SinkComponents(comp, n).size(), 1u);
+}
+
+TEST_F(StratificationTest, Section6UniversalTransformBreaksStratification) {
+  // The paper, Section 6: p(X) :- q(X), ~r(X) is stratified, but its
+  // universal-relation version call(u2(p,X)) :- call(u2(q,X)),
+  // ~call(u2(r,X)) is not (everything collapses into `call`).
+  Program original = P("p(X) :- q(X), ~r(X).");
+  EXPECT_TRUE(IsStratified(store_, original, nullptr));
+  Program universal =
+      P("call(u2(p,X)) :- call(u2(q,X)), ~call(u2(r,X)).");
+  EXPECT_FALSE(IsStratified(store_, universal, nullptr));
+}
+
+}  // namespace
+}  // namespace hilog

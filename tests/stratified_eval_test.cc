@@ -1,0 +1,136 @@
+// Tests for the stratified (iterated least-fixpoint / perfect-model)
+// evaluator, and its agreement with the well-founded semantics on
+// stratified programs — the classic result the paper builds on ("a
+// stratified program has a well defined semantics given by the Herbrand
+// model constructed by taking least fixpoints at successively higher
+// levels", Section 1).
+
+#include "src/eval/stratified.h"
+
+#include <gtest/gtest.h>
+
+#include "random_programs.h"
+#include "src/ground/grounder.h"
+#include "src/lang/parser.h"
+#include "src/wfs/alternating.h"
+
+namespace hilog {
+namespace {
+
+class StratifiedEvalTest : public ::testing::Test {
+ protected:
+  Program P(std::string_view text) {
+    ParseResult<Program> parsed = ParseProgram(store_, text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    return *parsed;
+  }
+  TermId T(std::string_view text) { return *ParseTerm(store_, text); }
+  TermStore store_;
+};
+
+TEST_F(StratifiedEvalTest, TwoStrata) {
+  Program p = P("q(a). q(b). r(a). p(X) :- q(X), ~r(X).");
+  StratifiedEvalResult result =
+      EvaluateStratified(store_, p, BottomUpOptions());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.strata, 2u);
+  EXPECT_TRUE(result.facts.Contains(T("p(b)")));
+  EXPECT_FALSE(result.facts.Contains(T("p(a)")));
+}
+
+TEST_F(StratifiedEvalTest, RecursionWithinStratum) {
+  Program p = P(
+      "e(1,2). e(2,3). e(3,4). blocked(3)."
+      "reach(1)."
+      "reach(Y) :- reach(X), e(X,Y), ~blocked(Y).");
+  StratifiedEvalResult result =
+      EvaluateStratified(store_, p, BottomUpOptions());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.facts.Contains(T("reach(2)")));
+  EXPECT_FALSE(result.facts.Contains(T("reach(3)")));
+  EXPECT_FALSE(result.facts.Contains(T("reach(4)")));
+}
+
+TEST_F(StratifiedEvalTest, ThreeStrataChain) {
+  Program p = P(
+      "base(1). base(2). base(3)."
+      "bad(2)."
+      "good(X) :- base(X), ~bad(X)."
+      "best(X) :- good(X), ~worst(X)."
+      "worst(3).");
+  StratifiedEvalResult result =
+      EvaluateStratified(store_, p, BottomUpOptions());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.facts.Contains(T("best(1)")));
+  EXPECT_FALSE(result.facts.Contains(T("best(2)")));
+  EXPECT_FALSE(result.facts.Contains(T("best(3)")));
+}
+
+TEST_F(StratifiedEvalTest, RejectsUnstratified) {
+  Program p = P("w(X) :- m(X,Y), ~w(Y). m(a,b).");
+  StratifiedEvalResult result =
+      EvaluateStratified(store_, p, BottomUpOptions());
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("not stratified"), std::string::npos);
+}
+
+TEST_F(StratifiedEvalTest, RejectsUnsafePrograms) {
+  Program p = P("p(X) :- ~q(X). q(a).");
+  StratifiedEvalResult result =
+      EvaluateStratified(store_, p, BottomUpOptions());
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_F(StratifiedEvalTest, RejectsVariableHeadNamesUnderNegation) {
+  Program p = P("X(b) :- p(X), ~q(b). p(r). q(a).");
+  StratifiedEvalResult result =
+      EvaluateStratified(store_, p, BottomUpOptions());
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("head predicate name"), std::string::npos);
+}
+
+TEST_F(StratifiedEvalTest, HiLogPositiveProgramsAllowed) {
+  // Without negation, variable-named heads are fine (pure least model).
+  Program p = P(
+      "graph(e). e(1,2). e(2,3)."
+      "tc(G,X,Y) :- graph(G), G(X,Y)."
+      "tc(G,X,Y) :- graph(G), G(X,Z), tc(G,Z,Y).");
+  StratifiedEvalResult result =
+      EvaluateStratified(store_, p, BottomUpOptions());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.facts.Contains(T("tc(e,1,3)")));
+}
+
+class StratifiedAgreementTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StratifiedAgreementTest, MatchesWellFoundedModel) {
+  TermStore store;
+  // Filter the random programs down to stratified, safe ones.
+  std::string text =
+      hilog::testing::RandomRangeRestrictedNormalProgram(GetParam());
+  auto parsed = ParseProgram(store, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  StratifiedEvalResult stratified =
+      EvaluateStratified(store, *parsed, BottomUpOptions());
+  if (!stratified.ok) return;  // Not stratified: nothing to compare.
+
+  RelevanceGroundingResult ground =
+      GroundWithRelevance(store, *parsed, BottomUpOptions());
+  ASSERT_TRUE(ground.ok) << ground.error;
+  WfsResult wfs = ComputeWfsAlternating(ground.program);
+  EXPECT_TRUE(wfs.model.IsTotal()) << text;
+  for (TermId atom : wfs.model.TrueAtoms()) {
+    EXPECT_TRUE(stratified.facts.Contains(atom))
+        << text << "\n" << store.ToString(atom);
+  }
+  for (TermId atom : stratified.facts.facts()) {
+    EXPECT_TRUE(wfs.model.IsTrue(atom))
+        << text << "\n" << store.ToString(atom);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StratifiedAgreementTest,
+                         ::testing::Range(1u, 41u));
+
+}  // namespace
+}  // namespace hilog

@@ -1,0 +1,160 @@
+// Tests for tabled (OLDT-style) evaluation: termination on left
+// recursion (where plain SLD loops), agreement with bottom-up least
+// models, proof-collapsing on exponential-path graphs, and call-variant
+// table sharing.
+
+#include "src/eval/tabled.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/eval/bottomup.h"
+#include "src/eval/resolution.h"
+#include "src/lang/parser.h"
+
+namespace hilog {
+namespace {
+
+class TabledTest : public ::testing::Test {
+ protected:
+  Program P(std::string_view text) {
+    ParseResult<Program> parsed = ParseProgram(store_, text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    return *parsed;
+  }
+  TermId T(std::string_view text) { return *ParseTerm(store_, text); }
+  TermStore store_;
+};
+
+TEST_F(TabledTest, CanonicalizationSharesVariantGoals) {
+  TermId a = CanonicalizeGoal(store_, T("tc(G)(X,Y)"));
+  TermId b = CanonicalizeGoal(store_, T("tc(H)(A,B)"));
+  EXPECT_EQ(a, b);
+  TermId c = CanonicalizeGoal(store_, T("tc(G)(X,X)"));
+  EXPECT_NE(a, c);
+  // Ground goals canonicalize to themselves.
+  EXPECT_EQ(CanonicalizeGoal(store_, T("p(a)")), T("p(a)"));
+}
+
+TEST_F(TabledTest, RightRecursionAnswers) {
+  Program p = P(
+      "t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y)."
+      "e(1,2). e(2,3). e(3,4).");
+  TabledResult r = SolveTabled(store_, p, T("t(1,Y)"), TabledOptions());
+  ASSERT_TRUE(r.error.empty());
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.answers.size(), 3u);
+}
+
+TEST_F(TabledTest, LeftRecursionTerminates) {
+  // Plain SLD loops forever on t(X,Y) :- t(X,Z), e(Z,Y); tabling reaches
+  // the fixpoint.
+  Program p = P(
+      "t(X,Y) :- t(X,Z), e(Z,Y). t(X,Y) :- e(X,Y)."
+      "e(1,2). e(2,3). e(3,4).");
+  TabledResult r = SolveTabled(store_, p, T("t(1,Y)"), TabledOptions());
+  ASSERT_TRUE(r.error.empty());
+  EXPECT_TRUE(r.complete);
+  std::vector<std::string> got;
+  for (TermId a : r.answers) got.push_back(store_.ToString(a));
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got,
+            (std::vector<std::string>{"t(1,2)", "t(1,3)", "t(1,4)"}));
+
+  // The same program under plain SLD only survives via its budgets.
+  ResolutionOptions sld;
+  sld.max_steps = 20000;
+  ResolutionResult plain = SolveByResolution(store_, p, T("t(1,Y)"), sld);
+  EXPECT_FALSE(plain.exhausted);
+}
+
+TEST_F(TabledTest, ExponentialProofsCollapse) {
+  // A chain of diamonds: 2^n proofs of reach(end), one tabled answer
+  // each. SLD's step count explodes; tabling stays linear in answers.
+  std::string text =
+      "r(X,Y) :- e(X,Y). r(X,Y) :- e(X,Z), r(Z,Y).";
+  const int kDiamonds = 12;
+  for (int i = 0; i < kDiamonds; ++i) {
+    std::string from = "n" + std::to_string(i);
+    std::string to = "n" + std::to_string(i + 1);
+    text += "e(" + from + ",u" + std::to_string(i) + ").";
+    text += "e(" + from + ",d" + std::to_string(i) + ").";
+    text += "e(u" + std::to_string(i) + "," + to + ").";
+    text += "e(d" + std::to_string(i) + "," + to + ").";
+  }
+  Program p = P(text);
+  TabledResult r = SolveTabled(
+      store_, p, T("r(n0,n" + std::to_string(kDiamonds) + ")"),
+      TabledOptions());
+  ASSERT_TRUE(r.error.empty());
+  EXPECT_TRUE(r.complete);
+  ASSERT_EQ(r.answers.size(), 1u);
+  // Steps stay far below the 2^12 = 4096 distinct SLD proofs times their
+  // depth (a rough but telling bound).
+  EXPECT_LT(r.steps, 200000u);
+}
+
+TEST_F(TabledTest, HiLogGenericClosure) {
+  Program p = P(
+      "tc(G)(X,Y) :- G(X,Y). tc(G)(X,Y) :- G(X,Z), tc(G)(Z,Y)."
+      "e(a,b). e(b,c). f(x,y).");
+  TabledResult r =
+      SolveTabled(store_, p, T("tc(e)(a,Y)"), TabledOptions());
+  ASSERT_TRUE(r.error.empty());
+  EXPECT_EQ(r.answers.size(), 2u);
+  // Querying another relation through the same rules uses new tables.
+  TabledResult r2 =
+      SolveTabled(store_, p, T("tc(f)(x,Y)"), TabledOptions());
+  EXPECT_EQ(r2.answers.size(), 1u);
+}
+
+TEST_F(TabledTest, AgreesWithBottomUpOnLeastModel) {
+  const char* programs[] = {
+      "t(X,Y) :- e(X,Y). t(X,Y) :- t(X,Z), e(Z,Y)."
+      "e(1,2). e(2,3). e(3,1).",  // Cyclic graph: finite closure.
+      "p(a). p(b). q(X,Y) :- p(X), p(Y).",
+      "rel(e). e(1,2). s(G)(X) :- rel(G), G(X,Y).",
+  };
+  for (const char* text : programs) {
+    TermStore store;
+    auto parsed = ParseProgram(store, text);
+    ASSERT_TRUE(parsed.ok());
+    BottomUpResult bottom = LeastModelOfPositiveProjection(
+        store, *parsed, BottomUpOptions());
+    for (TermId fact : bottom.facts.facts()) {
+      TabledResult r =
+          SolveTabled(store, *parsed, fact, TabledOptions());
+      EXPECT_EQ(r.answers.size(), 1u)
+          << text << "\n" << store.ToString(fact);
+    }
+  }
+}
+
+TEST_F(TabledTest, OpenQueryOverCyclicGraphIsComplete) {
+  Program p = P(
+      "t(X,Y) :- e(X,Y). t(X,Y) :- t(X,Z), e(Z,Y)."
+      "e(1,2). e(2,1).");
+  TabledResult r = SolveTabled(store_, p, T("t(X,Y)"), TabledOptions());
+  ASSERT_TRUE(r.error.empty());
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.answers.size(), 4u);  // All pairs over {1,2}.
+}
+
+TEST_F(TabledTest, RejectsNegation) {
+  Program p = P("p :- ~q.");
+  TabledResult r = SolveTabled(store_, p, T("p"), TabledOptions());
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST_F(TabledTest, InfiniteProgramsHitTheBudget) {
+  Program p = P("n(z). n(s(X)) :- n(X).");
+  TabledOptions options;
+  options.max_answers = 50;
+  TabledResult r = SolveTabled(store_, p, T("n(X)"), options);
+  EXPECT_FALSE(r.complete);
+  EXPECT_GE(r.answers.size(), 50u);
+}
+
+}  // namespace
+}  // namespace hilog

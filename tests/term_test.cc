@@ -1,0 +1,191 @@
+#include "src/term/term_store.h"
+
+#include <gtest/gtest.h>
+
+namespace hilog {
+namespace {
+
+class TermStoreTest : public ::testing::Test {
+ protected:
+  TermStore store_;
+};
+
+TEST_F(TermStoreTest, SymbolsAreInterned) {
+  TermId a1 = store_.MakeSymbol("a");
+  TermId a2 = store_.MakeSymbol("a");
+  TermId b = store_.MakeSymbol("b");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(store_.kind(a1), TermKind::kSymbol);
+  EXPECT_EQ(store_.text(a1), "a");
+}
+
+TEST_F(TermStoreTest, VariablesAreInternedSeparatelyFromSymbols) {
+  TermId sym = store_.MakeSymbol("x");
+  TermId var = store_.MakeVariable("x");
+  EXPECT_NE(sym, var);
+  EXPECT_EQ(store_.kind(var), TermKind::kVariable);
+}
+
+TEST_F(TermStoreTest, AppliesAreHashConsed) {
+  TermId p = store_.MakeSymbol("p");
+  TermId a = store_.MakeSymbol("a");
+  TermId b = store_.MakeSymbol("b");
+  TermId t1 = store_.MakeApply(p, {a, b});
+  TermId t2 = store_.MakeApply(p, {a, b});
+  TermId t3 = store_.MakeApply(p, {b, a});
+  EXPECT_EQ(t1, t2);
+  EXPECT_NE(t1, t3);
+}
+
+TEST_F(TermStoreTest, SameNameDifferentArityAreDistinct) {
+  // HiLog symbols are arity-polymorphic: p, p(a), p(a,a) coexist.
+  TermId p = store_.MakeSymbol("p");
+  TermId a = store_.MakeSymbol("a");
+  TermId p1 = store_.MakeApply(p, {a});
+  TermId p2 = store_.MakeApply(p, {a, a});
+  TermId p0 = store_.MakeApply(p, {});
+  EXPECT_NE(p1, p2);
+  EXPECT_NE(p0, p);  // 0-ary application p() is distinct from the symbol p.
+  EXPECT_NE(p0, p1);
+}
+
+TEST_F(TermStoreTest, CompoundPredicateNames) {
+  // tc(G)(X,Y): the name of the outer application is itself an apply.
+  TermId tc = store_.MakeSymbol("tc");
+  TermId g = store_.MakeVariable("G");
+  TermId x = store_.MakeVariable("X");
+  TermId y = store_.MakeVariable("Y");
+  TermId tc_g = store_.MakeApply(tc, {g});
+  TermId atom = store_.MakeApply(tc_g, {x, y});
+  EXPECT_EQ(store_.apply_name(atom), tc_g);
+  EXPECT_EQ(store_.PredName(atom), tc_g);
+  EXPECT_EQ(store_.OutermostFunctor(atom), tc);
+  EXPECT_EQ(store_.arity(atom), 2u);
+}
+
+TEST_F(TermStoreTest, PredNameOfSymbolAndVariableIsItself) {
+  TermId p = store_.MakeSymbol("p");
+  TermId x = store_.MakeVariable("X");
+  EXPECT_EQ(store_.PredName(p), p);
+  EXPECT_EQ(store_.PredName(x), x);
+}
+
+TEST_F(TermStoreTest, GroundnessIsCached) {
+  TermId p = store_.MakeSymbol("p");
+  TermId a = store_.MakeSymbol("a");
+  TermId x = store_.MakeVariable("X");
+  EXPECT_TRUE(store_.IsGround(store_.MakeApply(p, {a})));
+  EXPECT_FALSE(store_.IsGround(store_.MakeApply(p, {x})));
+  // Variable in name position also makes the term non-ground.
+  EXPECT_FALSE(store_.IsGround(store_.MakeApply(x, {a})));
+}
+
+TEST_F(TermStoreTest, DepthComputation) {
+  TermId f = store_.MakeSymbol("f");
+  TermId a = store_.MakeSymbol("a");
+  EXPECT_EQ(store_.Depth(a), 0);
+  TermId fa = store_.MakeApply(f, {a});
+  EXPECT_EQ(store_.Depth(fa), 1);
+  TermId ffa = store_.MakeApply(f, {fa});
+  EXPECT_EQ(store_.Depth(ffa), 2);
+  // Depth counts nesting in name position too: f(a)(a) has depth 2.
+  TermId fa_a = store_.MakeApply(fa, {a});
+  EXPECT_EQ(store_.Depth(fa_a), 2);
+}
+
+TEST_F(TermStoreTest, TreeSize) {
+  TermId f = store_.MakeSymbol("f");
+  TermId a = store_.MakeSymbol("a");
+  TermId fa = store_.MakeApply(f, {a});
+  EXPECT_EQ(store_.TreeSize(a), 1u);
+  EXPECT_EQ(store_.TreeSize(fa), 3u);  // apply node + f + a.
+}
+
+TEST_F(TermStoreTest, ToStringRendersHiLogSyntax) {
+  TermId p = store_.MakeSymbol("p");
+  TermId a = store_.MakeSymbol("a");
+  TermId x = store_.MakeVariable("X");
+  TermId pa = store_.MakeApply(p, {a, x});
+  EXPECT_EQ(store_.ToString(pa), "p(a,X)");
+  TermId nested = store_.MakeApply(pa, {a});
+  EXPECT_EQ(store_.ToString(nested), "p(a,X)(a)");
+  TermId zero = store_.MakeApply(p, {});
+  EXPECT_EQ(store_.ToString(zero), "p()");
+}
+
+TEST_F(TermStoreTest, NumberValues) {
+  EXPECT_EQ(store_.NumberValue(store_.MakeSymbol("42")), 42);
+  EXPECT_EQ(store_.NumberValue(store_.MakeSymbol("-7")), -7);
+  EXPECT_EQ(store_.NumberValue(store_.MakeSymbol("abc")), std::nullopt);
+  EXPECT_EQ(store_.NumberValue(store_.MakeSymbol("4a")), std::nullopt);
+  EXPECT_EQ(store_.NumberValue(store_.MakeVariable("X")), std::nullopt);
+}
+
+TEST_F(TermStoreTest, CollectVariablesDeduplicatesInOrder) {
+  TermId p = store_.MakeSymbol("p");
+  TermId x = store_.MakeVariable("X");
+  TermId y = store_.MakeVariable("Y");
+  TermId t = store_.MakeApply(p, {x, y, x});
+  std::vector<TermId> vars;
+  store_.CollectVariables(t, &vars);
+  EXPECT_EQ(vars, (std::vector<TermId>{x, y}));
+}
+
+TEST_F(TermStoreTest, CollectVariablesSeesNamePosition) {
+  TermId x = store_.MakeVariable("X");
+  TermId a = store_.MakeSymbol("a");
+  TermId t = store_.MakeApply(x, {a});
+  std::vector<TermId> vars;
+  store_.CollectVariables(t, &vars);
+  EXPECT_EQ(vars, (std::vector<TermId>{x}));
+}
+
+TEST_F(TermStoreTest, CollectSymbols) {
+  TermId p = store_.MakeSymbol("p");
+  TermId a = store_.MakeSymbol("a");
+  TermId x = store_.MakeVariable("X");
+  TermId t = store_.MakeApply(p, {a, x, a});
+  std::vector<TermId> syms;
+  store_.CollectSymbols(t, &syms);
+  EXPECT_EQ(syms, (std::vector<TermId>{p, a}));
+}
+
+TEST_F(TermStoreTest, FreshVariablesAreUnique) {
+  TermId v1 = store_.MakeFreshVariable();
+  TermId v2 = store_.MakeFreshVariable();
+  EXPECT_NE(v1, v2);
+  EXPECT_EQ(store_.kind(v1), TermKind::kVariable);
+}
+
+TEST_F(TermStoreTest, NonLexableSymbolsPrintQuoted) {
+  EXPECT_EQ(store_.ToString(store_.MakeSymbol("hello world")),
+            "'hello world'");
+  EXPECT_EQ(store_.ToString(store_.MakeSymbol("Capitalized")),
+            "'Capitalized'");
+  // The library's own operator symbols stay bare.
+  EXPECT_EQ(store_.ToString(store_.MakeSymbol("[]")), "[]");
+  EXPECT_EQ(store_.ToString(store_.MakeSymbol("+")), "+");
+  EXPECT_EQ(store_.ToString(store_.MakeSymbol("-3")), "-3");
+  EXPECT_EQ(store_.ToString(store_.MakeSymbol("ok_name2")), "ok_name2");
+}
+
+TEST_F(TermStoreTest, InterningScalesWithoutCollisionConfusion) {
+  // Build many distinct terms and verify pairwise-distinct ids by
+  // re-interning.
+  TermId f = store_.MakeSymbol("f");
+  std::vector<TermId> terms;
+  TermId cur = store_.MakeSymbol("c");
+  for (int i = 0; i < 2000; ++i) {
+    cur = store_.MakeApply(f, {cur});
+    terms.push_back(cur);
+  }
+  TermId again = store_.MakeSymbol("c");
+  for (int i = 0; i < 2000; ++i) {
+    again = store_.MakeApply(f, {again});
+    EXPECT_EQ(again, terms[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hilog

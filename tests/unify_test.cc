@@ -1,0 +1,165 @@
+#include "src/term/unify.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/parser.h"
+
+namespace hilog {
+namespace {
+
+class UnifyTest : public ::testing::Test {
+ protected:
+  TermId T(std::string_view text) {
+    ParseResult<TermId> r = ParseTerm(store_, text);
+    EXPECT_TRUE(r.ok()) << r.error;
+    return *r;
+  }
+  TermStore store_;
+};
+
+TEST_F(UnifyTest, IdenticalTermsUnifyWithEmptyMgu) {
+  TermId t = T("p(a,b)");
+  auto mgu = Unify(store_, t, t);
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_TRUE(mgu->empty());
+}
+
+TEST_F(UnifyTest, DistinctSymbolsFail) {
+  EXPECT_FALSE(Unify(store_, T("a"), T("b")).has_value());
+}
+
+TEST_F(UnifyTest, VariableBindsToTerm) {
+  auto mgu = Unify(store_, T("X"), T("f(a)"));
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(mgu->Apply(store_, T("X")), T("f(a)"));
+}
+
+TEST_F(UnifyTest, ArityMismatchFails) {
+  EXPECT_FALSE(Unify(store_, T("p(a)"), T("p(a,b)")).has_value());
+  // HiLog: even the same symbol at different arities does not unify as an
+  // application, and a symbol does not unify with its 0-ary application.
+  EXPECT_FALSE(Unify(store_, T("p"), T("p()")).has_value());
+}
+
+TEST_F(UnifyTest, VariablePredicateNameUnifies) {
+  // The HiLog-specific case: X(a,b) unifies with move(a,b), binding the
+  // *predicate name* variable.
+  auto mgu = Unify(store_, T("X(a,b)"), T("move(a,b)"));
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(mgu->Apply(store_, T("X")), T("move"));
+}
+
+TEST_F(UnifyTest, CompoundPredicateNamesUnify) {
+  auto mgu = Unify(store_, T("tc(G)(a,Y)"), T("tc(e)(X,b)"));
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(mgu->Apply(store_, T("G")), T("e"));
+  EXPECT_EQ(mgu->Apply(store_, T("Y")), T("b"));
+  EXPECT_EQ(mgu->Apply(store_, T("X")), T("a"));
+}
+
+TEST_F(UnifyTest, NameVariableCanBindToCompoundName) {
+  auto mgu = Unify(store_, T("N(a)"), T("tc(e)(a)"));
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(mgu->Apply(store_, T("N")), T("tc(e)"));
+}
+
+TEST_F(UnifyTest, OccursCheckRejectsCyclicBinding) {
+  EXPECT_FALSE(Unify(store_, T("X"), T("f(X)")).has_value());
+  // Occurs check through the name position: X vs X(a).
+  EXPECT_FALSE(Unify(store_, T("X"), T("X(a)")).has_value());
+}
+
+TEST_F(UnifyTest, SharedVariableChains) {
+  auto mgu = Unify(store_, T("p(X,Y)"), T("p(Y,a)"));
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(mgu->Apply(store_, T("X")), T("a"));
+  EXPECT_EQ(mgu->Apply(store_, T("Y")), T("a"));
+}
+
+TEST_F(UnifyTest, MguIsFullyResolved) {
+  // Simultaneous application must equal iterated application.
+  auto mgu = Unify(store_, T("p(X,Y,Z)"), T("p(f(Y),f(Z),a)"));
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(mgu->Apply(store_, T("X")), T("f(f(a))"));
+  EXPECT_EQ(mgu->Apply(store_, T("Y")), T("f(a)"));
+  EXPECT_EQ(mgu->Apply(store_, T("Z")), T("a"));
+}
+
+TEST_F(UnifyTest, MguUnifiesBothSides) {
+  // Property: applying the mgu to both terms yields the same term.
+  const char* pairs[][2] = {
+      {"p(X,b)", "p(a,Y)"},
+      {"q(X)(Y)", "q(a)(f(b))"},
+      {"X(Y(c))", "h(g(c))"},
+      {"f(X,X)", "f(Y,a)"},
+      {"tc(tc(E))(X,Y)", "tc(Z)(u,v)"},
+  };
+  for (const auto& pair : pairs) {
+    TermId a = T(pair[0]);
+    TermId b = T(pair[1]);
+    auto mgu = Unify(store_, a, b);
+    ASSERT_TRUE(mgu.has_value()) << pair[0] << " ~ " << pair[1];
+    EXPECT_EQ(mgu->Apply(store_, a), mgu->Apply(store_, b))
+        << pair[0] << " ~ " << pair[1];
+  }
+}
+
+TEST_F(UnifyTest, UnifyIntoLeavesSubstUnchangedOnFailure) {
+  Substitution subst;
+  ASSERT_TRUE(UnifyInto(store_, T("X"), T("a"), &subst));
+  EXPECT_FALSE(UnifyInto(store_, T("X"), T("b"), &subst));
+  EXPECT_EQ(subst.Apply(store_, T("X")), T("a"));
+}
+
+TEST_F(UnifyTest, MatchBindsOnlyPatternVariables) {
+  Substitution subst;
+  ASSERT_TRUE(MatchInto(store_, T("p(X,b)"), T("p(a,b)"), &subst));
+  EXPECT_EQ(subst.Apply(store_, T("X")), T("a"));
+  // Matching is one-way: target variables do not bind.
+  Substitution subst2;
+  EXPECT_FALSE(MatchInto(store_, T("p(a)"), T("p(X)"), &subst2));
+}
+
+TEST_F(UnifyTest, MatchRespectsExistingBindings) {
+  Substitution subst;
+  ASSERT_TRUE(MatchInto(store_, T("p(X)"), T("p(a)"), &subst));
+  EXPECT_FALSE(MatchInto(store_, T("q(X)"), T("q(b)"), &subst));
+  ASSERT_TRUE(MatchInto(store_, T("q(X)"), T("q(a)"), &subst));
+}
+
+TEST_F(UnifyTest, MatchOnNamePosition) {
+  Substitution subst;
+  ASSERT_TRUE(MatchInto(store_, T("winning(M)(X)"), T("winning(move1)(a)"),
+                        &subst));
+  EXPECT_EQ(subst.Apply(store_, T("M")), T("move1"));
+  EXPECT_EQ(subst.Apply(store_, T("X")), T("a"));
+}
+
+TEST_F(UnifyTest, VariantDetection) {
+  EXPECT_TRUE(IsVariant(store_, T("p(X,Y)"), T("p(U,V)")));
+  EXPECT_FALSE(IsVariant(store_, T("p(X,X)"), T("p(U,V)")));
+  EXPECT_FALSE(IsVariant(store_, T("p(X,Y)"), T("p(U,U)")));
+  EXPECT_TRUE(IsVariant(store_, T("tc(G)(X,Y)"), T("tc(H)(A,B)")));
+  EXPECT_FALSE(IsVariant(store_, T("p(X)"), T("q(X)")));
+  EXPECT_TRUE(IsVariant(store_, T("a"), T("a")));
+}
+
+TEST_F(UnifyTest, RenameApartProducesVariant) {
+  TermId t = T("p(X,f(Y),X)");
+  TermId renamed = RenameApart(store_, t, nullptr);
+  EXPECT_NE(t, renamed);
+  EXPECT_TRUE(IsVariant(store_, t, renamed));
+}
+
+TEST_F(UnifyTest, SubstitutionCompose) {
+  Substitution first;
+  first.Bind(T("X"), T("f(Y)"));
+  Substitution second;
+  second.Bind(T("Y"), T("a"));
+  Substitution composed = first.Compose(store_, second);
+  EXPECT_EQ(composed.Apply(store_, T("X")), T("f(a)"));
+  EXPECT_EQ(composed.Apply(store_, T("Y")), T("a"));
+}
+
+}  // namespace
+}  // namespace hilog

@@ -1,0 +1,173 @@
+// Tests for the universal-relation ("call"/u_i) model of Section 2, and
+// the Section 6 observation that it destroys (modular) stratification.
+
+#include "src/transform/universal.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/stratification.h"
+#include "src/eval/bottomup.h"
+#include "src/wfs/alternating.h"
+#include "src/lang/parser.h"
+
+namespace hilog {
+namespace {
+
+class UniversalTest : public ::testing::Test {
+ protected:
+  Program P(std::string_view text) {
+    ParseResult<Program> parsed = ParseProgram(store_, text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    return *parsed;
+  }
+  TermId T(std::string_view text) { return *ParseTerm(store_, text); }
+  TermStore store_;
+};
+
+TEST_F(UniversalTest, SymbolsAndVariablesEncodeToThemselves) {
+  UniversalTransform u(store_);
+  EXPECT_EQ(u.EncodeTerm(T("a")), T("a"));
+  EXPECT_EQ(u.EncodeTerm(T("X")), T("X"));
+}
+
+TEST_F(UniversalTest, PaperEncodingExample) {
+  // Section 2: p(a,X)(Y)(b, f(c)(d)) becomes
+  //   call(u3(u2(u3(p,a,X),Y), b, u2(u2(f,c),d))).
+  UniversalTransform u(store_);
+  TermId atom = T("p(a,X)(Y)(b,f(c)(d))");
+  TermId encoded = u.EncodeAtom(atom);
+  EXPECT_EQ(store_.ToString(encoded),
+            "call(u3(u2(u3(p,a,X),Y),b,u2(u2(f,c),d)))");
+}
+
+TEST_F(UniversalTest, MaplistEncodingMatchesPaper) {
+  // Section 2's rendering of Example 2.2 (modulo variable names):
+  // call(u3(u2(maplist,F),[],[])) and the recursive rule with u3(cons,..).
+  UniversalTransform u(store_);
+  TermId fact = T("maplist(F)([],[])");
+  EXPECT_EQ(store_.ToString(u.EncodeAtom(fact)),
+            "call(u3(u2(maplist,F),[],[]))");
+  TermId head = T("maplist(F)([X|R],[Y|Z])");
+  EXPECT_EQ(store_.ToString(u.EncodeAtom(head)),
+            "call(u3(u2(maplist,F),u3(cons,X,R),u3(cons,Y,Z)))");
+}
+
+TEST_F(UniversalTest, ZeroAryEncoding) {
+  UniversalTransform u(store_);
+  EXPECT_EQ(store_.ToString(u.EncodeAtom(T("p(3)()"))),
+            "call(u1(u2(p,3)))");
+}
+
+TEST_F(UniversalTest, RoundTripOnAssortedTerms) {
+  UniversalTransform u(store_);
+  const char* terms[] = {
+      "a",
+      "X",
+      "p(a,b)",
+      "tc(G)(X,Y)",
+      "p(a,X)(Y)(b,f(c)(d))",
+      "p(3)()",
+      "winning(move1)(a)",
+      "f(g(h(i(j))))",
+  };
+  for (const char* text : terms) {
+    TermId t = T(text);
+    TermId enc = u.EncodeTerm(t);
+    auto dec = u.DecodeTerm(enc);
+    ASSERT_TRUE(dec.has_value()) << text;
+    EXPECT_EQ(*dec, t) << text;
+  }
+}
+
+TEST_F(UniversalTest, DecodeRejectsMalformedEncodings) {
+  UniversalTransform u(store_);
+  // u2 with wrong arity, or a non-u functor where u_k is required.
+  EXPECT_FALSE(u.DecodeTerm(T("u2(a)")).has_value());
+  EXPECT_FALSE(u.DecodeTerm(T("u3(a,b)")).has_value());
+  EXPECT_FALSE(u.DecodeTerm(T("g(a,b)")).has_value());
+  EXPECT_FALSE(u.DecodeAtom(T("notcall(u2(p,a))")).has_value());
+  EXPECT_FALSE(u.DecodeAtom(T("call(u2(p,a),extra)")).has_value());
+}
+
+TEST_F(UniversalTest, EncodedProgramHasSameLeastModel) {
+  // Negation-free HiLog program: its least model corresponds one-to-one
+  // with the least model of its universal encoding (the paper's Section 2
+  // semantics).
+  Program original = P(
+      "e(1,2). e(2,3). e(3,4)."
+      "graph(e)."
+      "tc(G,X,Y) :- graph(G), G(X,Y)."
+      "tc(G,X,Y) :- graph(G), G(X,Z), tc(G,Z,Y).");
+  UniversalTransform u(store_);
+  Program encoded = u.EncodeProgram(original);
+
+  BottomUpResult orig =
+      LeastModelOfPositiveProjection(store_, original, BottomUpOptions());
+  BottomUpResult univ =
+      LeastModelOfPositiveProjection(store_, encoded, BottomUpOptions());
+  ASSERT_FALSE(orig.truncated);
+  ASSERT_FALSE(univ.truncated);
+  EXPECT_EQ(orig.facts.size(), univ.facts.size());
+  for (TermId fact : orig.facts.facts()) {
+    EXPECT_TRUE(univ.facts.Contains(u.EncodeAtom(fact)))
+        << store_.ToString(fact);
+  }
+  for (TermId fact : univ.facts.facts()) {
+    auto decoded = u.DecodeAtom(fact);
+    ASSERT_TRUE(decoded.has_value()) << store_.ToString(fact);
+    EXPECT_TRUE(orig.facts.Contains(*decoded)) << store_.ToString(fact);
+  }
+}
+
+TEST_F(UniversalTest, Section6StratificationIsDestroyed) {
+  // p(X) :- q(X), ~r(X) is stratified; its universal version is not,
+  // because p, q, r all become the single predicate `call`.
+  Program original = P("p(X) :- q(X), ~r(X). q(a). r(b).");
+  ASSERT_TRUE(IsStratified(store_, original, nullptr));
+  UniversalTransform u(store_);
+  Program encoded = u.EncodeProgram(original);
+  EXPECT_FALSE(IsStratified(store_, encoded, nullptr));
+}
+
+TEST_F(UniversalTest, GroundProgramWfsIsPreservedByEncoding) {
+  // On *ground* programs the encoding is a bijection between atoms and
+  // their call(u_i(...)) forms, so the well-founded model transports
+  // exactly — including three-valuedness.
+  const char* programs[] = {
+      "p :- q. q :- p. r :- s, ~p. s. t :- ~r. u :- ~u.",
+      "w(a) :- m(a,b), ~w(b). m(a,b).",
+      "x :- ~y. y :- ~x.",
+  };
+  UniversalTransform u(store_);
+  for (const char* text : programs) {
+    auto parsed = ParseProgram(store_, text);
+    ASSERT_TRUE(parsed.ok());
+    Program encoded = u.EncodeProgram(*parsed);
+    GroundProgram g1;
+    GroundProgram g2;
+    ASSERT_TRUE(ToGroundProgram(store_, *parsed, &g1));
+    ASSERT_TRUE(ToGroundProgram(store_, encoded, &g2));
+    WfsResult w1 = ComputeWfsAlternating(g1);
+    WfsResult w2 = ComputeWfsAlternating(g2);
+    for (TermId atom : w1.model.atoms().atoms()) {
+      EXPECT_EQ(w1.model.Value(atom), w2.model.Value(u.EncodeAtom(atom)))
+          << text << "\n" << store_.ToString(atom);
+    }
+  }
+}
+
+TEST_F(UniversalTest, EncodingIsInjectiveOnDistinctTerms) {
+  UniversalTransform u(store_);
+  const char* terms[] = {"p", "p()", "p(a)", "p(a,a)", "p(a)(a)", "q(a)",
+                         "p(q(a))", "p(q)(a)"};
+  std::vector<TermId> encoded;
+  for (const char* text : terms) encoded.push_back(u.EncodeTerm(T(text)));
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    for (size_t j = i + 1; j < encoded.size(); ++j) {
+      EXPECT_NE(encoded[i], encoded[j]) << terms[i] << " vs " << terms[j];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hilog

@@ -1,0 +1,164 @@
+// Tests for weak stratification ([12]) and the paper's Section 6
+// discussion: Example 6.4 has a two-valued WFS and *is* weakly stratified
+// (components live at the ground-atom level) while it is NOT modularly
+// stratified — the reason the paper gives for preferring modular
+// stratification anyway is the magic-sets method, which needs the
+// sequential-subgoal property, not just two-valuedness.
+
+#include "src/analysis/weak_stratification.h"
+
+#include <gtest/gtest.h>
+
+#include "random_programs.h"
+#include "src/analysis/modular.h"
+#include "src/analysis/stratification.h"
+#include "src/ground/grounder.h"
+#include "src/lang/parser.h"
+#include "src/wfs/alternating.h"
+
+namespace hilog {
+namespace {
+
+class WeakStratificationTest : public ::testing::Test {
+ protected:
+  GroundProgram G(std::string_view text) {
+    ParseResult<Program> parsed = ParseProgram(store_, text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    GroundProgram ground;
+    EXPECT_TRUE(ToGroundProgram(store_, *parsed, &ground));
+    return ground;
+  }
+  TermId T(std::string_view text) { return *ParseTerm(store_, text); }
+  TermStore store_;
+};
+
+TEST_F(WeakStratificationTest, LocallyStratifiedProgramsAccepted) {
+  WeakStratificationResult r = ComputeWeaklyPerfectModel(
+      G("w(1) :- m(1,2), ~w(2). m(1,2). t :- ~w(1)."));
+  ASSERT_TRUE(r.weakly_stratified) << r.reason;
+  EXPECT_TRUE(r.model.IsTrue(T("w(1)")));
+  EXPECT_TRUE(r.model.IsFalse(T("w(2)")));
+  EXPECT_TRUE(r.model.IsFalse(T("t")));
+}
+
+// The ground shape of Example 6.4 (after instantiation): p(a) recurses
+// negatively through itself, but the recursion evaporates once p(b) — a
+// plain fact — settles. Weakly stratified; the weakly perfect model
+// matches the paper: p(b) true, p(a) false.
+TEST_F(WeakStratificationTest, Example64GroundIsWeaklyStratified) {
+  WeakStratificationResult r = ComputeWeaklyPerfectModel(
+      G("p(a) :- ~p(b), ~p(a). p(e) :- ~p(a), ~p(b). p(b)."));
+  ASSERT_TRUE(r.weakly_stratified) << r.reason;
+  EXPECT_TRUE(r.model.IsTrue(T("p(b)")));
+  EXPECT_TRUE(r.model.IsFalse(T("p(a)")));
+  EXPECT_TRUE(r.model.IsFalse(T("p(e)")));
+  // First layer settles p(b) alone.
+  ASSERT_FALSE(r.layers.empty());
+  EXPECT_EQ(r.layers[0], (std::vector<TermId>{T("p(b)")}));
+}
+
+// ... and the full HiLog Example 6.4 is weakly stratified at the ground
+// level while Figure 1 rejects it — the paper's contrast, end to end.
+TEST_F(WeakStratificationTest, Example64ContrastWithModular) {
+  ParseResult<Program> parsed = ParseProgram(
+      store_,
+      "P(X) :- t(X,Y,Z,P), ~P(Y), ~P(Z)."
+      "t(a,b,a,p). t(e,a,b,p)."
+      "P(b) :- t(X,Y,b,P).");
+  ASSERT_TRUE(parsed.ok());
+  ModularResult modular =
+      CheckModularHiLog(store_, *parsed, ModularOptions());
+  EXPECT_FALSE(modular.modularly_stratified);
+
+  RelevanceGroundingResult ground =
+      GroundWithRelevance(store_, *parsed, BottomUpOptions());
+  ASSERT_TRUE(ground.ok) << ground.error;
+  WeakStratificationResult weak =
+      ComputeWeaklyPerfectModel(ground.program);
+  ASSERT_TRUE(weak.weakly_stratified) << weak.reason;
+  EXPECT_TRUE(weak.model.IsTrue(T("p(b)")));
+  EXPECT_TRUE(weak.model.IsFalse(T("p(a)")));
+}
+
+TEST_F(WeakStratificationTest, GenuineNegativeLoopRejected) {
+  WeakStratificationResult r =
+      ComputeWeaklyPerfectModel(G("u :- ~u."));
+  EXPECT_FALSE(r.weakly_stratified);
+  WeakStratificationResult r2 = ComputeWeaklyPerfectModel(
+      G("w(a) :- m(a,b), ~w(b). w(b) :- m(b,a), ~w(a). m(a,b). m(b,a)."));
+  EXPECT_FALSE(r2.weakly_stratified);
+}
+
+TEST_F(WeakStratificationTest, Example32IsNotWeaklyStratified) {
+  // Two stable models, all-undefined WFS: no weakly perfect model.
+  WeakStratificationResult r = ComputeWeaklyPerfectModel(
+      G("p :- ~q. q :- ~p. r :- p. r :- q."));
+  EXPECT_FALSE(r.weakly_stratified);
+}
+
+TEST_F(WeakStratificationTest, AgreesWithWfsWhenAccepted) {
+  const char* programs[] = {
+      "a :- ~b. b :- c. c.",
+      "p(a) :- ~p(b), ~p(a). p(b).",
+      "x :- y, ~z. y. z :- ~y.",
+      "w(1) :- m(1,2), ~w(2). w(2) :- m(2,3), ~w(3). m(1,2). m(2,3).",
+  };
+  for (const char* text : programs) {
+    GroundProgram ground = G(text);
+    WeakStratificationResult weak = ComputeWeaklyPerfectModel(ground);
+    if (!weak.weakly_stratified) continue;
+    WfsResult wfs = ComputeWfsAlternating(ground);
+    EXPECT_TRUE(wfs.model.IsTotal()) << text;
+    for (TermId atom : wfs.model.atoms().atoms()) {
+      EXPECT_EQ(weak.model.Value(atom), wfs.model.Value(atom))
+          << text << "\n" << store_.ToString(atom);
+    }
+  }
+}
+
+class WeakPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+// Soundness sweep: whenever the construction accepts a random ground
+// program, its model equals the (then total) well-founded model; and
+// every modularly-stratifiable random game is also weakly stratified
+// after grounding (modular stratification is the stronger notion on this
+// family).
+TEST_P(WeakPropertyTest, SoundOnRandomGroundPrograms) {
+  TermStore store;
+  std::string text = hilog::testing::RandomGroundProgram(GetParam());
+  auto parsed = ParseProgram(store, text);
+  ASSERT_TRUE(parsed.ok());
+  GroundProgram ground;
+  ASSERT_TRUE(ToGroundProgram(store, *parsed, &ground));
+  WeakStratificationResult weak = ComputeWeaklyPerfectModel(ground);
+  WfsResult wfs = ComputeWfsAlternating(ground);
+  if (weak.weakly_stratified) {
+    EXPECT_TRUE(wfs.model.IsTotal()) << text;
+    for (TermId atom : wfs.model.atoms().atoms()) {
+      EXPECT_EQ(weak.model.Value(atom), wfs.model.Value(atom))
+          << text << "\n" << store.ToString(atom);
+    }
+  } else {
+    // Rejection must never happen on locally stratified inputs.
+    EXPECT_FALSE(IsLocallyStratified(ground)) << text;
+  }
+}
+
+TEST_P(WeakPropertyTest, ModularGamesAreWeaklyStratified) {
+  TermStore store;
+  std::string text = hilog::testing::RandomGameProgram(GetParam());
+  auto parsed = ParseProgram(store, text);
+  ASSERT_TRUE(parsed.ok());
+  RelevanceGroundingResult ground =
+      GroundWithRelevance(store, *parsed, BottomUpOptions());
+  ASSERT_TRUE(ground.ok);
+  WeakStratificationResult weak =
+      ComputeWeaklyPerfectModel(ground.program);
+  EXPECT_TRUE(weak.weakly_stratified) << text << "\n" << weak.reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeakPropertyTest,
+                         ::testing::Range(1u, 41u));
+
+}  // namespace
+}  // namespace hilog

@@ -1,0 +1,106 @@
+// Randomized cross-checks of the semantics engines (parameterized over
+// seeds):
+//  - the literal W_P-operator WFS equals the alternating-fixpoint WFS;
+//  - every stable model extends the WFS;
+//  - the Gelfond-Lifschitz reduct characterization of stability equals
+//    the two-valued-W_P-fixpoint characterization (Definition 3.6);
+//  - a two-valued WFS is the unique stable model.
+
+#include <gtest/gtest.h>
+
+#include "random_programs.h"
+#include "src/lang/parser.h"
+#include "src/wfs/stable.h"
+#include "src/wfs/wfs.h"
+
+namespace hilog {
+namespace {
+
+class WfsPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WfsPropertyTest, OperatorAndAlternatingAgree) {
+  TermStore store;
+  std::string text = testing::RandomGroundProgram(GetParam());
+  ParseResult<Program> parsed = ParseProgram(store, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  GroundProgram ground;
+  ASSERT_TRUE(ToGroundProgram(store, *parsed, &ground));
+
+  WfsResult a = ComputeWfsViaOperator(ground);
+  WfsResult b = ComputeWfsAlternating(ground);
+  for (TermId atom : a.model.atoms().atoms()) {
+    EXPECT_EQ(a.model.Value(atom), b.model.Value(atom))
+        << text << "\natom " << store.ToString(atom);
+  }
+}
+
+TEST_P(WfsPropertyTest, StableModelsExtendWfsAndAreWFixpoints) {
+  TermStore store;
+  std::string text = testing::RandomGroundProgram(GetParam());
+  ParseResult<Program> parsed = ParseProgram(store, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  GroundProgram ground;
+  ASSERT_TRUE(ToGroundProgram(store, *parsed, &ground));
+
+  WfsResult wfs = ComputeWfsAlternating(ground);
+  StableModelsResult stable = EnumerateStableModels(ground, StableOptions());
+  ASSERT_TRUE(stable.complete) << text;
+
+  for (const StableModel& model : stable.models) {
+    // GL-stability <=> two-valued W_P fixpoint.
+    EXPECT_TRUE(IsStableModel(ground, model.true_atoms)) << text;
+    EXPECT_TRUE(IsTwoValuedFixpointOfW(ground, model.true_atoms)) << text;
+    // Extends the WFS.
+    for (TermId t : wfs.model.TrueAtoms()) {
+      EXPECT_TRUE(std::count(model.true_atoms.begin(), model.true_atoms.end(),
+                             t) == 1)
+          << text << "\nWFS-true atom missing: " << store.ToString(t);
+    }
+    for (TermId t : model.true_atoms) {
+      EXPECT_FALSE(wfs.model.IsFalse(t))
+          << text << "\nWFS-false atom in stable model: "
+          << store.ToString(t);
+    }
+  }
+
+  if (wfs.model.IsTotal()) {
+    // Two-valued WFS => unique stable model equal to it.
+    ASSERT_EQ(stable.models.size(), 1u) << text;
+    std::vector<TermId> wfs_true = wfs.model.TrueAtoms();
+    std::sort(wfs_true.begin(), wfs_true.end());
+    EXPECT_EQ(stable.models[0].true_atoms, wfs_true) << text;
+  }
+}
+
+TEST_P(WfsPropertyTest, WfsIsAFixpointOfW) {
+  TermStore store;
+  std::string text = testing::RandomGroundProgram(GetParam(), 6, 9);
+  ParseResult<Program> parsed = ParseProgram(store, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  GroundProgram ground;
+  ASSERT_TRUE(ToGroundProgram(store, *parsed, &ground));
+
+  WfsResult wfs = ComputeWfsViaOperator(ground);
+  AtomTable table;
+  ground.CollectAtoms(&table);
+  std::vector<TruthValue> current(table.size(), TruthValue::kUndefined);
+  for (uint32_t i = 0; i < table.size(); ++i) {
+    current[i] = wfs.model.Value(table.atom(i));
+  }
+  std::vector<TruthValue> tp = ApplyTp(ground, table, current);
+  std::vector<bool> unfounded = GreatestUnfoundedSet(ground, table, current);
+  for (uint32_t i = 0; i < table.size(); ++i) {
+    TruthValue w = tp[i] == TruthValue::kTrue
+                       ? TruthValue::kTrue
+                       : (unfounded[i] ? TruthValue::kFalse
+                                       : TruthValue::kUndefined);
+    EXPECT_EQ(w, current[i]) << text << "\n"
+                             << store.ToString(table.atom(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WfsPropertyTest,
+                         ::testing::Range(1u, 61u));
+
+}  // namespace
+}  // namespace hilog

@@ -1,0 +1,188 @@
+#include "src/wfs/wfs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/parser.h"
+#include "src/wfs/alternating.h"
+
+namespace hilog {
+namespace {
+
+class WfsTest : public ::testing::Test {
+ protected:
+  // Parses a *ground* program into a GroundProgram.
+  GroundProgram G(std::string_view text) {
+    ParseResult<Program> parsed = ParseProgram(store_, text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    GroundProgram ground;
+    EXPECT_TRUE(ToGroundProgram(store_, *parsed, &ground));
+    return ground;
+  }
+  TermId T(std::string_view text) { return *ParseTerm(store_, text); }
+
+  void ExpectSameModel(const GroundProgram& ground) {
+    WfsResult a = ComputeWfsViaOperator(ground);
+    WfsResult b = ComputeWfsAlternating(ground);
+    const AtomTable& atoms = a.model.atoms();
+    for (uint32_t i = 0; i < atoms.size(); ++i) {
+      EXPECT_EQ(a.model.Value(atoms.atom(i)), b.model.Value(atoms.atom(i)))
+          << store_.ToString(atoms.atom(i));
+    }
+  }
+
+  TermStore store_;
+};
+
+// Example 3.1 of the paper:
+//   p :- q.   q :- p.   r :- s, ~p.   s.   t :- ~r.   u :- ~u.
+// Well-founded model: {r, s, ~p, ~q, ~t}; u undefined.
+TEST_F(WfsTest, PaperExample31) {
+  GroundProgram ground = G(
+      "p :- q. q :- p. r :- s, ~p. s. t :- ~r. u :- ~u.");
+  WfsResult wfs = ComputeWfsViaOperator(ground);
+  EXPECT_TRUE(wfs.model.IsTrue(T("r")));
+  EXPECT_TRUE(wfs.model.IsTrue(T("s")));
+  EXPECT_TRUE(wfs.model.IsFalse(T("p")));
+  EXPECT_TRUE(wfs.model.IsFalse(T("q")));
+  EXPECT_TRUE(wfs.model.IsFalse(T("t")));
+  EXPECT_TRUE(wfs.model.IsUndefined(T("u")));
+  ExpectSameModel(ground);
+}
+
+// Replays the paper's iteration trace for Example 3.1:
+// U_P(0)={p,q}, T_P(0)={s}; then T_P(I1)={r,s}; then U_P(I2) adds ~t.
+TEST_F(WfsTest, PaperExample31Trace) {
+  GroundProgram ground = G(
+      "p :- q. q :- p. r :- s, ~p. s. t :- ~r. u :- ~u.");
+  AtomTable table;
+  ground.CollectAtoms(&table);
+  std::vector<TruthValue> empty(table.size(), TruthValue::kUndefined);
+
+  // I1 = {s, ~p, ~q}.
+  std::vector<TruthValue> tp0 = ApplyTp(ground, table, empty);
+  EXPECT_EQ(tp0[table.Find(T("s"))], TruthValue::kTrue);
+  EXPECT_NE(tp0[table.Find(T("r"))], TruthValue::kTrue);
+  std::vector<bool> u0 = GreatestUnfoundedSet(ground, table, empty);
+  EXPECT_TRUE(u0[table.Find(T("p"))]);
+  EXPECT_TRUE(u0[table.Find(T("q"))]);
+  EXPECT_FALSE(u0[table.Find(T("s"))]);
+  EXPECT_FALSE(u0[table.Find(T("u"))]);
+
+  std::vector<TruthValue> i1 = empty;
+  i1[table.Find(T("s"))] = TruthValue::kTrue;
+  i1[table.Find(T("p"))] = TruthValue::kFalse;
+  i1[table.Find(T("q"))] = TruthValue::kFalse;
+
+  // T_P(I1) = {r, s}.
+  std::vector<TruthValue> tp1 = ApplyTp(ground, table, i1);
+  EXPECT_EQ(tp1[table.Find(T("r"))], TruthValue::kTrue);
+  EXPECT_EQ(tp1[table.Find(T("s"))], TruthValue::kTrue);
+
+  std::vector<TruthValue> i2 = i1;
+  i2[table.Find(T("r"))] = TruthValue::kTrue;
+
+  // U_P(I2) contains t (its only rule has witness r true).
+  std::vector<bool> u2 = GreatestUnfoundedSet(ground, table, i2);
+  EXPECT_TRUE(u2[table.Find(T("t"))]);
+  EXPECT_FALSE(u2[table.Find(T("u"))]);  // u stays undefined forever.
+}
+
+TEST_F(WfsTest, FactsAreTrue) {
+  GroundProgram ground = G("a. b. c :- a, b.");
+  WfsResult wfs = ComputeWfsAlternating(ground);
+  EXPECT_TRUE(wfs.model.IsTrue(T("a")));
+  EXPECT_TRUE(wfs.model.IsTrue(T("c")));
+  EXPECT_TRUE(wfs.model.IsTotal());
+}
+
+TEST_F(WfsTest, PositiveLoopIsFalse) {
+  GroundProgram ground = G("p :- q. q :- p.");
+  WfsResult wfs = ComputeWfsAlternating(ground);
+  EXPECT_TRUE(wfs.model.IsFalse(T("p")));
+  EXPECT_TRUE(wfs.model.IsFalse(T("q")));
+  ExpectSameModel(ground);
+}
+
+TEST_F(WfsTest, NegativeLoopIsUndefined) {
+  GroundProgram ground = G("p :- ~q. q :- ~p.");
+  WfsResult wfs = ComputeWfsAlternating(ground);
+  EXPECT_TRUE(wfs.model.IsUndefined(T("p")));
+  EXPECT_TRUE(wfs.model.IsUndefined(T("q")));
+  ExpectSameModel(ground);
+}
+
+TEST_F(WfsTest, AtomsOutsideTheBaseAreFalse) {
+  GroundProgram ground = G("p :- ~q.");
+  WfsResult wfs = ComputeWfsAlternating(ground);
+  // q has no rules: false. p then true. zz was never mentioned: false by
+  // the closed-world reading of the interpretation.
+  EXPECT_TRUE(wfs.model.IsFalse(T("q")));
+  EXPECT_TRUE(wfs.model.IsTrue(T("p")));
+  EXPECT_TRUE(wfs.model.IsFalse(T("zz")));
+}
+
+TEST_F(WfsTest, WinMoveChain) {
+  // winning positions in a 4-chain: 1->2->3->4; 4 lost, 3 won, 2 lost,
+  // 1 won (ground win/move encoding of Example 6.1).
+  GroundProgram ground = G(
+      "w(1) :- m(1,2), ~w(2). w(2) :- m(2,3), ~w(3). w(3) :- m(3,4), ~w(4)."
+      "m(1,2). m(2,3). m(3,4).");
+  WfsResult wfs = ComputeWfsAlternating(ground);
+  EXPECT_TRUE(wfs.model.IsFalse(T("w(4)")));
+  EXPECT_TRUE(wfs.model.IsTrue(T("w(3)")));
+  EXPECT_TRUE(wfs.model.IsFalse(T("w(2)")));
+  EXPECT_TRUE(wfs.model.IsTrue(T("w(1)")));
+  ExpectSameModel(ground);
+}
+
+TEST_F(WfsTest, WinMoveCycleIsUndefined) {
+  GroundProgram ground = G(
+      "w(a) :- m(a,b), ~w(b). w(b) :- m(b,a), ~w(a). m(a,b). m(b,a).");
+  WfsResult wfs = ComputeWfsAlternating(ground);
+  EXPECT_TRUE(wfs.model.IsUndefined(T("w(a)")));
+  EXPECT_TRUE(wfs.model.IsUndefined(T("w(b)")));
+  ExpectSameModel(ground);
+}
+
+TEST_F(WfsTest, DuplicateBodyAtomsHandled) {
+  GroundProgram ground = G("p :- q, q. q.");
+  WfsResult wfs = ComputeWfsAlternating(ground);
+  EXPECT_TRUE(wfs.model.IsTrue(T("p")));
+}
+
+TEST_F(WfsTest, MixedDependencies) {
+  // From Van Gelder-Ross-Schlipf style examples: undefinedness propagates
+  // through positive rules but definite falsity cuts it off.
+  GroundProgram ground = G(
+      "a :- ~b. b :- ~a."      // a,b undefined
+      "c :- a. c :- b."        // c undefined (could be true either way)
+      "d :- a, b."             // d undefined under WFS (both undef)
+      "e :- ~c."               // e undefined
+      "f :- c, ~c."            // f undefined
+      "g :- h. h :- g. i :- ~g.");  // g,h false; i true
+  WfsResult wfs = ComputeWfsAlternating(ground);
+  EXPECT_TRUE(wfs.model.IsUndefined(T("a")));
+  EXPECT_TRUE(wfs.model.IsUndefined(T("c")));
+  EXPECT_TRUE(wfs.model.IsUndefined(T("d")));
+  EXPECT_TRUE(wfs.model.IsUndefined(T("e")));
+  EXPECT_TRUE(wfs.model.IsUndefined(T("f")));
+  EXPECT_TRUE(wfs.model.IsFalse(T("g")));
+  EXPECT_TRUE(wfs.model.IsFalse(T("h")));
+  EXPECT_TRUE(wfs.model.IsTrue(T("i")));
+  ExpectSameModel(ground);
+}
+
+TEST_F(WfsTest, OperatorAndAlternatingAgreeOnRandomChains) {
+  // Longer stress comparison: alternating win/lose ladders with noise.
+  std::string text;
+  for (int i = 0; i < 40; ++i) {
+    text += "w(" + std::to_string(i) + ") :- m(" + std::to_string(i) + "," +
+            std::to_string(i + 1) + "), ~w(" + std::to_string(i + 1) + ").";
+    text += "m(" + std::to_string(i) + "," + std::to_string(i + 1) + ").";
+  }
+  GroundProgram ground = G(text);
+  ExpectSameModel(ground);
+}
+
+}  // namespace
+}  // namespace hilog
