@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension"
+  "../bench/bench_extension.pdb"
+  "CMakeFiles/bench_extension.dir/bench_extension.cc.o"
+  "CMakeFiles/bench_extension.dir/bench_extension.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_grounding"
+  "../bench/bench_grounding.pdb"
+  "CMakeFiles/bench_grounding.dir/bench_grounding.cc.o"
+  "CMakeFiles/bench_grounding.dir/bench_grounding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_magic"
+  "../bench/bench_magic.pdb"
+  "CMakeFiles/bench_magic.dir/bench_magic.cc.o"
+  "CMakeFiles/bench_magic.dir/bench_magic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_magic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

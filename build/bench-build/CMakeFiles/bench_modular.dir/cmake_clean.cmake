@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_modular"
+  "../bench/bench_modular.pdb"
+  "CMakeFiles/bench_modular.dir/bench_modular.cc.o"
+  "CMakeFiles/bench_modular.dir/bench_modular.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

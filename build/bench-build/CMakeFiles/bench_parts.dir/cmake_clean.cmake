@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_parts"
+  "../bench/bench_parts.pdb"
+  "CMakeFiles/bench_parts.dir/bench_parts.cc.o"
+  "CMakeFiles/bench_parts.dir/bench_parts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_stable"
+  "../bench/bench_stable.pdb"
+  "CMakeFiles/bench_stable.dir/bench_stable.cc.o"
+  "CMakeFiles/bench_stable.dir/bench_stable.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

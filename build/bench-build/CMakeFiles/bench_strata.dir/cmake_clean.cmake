@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_strata"
+  "../bench/bench_strata.pdb"
+  "CMakeFiles/bench_strata.dir/bench_strata.cc.o"
+  "CMakeFiles/bench_strata.dir/bench_strata.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_strata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

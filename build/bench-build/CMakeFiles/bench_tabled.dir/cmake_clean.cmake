@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tabled"
+  "../bench/bench_tabled.pdb"
+  "CMakeFiles/bench_tabled.dir/bench_tabled.cc.o"
+  "CMakeFiles/bench_tabled.dir/bench_tabled.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tabled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

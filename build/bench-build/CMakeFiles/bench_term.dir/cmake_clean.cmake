@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_term"
+  "../bench/bench_term.pdb"
+  "CMakeFiles/bench_term.dir/bench_term.cc.o"
+  "CMakeFiles/bench_term.dir/bench_term.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_universal"
+  "../bench/bench_universal.pdb"
+  "CMakeFiles/bench_universal.dir/bench_universal.cc.o"
+  "CMakeFiles/bench_universal.dir/bench_universal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_universal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_wfs"
+  "../bench/bench_wfs.pdb"
+  "CMakeFiles/bench_wfs.dir/bench_wfs.cc.o"
+  "CMakeFiles/bench_wfs.dir/bench_wfs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilog_cli.dir/hilog_cli.cpp.o"
+  "CMakeFiles/hilog_cli.dir/hilog_cli.cpp.o.d"
+  "hilog_cli"
+  "hilog_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilog_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metainterp.dir/metainterp.cpp.o"
+  "CMakeFiles/metainterp.dir/metainterp.cpp.o.d"
+  "metainterp"
+  "metainterp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metainterp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

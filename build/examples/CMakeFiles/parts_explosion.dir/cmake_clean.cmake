@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parts_explosion.dir/parts_explosion.cpp.o"
+  "CMakeFiles/parts_explosion.dir/parts_explosion.cpp.o.d"
+  "parts_explosion"
+  "parts_explosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parts_explosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy.dir/policy.cpp.o"
+  "CMakeFiles/policy.dir/policy.cpp.o.d"
+  "policy"
+  "policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

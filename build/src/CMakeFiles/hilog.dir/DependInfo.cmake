@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dependency.cc" "src/CMakeFiles/hilog.dir/analysis/dependency.cc.o" "gcc" "src/CMakeFiles/hilog.dir/analysis/dependency.cc.o.d"
+  "/root/repo/src/analysis/domain_independence.cc" "src/CMakeFiles/hilog.dir/analysis/domain_independence.cc.o" "gcc" "src/CMakeFiles/hilog.dir/analysis/domain_independence.cc.o.d"
+  "/root/repo/src/analysis/extension.cc" "src/CMakeFiles/hilog.dir/analysis/extension.cc.o" "gcc" "src/CMakeFiles/hilog.dir/analysis/extension.cc.o.d"
+  "/root/repo/src/analysis/lint.cc" "src/CMakeFiles/hilog.dir/analysis/lint.cc.o" "gcc" "src/CMakeFiles/hilog.dir/analysis/lint.cc.o.d"
+  "/root/repo/src/analysis/modular.cc" "src/CMakeFiles/hilog.dir/analysis/modular.cc.o" "gcc" "src/CMakeFiles/hilog.dir/analysis/modular.cc.o.d"
+  "/root/repo/src/analysis/range_restriction.cc" "src/CMakeFiles/hilog.dir/analysis/range_restriction.cc.o" "gcc" "src/CMakeFiles/hilog.dir/analysis/range_restriction.cc.o.d"
+  "/root/repo/src/analysis/stratification.cc" "src/CMakeFiles/hilog.dir/analysis/stratification.cc.o" "gcc" "src/CMakeFiles/hilog.dir/analysis/stratification.cc.o.d"
+  "/root/repo/src/analysis/weak_stratification.cc" "src/CMakeFiles/hilog.dir/analysis/weak_stratification.cc.o" "gcc" "src/CMakeFiles/hilog.dir/analysis/weak_stratification.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/hilog.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/hilog.dir/core/engine.cc.o.d"
+  "/root/repo/src/eval/aggregate.cc" "src/CMakeFiles/hilog.dir/eval/aggregate.cc.o" "gcc" "src/CMakeFiles/hilog.dir/eval/aggregate.cc.o.d"
+  "/root/repo/src/eval/bottomup.cc" "src/CMakeFiles/hilog.dir/eval/bottomup.cc.o" "gcc" "src/CMakeFiles/hilog.dir/eval/bottomup.cc.o.d"
+  "/root/repo/src/eval/fact_base.cc" "src/CMakeFiles/hilog.dir/eval/fact_base.cc.o" "gcc" "src/CMakeFiles/hilog.dir/eval/fact_base.cc.o.d"
+  "/root/repo/src/eval/magic_eval.cc" "src/CMakeFiles/hilog.dir/eval/magic_eval.cc.o" "gcc" "src/CMakeFiles/hilog.dir/eval/magic_eval.cc.o.d"
+  "/root/repo/src/eval/resolution.cc" "src/CMakeFiles/hilog.dir/eval/resolution.cc.o" "gcc" "src/CMakeFiles/hilog.dir/eval/resolution.cc.o.d"
+  "/root/repo/src/eval/stratified.cc" "src/CMakeFiles/hilog.dir/eval/stratified.cc.o" "gcc" "src/CMakeFiles/hilog.dir/eval/stratified.cc.o.d"
+  "/root/repo/src/eval/tabled.cc" "src/CMakeFiles/hilog.dir/eval/tabled.cc.o" "gcc" "src/CMakeFiles/hilog.dir/eval/tabled.cc.o.d"
+  "/root/repo/src/ground/ground_program.cc" "src/CMakeFiles/hilog.dir/ground/ground_program.cc.o" "gcc" "src/CMakeFiles/hilog.dir/ground/ground_program.cc.o.d"
+  "/root/repo/src/ground/grounder.cc" "src/CMakeFiles/hilog.dir/ground/grounder.cc.o" "gcc" "src/CMakeFiles/hilog.dir/ground/grounder.cc.o.d"
+  "/root/repo/src/ground/herbrand.cc" "src/CMakeFiles/hilog.dir/ground/herbrand.cc.o" "gcc" "src/CMakeFiles/hilog.dir/ground/herbrand.cc.o.d"
+  "/root/repo/src/lang/ast.cc" "src/CMakeFiles/hilog.dir/lang/ast.cc.o" "gcc" "src/CMakeFiles/hilog.dir/lang/ast.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/CMakeFiles/hilog.dir/lang/lexer.cc.o" "gcc" "src/CMakeFiles/hilog.dir/lang/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/CMakeFiles/hilog.dir/lang/parser.cc.o" "gcc" "src/CMakeFiles/hilog.dir/lang/parser.cc.o.d"
+  "/root/repo/src/lang/printer.cc" "src/CMakeFiles/hilog.dir/lang/printer.cc.o" "gcc" "src/CMakeFiles/hilog.dir/lang/printer.cc.o.d"
+  "/root/repo/src/term/subst.cc" "src/CMakeFiles/hilog.dir/term/subst.cc.o" "gcc" "src/CMakeFiles/hilog.dir/term/subst.cc.o.d"
+  "/root/repo/src/term/term_store.cc" "src/CMakeFiles/hilog.dir/term/term_store.cc.o" "gcc" "src/CMakeFiles/hilog.dir/term/term_store.cc.o.d"
+  "/root/repo/src/term/unify.cc" "src/CMakeFiles/hilog.dir/term/unify.cc.o" "gcc" "src/CMakeFiles/hilog.dir/term/unify.cc.o.d"
+  "/root/repo/src/transform/magic.cc" "src/CMakeFiles/hilog.dir/transform/magic.cc.o" "gcc" "src/CMakeFiles/hilog.dir/transform/magic.cc.o.d"
+  "/root/repo/src/transform/universal.cc" "src/CMakeFiles/hilog.dir/transform/universal.cc.o" "gcc" "src/CMakeFiles/hilog.dir/transform/universal.cc.o.d"
+  "/root/repo/src/wfs/alternating.cc" "src/CMakeFiles/hilog.dir/wfs/alternating.cc.o" "gcc" "src/CMakeFiles/hilog.dir/wfs/alternating.cc.o.d"
+  "/root/repo/src/wfs/interpretation.cc" "src/CMakeFiles/hilog.dir/wfs/interpretation.cc.o" "gcc" "src/CMakeFiles/hilog.dir/wfs/interpretation.cc.o.d"
+  "/root/repo/src/wfs/stable.cc" "src/CMakeFiles/hilog.dir/wfs/stable.cc.o" "gcc" "src/CMakeFiles/hilog.dir/wfs/stable.cc.o.d"
+  "/root/repo/src/wfs/wfs.cc" "src/CMakeFiles/hilog.dir/wfs/wfs.cc.o" "gcc" "src/CMakeFiles/hilog.dir/wfs/wfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

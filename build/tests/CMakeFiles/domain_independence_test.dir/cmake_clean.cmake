@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_independence_test.dir/domain_independence_test.cc.o"
+  "CMakeFiles/domain_independence_test.dir/domain_independence_test.cc.o.d"
+  "domain_independence_test"
+  "domain_independence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_independence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

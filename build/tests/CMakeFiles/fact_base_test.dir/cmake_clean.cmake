@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_base_test.dir/fact_base_test.cc.o"
+  "CMakeFiles/fact_base_test.dir/fact_base_test.cc.o.d"
+  "fact_base_test"
+  "fact_base_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilog_semantics_test.dir/hilog_semantics_test.cc.o"
+  "CMakeFiles/hilog_semantics_test.dir/hilog_semantics_test.cc.o.d"
+  "hilog_semantics_test"
+  "hilog_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilog_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpretation_test.dir/interpretation_test.cc.o"
+  "CMakeFiles/interpretation_test.dir/interpretation_test.cc.o.d"
+  "interpretation_test"
+  "interpretation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpretation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

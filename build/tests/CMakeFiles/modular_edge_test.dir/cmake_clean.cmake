@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modular_edge_test.dir/modular_edge_test.cc.o"
+  "CMakeFiles/modular_edge_test.dir/modular_edge_test.cc.o.d"
+  "modular_edge_test"
+  "modular_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modular_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modular_property_test.dir/modular_property_test.cc.o"
+  "CMakeFiles/modular_property_test.dir/modular_property_test.cc.o.d"
+  "modular_property_test"
+  "modular_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modular_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preservation_property_test.dir/preservation_property_test.cc.o"
+  "CMakeFiles/preservation_property_test.dir/preservation_property_test.cc.o.d"
+  "preservation_property_test"
+  "preservation_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preservation_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolution_test.dir/resolution_test.cc.o"
+  "CMakeFiles/resolution_test.dir/resolution_test.cc.o.d"
+  "resolution_test"
+  "resolution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

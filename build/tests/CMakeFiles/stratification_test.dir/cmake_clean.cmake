@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratification_test.dir/stratification_test.cc.o"
+  "CMakeFiles/stratification_test.dir/stratification_test.cc.o.d"
+  "stratification_test"
+  "stratification_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

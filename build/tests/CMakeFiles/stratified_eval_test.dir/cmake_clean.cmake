@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratified_eval_test.dir/stratified_eval_test.cc.o"
+  "CMakeFiles/stratified_eval_test.dir/stratified_eval_test.cc.o.d"
+  "stratified_eval_test"
+  "stratified_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratified_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

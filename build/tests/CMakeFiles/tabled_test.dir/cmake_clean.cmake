@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabled_test.dir/tabled_test.cc.o"
+  "CMakeFiles/tabled_test.dir/tabled_test.cc.o.d"
+  "tabled_test"
+  "tabled_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

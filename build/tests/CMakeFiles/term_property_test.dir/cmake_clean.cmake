@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/term_property_test.dir/term_property_test.cc.o"
+  "CMakeFiles/term_property_test.dir/term_property_test.cc.o.d"
+  "term_property_test"
+  "term_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/term_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

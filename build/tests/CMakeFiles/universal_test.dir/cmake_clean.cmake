@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universal_test.dir/universal_test.cc.o"
+  "CMakeFiles/universal_test.dir/universal_test.cc.o.d"
+  "universal_test"
+  "universal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_stratification_test.dir/weak_stratification_test.cc.o"
+  "CMakeFiles/weak_stratification_test.dir/weak_stratification_test.cc.o.d"
+  "weak_stratification_test"
+  "weak_stratification_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_stratification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

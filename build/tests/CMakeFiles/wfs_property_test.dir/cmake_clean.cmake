@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfs_property_test.dir/wfs_property_test.cc.o"
+  "CMakeFiles/wfs_property_test.dir/wfs_property_test.cc.o.d"
+  "wfs_property_test"
+  "wfs_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

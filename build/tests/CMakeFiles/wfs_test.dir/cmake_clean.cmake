@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfs_test.dir/wfs_test.cc.o"
+  "CMakeFiles/wfs_test.dir/wfs_test.cc.o.d"
+  "wfs_test"
+  "wfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
