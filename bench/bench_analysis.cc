@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "workloads.h"
 #include "src/analysis/range_restriction.h"
 #include "src/analysis/stratification.h"
@@ -104,4 +106,4 @@ BENCHMARK(BM_DatahilogCheck)->Range(16, 1024);
 }  // namespace
 }  // namespace hilog
 
-BENCHMARK_MAIN();
+HILOG_BENCH_MAIN("bench_analysis")

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "workloads.h"
 #include "src/analysis/extension.h"
 #include "src/ground/herbrand.h"
@@ -88,4 +90,4 @@ BENCHMARK(BM_DisjointGeneration)->Range(4, 256);
 }  // namespace
 }  // namespace hilog
 
-BENCHMARK_MAIN();
+HILOG_BENCH_MAIN("bench_extension")

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "workloads.h"
 #include "src/analysis/range_restriction.h"
 #include "src/ground/grounder.h"
@@ -117,4 +119,4 @@ BENCHMARK(BM_GroundThenSolve_EndToEnd)->Range(16, 2048);
 }  // namespace
 }  // namespace hilog
 
-BENCHMARK_MAIN();
+HILOG_BENCH_MAIN("bench_grounding")

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "workloads.h"
 #include "src/core/engine.h"
 
@@ -100,4 +102,4 @@ BENCHMARK(BM_MagicRewrite)->Range(2, 64);
 }  // namespace
 }  // namespace hilog
 
-BENCHMARK_MAIN();
+HILOG_BENCH_MAIN("bench_magic")

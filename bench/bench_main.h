@@ -1,0 +1,122 @@
+// Shared entry point for every bench_* binary: plain google-benchmark
+// console output by default, plus `--json <file>` to emit the repo's
+// common machine-readable schema (docs/observability.md, "Bench output"):
+//
+//   {"schema":"hilog-bench-v1","binary":"bench_wfs","benchmarks":[
+//     {"name":"BM_X/8","iterations":N,"real_time_ns":R,"cpu_time_ns":C,
+//      "counters":{"items_per_second":...}},...]}
+//
+// Times are per-iteration nanoseconds. bench/run_all.sh aggregates the
+// per-binary files into BENCH_core.json so successive PRs can diff a
+// stable perf baseline.
+#ifndef HILOG_BENCH_BENCH_MAIN_H_
+#define HILOG_BENCH_BENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hilog::bench {
+
+class JsonReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit JsonReporter(std::string binary) : binary_(std::move(binary)) {}
+
+  bool ReportContext(const Context&) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    char buf[160];
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      std::string entry = "{\"name\":\"" + Escaped(run.benchmark_name()) +
+                          "\"";
+      std::snprintf(buf, sizeof(buf),
+                    ",\"iterations\":%lld,\"real_time_ns\":%.3f"
+                    ",\"cpu_time_ns\":%.3f",
+                    static_cast<long long>(run.iterations),
+                    run.real_accumulated_time * 1e9 / iters,
+                    run.cpu_accumulated_time * 1e9 / iters);
+      entry += buf;
+      entry += ",\"counters\":{";
+      bool first = true;
+      for (const auto& [name, counter] : run.counters) {
+        std::snprintf(buf, sizeof(buf), "%s\"%s\":%.3f", first ? "" : ",",
+                      Escaped(name).c_str(),
+                      static_cast<double>(counter.value));
+        entry += buf;
+        first = false;
+      }
+      entry += "}}";
+      entries_.push_back(std::move(entry));
+    }
+  }
+
+  std::string ToJson() const {
+    std::string out =
+        "{\"schema\":\"hilog-bench-v1\",\"binary\":\"" + Escaped(binary_) +
+        "\",\"benchmarks\":[";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += entries_[i];
+    }
+    out += "]}";
+    return out;
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string binary_;
+  std::vector<std::string> entries_;
+};
+
+inline int BenchMain(int argc, char** argv, const char* binary_name) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int forwarded = static_cast<int>(args.size());
+  benchmark::Initialize(&forwarded, args.data());
+  if (benchmark::ReportUnrecognizedArguments(forwarded, args.data())) {
+    return 1;
+  }
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    JsonReporter reporter(binary_name);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    std::ofstream out(json_path);
+    out << reporter.ToJson() << "\n";
+    if (!out.good()) return 1;
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace hilog::bench
+
+#define HILOG_BENCH_MAIN(binary)                          \
+  int main(int argc, char** argv) {                       \
+    return hilog::bench::BenchMain(argc, argv, binary);   \
+  }
+
+#endif  // HILOG_BENCH_BENCH_MAIN_H_

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "workloads.h"
 #include "src/analysis/modular.h"
 #include "src/lang/parser.h"
@@ -114,4 +116,4 @@ BENCHMARK(BM_HiLogReduction)->Range(8, 2048);
 }  // namespace
 }  // namespace hilog
 
-BENCHMARK_MAIN();
+HILOG_BENCH_MAIN("bench_modular")

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "workloads.h"
 #include "src/eval/aggregate.h"
 #include "src/lang/parser.h"
@@ -67,4 +69,4 @@ BENCHMARK(BM_PartsExplosion_TwoMachines)->DenseRange(2, 10, 2);
 }  // namespace
 }  // namespace hilog
 
-BENCHMARK_MAIN();
+HILOG_BENCH_MAIN("bench_parts")

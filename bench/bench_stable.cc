@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "workloads.h"
 #include "src/lang/parser.h"
 #include "src/wfs/stable.h"
@@ -93,4 +95,4 @@ BENCHMARK(BM_WFixpointCheck)->Range(16, 1024);
 }  // namespace
 }  // namespace hilog
 
-BENCHMARK_MAIN();
+HILOG_BENCH_MAIN("bench_stable")

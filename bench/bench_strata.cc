@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "workloads.h"
 #include "src/analysis/weak_stratification.h"
 #include "src/eval/stratified.h"
@@ -89,4 +91,4 @@ BENCHMARK(BM_WfsOnDeepChainReference)->Range(8, 256);
 }  // namespace
 }  // namespace hilog
 
-BENCHMARK_MAIN();
+HILOG_BENCH_MAIN("bench_strata")

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "workloads.h"
 #include "src/eval/resolution.h"
 #include "src/eval/tabled.h"
@@ -98,4 +100,4 @@ BENCHMARK(BM_TabledHiLogGame)->Range(8, 32);
 }  // namespace
 }  // namespace hilog
 
-BENCHMARK_MAIN();
+HILOG_BENCH_MAIN("bench_tabled")

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "workloads.h"
 #include "src/core/engine.h"
 #include "src/eval/bottomup.h"
@@ -99,4 +101,4 @@ BENCHMARK(BM_Maplist)->Range(4, 64);
 }  // namespace
 }  // namespace hilog
 
-BENCHMARK_MAIN();
+HILOG_BENCH_MAIN("bench_tc")

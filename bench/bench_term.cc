@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "src/lang/parser.h"
 #include "src/term/unify.h"
 
@@ -128,4 +130,4 @@ BENCHMARK(BM_SubstituteDeep)->Range(8, 1024);
 }  // namespace
 }  // namespace hilog
 
-BENCHMARK_MAIN();
+HILOG_BENCH_MAIN("bench_term")

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "workloads.h"
 #include "src/eval/bottomup.h"
 #include "src/lang/parser.h"
@@ -95,4 +97,4 @@ BENCHMARK(BM_EncodeProgram)->Range(16, 1024);
 }  // namespace
 }  // namespace hilog
 
-BENCHMARK_MAIN();
+HILOG_BENCH_MAIN("bench_universal")

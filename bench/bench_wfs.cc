@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "workloads.h"
 #include "src/ground/grounder.h"
 #include "src/lang/parser.h"
@@ -102,4 +104,4 @@ BENCHMARK(BM_GammaOperator)->Range(64, 16384);
 }  // namespace
 }  // namespace hilog
 
-BENCHMARK_MAIN();
+HILOG_BENCH_MAIN("bench_wfs")

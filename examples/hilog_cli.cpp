@@ -1,7 +1,17 @@
 // hilog_cli — an interactive driver for the library: load HiLog rules,
 // inspect the paper's classifications, compute models, and pose queries.
 //
-//   ./build/examples/hilog_cli [file.hl]
+//   ./build/examples/hilog_cli [options] [file.hl]
+//
+// Options:
+//   --stats              print the metrics table (after batch run or :quit)
+//   --stats-json <file>  write the metrics registry as JSON ("-" = stdout)
+//   --trace-json <file>  write the trace buffer as Chrome trace_event JSON
+//   --query <atom>       batch: run a magic-sets query after loading
+//
+// Passing any of the observability options together with a program file
+// runs in batch mode: load, SolveWellFounded, the --query if given, emit
+// stats, exit — no REPL.
 //
 // Commands (a line starting with ':'); anything else is parsed as rules
 // and added to the program:
@@ -11,11 +21,13 @@
 //   :modular           run Figure 1 and print the settling rounds
 //   :agg               evaluate with aggregates (parts-explosion style)
 //   :query <atom>      magic-sets query
+//   :stats             print the metrics collected so far
 //   :list              print the current program
 //   :clear             drop the program
 //   :help  :quit
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -31,7 +43,23 @@ void PrintHelp() {
   std::puts(
       ":analyze | :wfs | :stable | :modular | :stratified | :agg | "
       ":query <atom> | :prove <atom> | :table <atom> | :domind | :lint | "
-      ":list | :clear | :quit");
+      ":stats | :list | :clear | :quit");
+}
+
+// Writes `text` to `path` ("-" = stdout). Returns false on I/O failure.
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fputs(text.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text << "\n";
+  return out.good();
 }
 
 void PrintAnalysis(hilog::Engine& engine) {
@@ -158,11 +186,61 @@ void RunQuery(hilog::Engine& engine, const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  hilog::Engine engine;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  bool want_stats = false;
+  std::string stats_json_path;
+  std::string trace_json_path;
+  std::string batch_query;
+  std::string program_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto take_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--stats") == 0) {
+      want_stats = true;
+    } else if (std::strcmp(arg, "--stats-json") == 0) {
+      stats_json_path = take_value("--stats-json");
+    } else if (std::strcmp(arg, "--trace-json") == 0) {
+      trace_json_path = take_value("--trace-json");
+    } else if (std::strcmp(arg, "--query") == 0) {
+      batch_query = take_value("--query");
+    } else if (arg[0] == '-' && arg[1] != '\0') {
+      std::fprintf(stderr, "unknown option %s\n", arg);
+      return 2;
+    } else {
+      program_path = arg;
+    }
+  }
+  const bool observing =
+      want_stats || !stats_json_path.empty() || !trace_json_path.empty();
+  const bool batch = observing && !program_path.empty();
+
+  hilog::EngineOptions options;
+  if (!trace_json_path.empty()) options.trace_capacity = 1 << 16;
+  hilog::Engine engine(options);
+
+  auto emit_stats = [&]() -> bool {
+    bool ok = true;
+    if (want_stats) {
+      std::fputs(engine.metrics().ToTable().c_str(), stdout);
+    }
+    if (!stats_json_path.empty()) {
+      ok &= WriteTextFile(stats_json_path, engine.metrics().ToJson());
+    }
+    if (!trace_json_path.empty() && engine.trace() != nullptr) {
+      ok &= WriteTextFile(trace_json_path, engine.trace()->ToChromeJson());
+    }
+    return ok;
+  };
+
+  if (!program_path.empty()) {
+    std::ifstream file(program_path);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", program_path.c_str());
       return 1;
     }
     std::stringstream buffer;
@@ -173,8 +251,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("loaded %zu rule(s) from %s\n", engine.program().size(),
-                argv[1]);
+                program_path.c_str());
   }
+
+  if (batch) {
+    PrintWfs(engine);
+    if (!batch_query.empty()) RunQuery(engine, batch_query);
+    return emit_stats() ? 0 : 1;
+  }
+
   std::puts("hilog interactive shell — :help for commands");
   std::string line;
   while (std::printf("hilog> "), std::fflush(stdout),
@@ -261,6 +346,8 @@ int main(int argc, char** argv) {
                          .c_str(),
                      stdout);
         }
+      } else if (command == ":stats") {
+        std::fputs(engine.metrics().ToTable().c_str(), stdout);
       } else if (command == ":list") {
         std::fputs(
             hilog::ProgramToString(engine.store(), engine.program()).c_str(),
@@ -277,5 +364,5 @@ int main(int argc, char** argv) {
     std::string error = engine.LoadMore(line);
     if (!error.empty()) std::printf("%s\n", error.c_str());
   }
-  return 0;
+  return emit_stats() ? 0 : 1;
 }

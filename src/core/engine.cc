@@ -5,7 +5,11 @@
 
 namespace hilog {
 
-Engine::Engine(EngineOptions options) : options_(std::move(options)) {}
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  if (options_.trace_capacity > 0) {
+    trace_ = std::make_unique<obs::TraceBuffer>(options_.trace_capacity);
+  }
+}
 
 std::string Engine::Load(std::string_view text) {
   program_ = Program();
@@ -13,13 +17,22 @@ std::string Engine::Load(std::string_view text) {
 }
 
 std::string Engine::LoadMore(std::string_view text) {
+  obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
+  obs::ScopedPhaseTimer timer(obs::Phase::kLoad);
+  // The program is about to change; any cached EDB view is now stale
+  // regardless of whether the rule count ends up the same.
+  edb_cache_valid_ = false;
   ParseResult<Program> parsed = ParseProgram(store_, text);
   if (!parsed.ok()) return parsed.error;
   for (Rule& rule : (*parsed).rules) program_.Add(std::move(rule));
+  obs::SetGauge(obs::Gauge::kProgramRules, program_.size());
+  obs::SetGauge(obs::Gauge::kTermStoreSize, store_.size());
   return "";
 }
 
 AnalysisReport Engine::Analyze() {
+  obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
+  obs::ScopedPhaseTimer timer(obs::Phase::kAnalyze);
   AnalysisReport report;
   report.normal = IsNormalProgram(store_, program_);
   report.normal_range_restricted = IsNormalRangeRestricted(store_, program_);
@@ -52,6 +65,7 @@ Engine::WfsAnswer Engine::SolveOnGround(const GroundProgram& ground,
 }
 
 Engine::WfsAnswer Engine::SolveWellFounded() {
+  obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
   if (IsStronglyRangeRestricted(store_, program_)) {
     return SolveWellFoundedWith(GrounderKind::kRelevance);
   }
@@ -59,6 +73,8 @@ Engine::WfsAnswer Engine::SolveWellFounded() {
 }
 
 Engine::WfsAnswer Engine::SolveWellFoundedWith(GrounderKind grounder) {
+  obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
+  obs::ScopedPhaseTimer timer(obs::Phase::kSolveWfs);
   if (grounder == GrounderKind::kRelevance) {
     RelevanceGroundingResult grounded =
         GroundWithRelevance(store_, program_, options_.bottomup);
@@ -85,6 +101,8 @@ Engine::WfsAnswer Engine::SolveWellFoundedWith(GrounderKind grounder) {
 }
 
 StableModelsResult Engine::SolveStable() {
+  obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
+  obs::ScopedPhaseTimer timer(obs::Phase::kSolveStable);
   if (IsStronglyRangeRestricted(store_, program_)) {
     RelevanceGroundingResult grounded =
         GroundWithRelevance(store_, program_, options_.bottomup);
@@ -100,15 +118,19 @@ StableModelsResult Engine::SolveStable() {
 }
 
 ModularResult Engine::SolveModular() {
+  obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
+  obs::ScopedPhaseTimer timer(obs::Phase::kSolveModular);
   return CheckModularHiLog(store_, program_, options_.modular);
 }
 
 AggregateEvalResult Engine::SolveAggregates() {
+  obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
+  obs::ScopedPhaseTimer timer(obs::Phase::kSolveAggregates);
   return EvaluateWithAggregates(store_, program_, options_.aggregate);
 }
 
 void Engine::RefreshEdbCache() {
-  if (edb_cache_program_size_ == program_.size()) return;
+  if (edb_cache_valid_) return;
   edb_names_cache_ = FactOnlyPredicates(store_, program_);
   edb_facts_cache_.clear();
   for (const Rule& rule : program_.rules) {
@@ -117,10 +139,13 @@ void Engine::RefreshEdbCache() {
       edb_facts_cache_.push_back(rule.head);
     }
   }
-  edb_cache_program_size_ = program_.size();
+  edb_cache_valid_ = true;
 }
 
 Engine::QueryAnswer Engine::Query(std::string_view query_text) {
+  obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
+  obs::ScopedPhaseTimer timer(obs::Phase::kQuery);
+  obs::Count(obs::Counter::kQueries);
   QueryAnswer answer;
   ParseResult<TermId> parsed = ParseTerm(store_, query_text);
   if (!parsed.ok()) {
@@ -132,8 +157,10 @@ Engine::QueryAnswer Engine::Query(std::string_view query_text) {
   MagicRewriteOptions rewrite_options;
   rewrite_options.edb_names = edb_names_cache_;
   rewrite_options.include_edb_facts = false;
-  MagicProgram magic =
-      MagicRewrite(store_, program_, *parsed, rewrite_options);
+  MagicProgram magic = [&] {
+    obs::ScopedPhaseTimer rewrite_timer(obs::Phase::kMagicRewrite);
+    return MagicRewrite(store_, program_, *parsed, rewrite_options);
+  }();
   MagicEvalResult result =
       EvaluateMagic(store_, magic, options_.magic, &edb_facts_cache_);
   if (!result.error.empty()) {
@@ -150,6 +177,8 @@ Engine::QueryAnswer Engine::Query(std::string_view query_text) {
 }
 
 ResolutionResult Engine::Prove(std::string_view query_text) {
+  obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
+  obs::ScopedPhaseTimer timer(obs::Phase::kProve);
   ParseResult<TermId> parsed = ParseTerm(store_, query_text);
   if (!parsed.ok()) {
     ResolutionResult result;
@@ -160,6 +189,8 @@ ResolutionResult Engine::Prove(std::string_view query_text) {
 }
 
 TabledResult Engine::ProveTabled(std::string_view query_text) {
+  obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
+  obs::ScopedPhaseTimer timer(obs::Phase::kProveTabled);
   ParseResult<TermId> parsed = ParseTerm(store_, query_text);
   if (!parsed.ok()) {
     TabledResult result;
@@ -170,11 +201,14 @@ TabledResult Engine::ProveTabled(std::string_view query_text) {
 }
 
 StratifiedEvalResult Engine::SolveStratified() {
+  obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
+  obs::ScopedPhaseTimer timer(obs::Phase::kSolveStratified);
   return EvaluateStratified(store_, program_, options_.bottomup);
 }
 
 DomainIndependenceResult Engine::CheckDomainIndependence(
     size_t extra_symbols) {
+  obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
   return CheckDomainIndependenceWfs(store_, program_, extra_symbols,
                                     options_.universe_bound);
 }

@@ -16,6 +16,8 @@
 #include "src/ground/grounder.h"
 #include "src/ground/herbrand.h"
 #include "src/lang/parser.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/wfs/stable.h"
 
 namespace hilog {
@@ -36,6 +38,12 @@ struct EngineOptions {
   MagicEvalOptions magic;
   AggregateEvalOptions aggregate;
   size_t max_instances = 2000000;
+  /// When false, no metrics/trace context is installed around engine
+  /// calls: every instrumentation site reduces to one untaken branch and
+  /// the registry stays at zero. Results are identical either way.
+  bool metrics_enabled = true;
+  /// Capacity of the trace-event ring buffer; 0 disables tracing.
+  size_t trace_capacity = 0;
 };
 
 /// Syntactic/semantic classification of the loaded program, covering the
@@ -63,6 +71,15 @@ class Engine {
   TermStore& store() { return store_; }
   const Program& program() const { return program_; }
   const EngineOptions& options() const { return options_; }
+
+  /// Metrics collected across all engine calls (counters, gauges, phase
+  /// timers). Counters are deterministic for a fixed call sequence.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Trace-event ring buffer, or nullptr when options().trace_capacity
+  /// is 0.
+  const obs::TraceBuffer* trace() const { return trace_.get(); }
 
   /// Parses and loads program text. Returns an empty string on success,
   /// else the parse error. Replaces any previously loaded program.
@@ -138,16 +155,26 @@ class Engine {
   WfsAnswer SolveOnGround(const GroundProgram& ground, GrounderKind kind,
                           bool exact, std::string notes);
   void RefreshEdbCache();
+  /// Sinks for ScopedObsContext honoring metrics_enabled.
+  obs::MetricsRegistry* MetricsSink() {
+    return options_.metrics_enabled ? &metrics_ : nullptr;
+  }
+  obs::TraceBuffer* TraceSink() {
+    return options_.metrics_enabled ? trace_.get() : nullptr;
+  }
 
   EngineOptions options_;
   TermStore store_;
   Program program_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceBuffer> trace_;
   // Per-program EDB cache for magic queries: fact-only predicate names
   // and their facts, preloaded into the evaluator so a query's cost does
-  // not scale with the EDB.
+  // not scale with the EDB. Invalidated explicitly by Load/LoadMore (a
+  // same-size reload must not serve stale facts).
   std::unordered_set<TermId> edb_names_cache_;
   std::vector<TermId> edb_facts_cache_;
-  size_t edb_cache_program_size_ = SIZE_MAX;
+  bool edb_cache_valid_ = false;
 };
 
 }  // namespace hilog

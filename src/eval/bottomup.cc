@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/term/unify.h"
 
 namespace hilog {
@@ -67,11 +69,16 @@ BottomUpResult LeastModelOfPositiveProjection(TermStore& store,
       unsafe.insert(r);
       continue;
     }
-    if (result.facts.Insert(store, rule.head)) delta.push_back(rule.head);
+    if (result.facts.Insert(store, rule.head)) {
+      obs::Count(obs::Counter::kBottomUpFacts);
+      delta.push_back(rule.head);
+    }
   }
 
   while (!delta.empty()) {
     ++result.rounds;
+    obs::Count(obs::Counter::kBottomUpRounds);
+    obs::TraceInstant("bottomup.round", delta.size());
     if (result.rounds > options.max_rounds) {
       result.truncated = true;
       break;
@@ -92,6 +99,7 @@ BottomUpResult LeastModelOfPositiveProjection(TermStore& store,
                       return true;
                     }
                     if (result.facts.Insert(store, head)) {
+                      obs::Count(obs::Counter::kBottomUpFacts);
                       next_delta.push_back(head);
                       if (result.facts.size() >= options.max_facts) {
                         budget_hit = true;

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/term/unify.h"
 
 namespace hilog {
@@ -96,6 +98,7 @@ class Evaluator {
       // (all rewritten rules are driven by magic/sup deltas), so they
       // bypass the worklist.
       for (TermId fact : *preloaded) facts_.Insert(fact);
+      obs::Count(obs::Counter::kMagicEdbPreloaded, preloaded->size());
     }
   }
 
@@ -138,12 +141,16 @@ class Evaluator {
     if (result_.truncated) return;
     if (!facts_.Insert(fact)) return;
     ++result_.facts_derived;
+    obs::Count(obs::Counter::kMagicFactsDerived);
     if (facts_.size() > options_.max_facts) {
       result_.truncated = true;
       return;
     }
     // Incremental indices for the box machinery.
     TermId name = store_.PredName(fact);
+    if (name == magic_.magic_sym) {
+      obs::Count(obs::Counter::kMagicFacts);
+    }
     if (name == magic_.dn_sym && store_.arity(fact) == 2) {
       auto args = store_.apply_args(fact);
       dn_of_[args[0]].push_back(args[1]);
@@ -284,6 +291,7 @@ class Evaluator {
         break;
       }
       ++result_.box_firings;
+      obs::Count(obs::Counter::kMagicBoxFirings);
       ++fired;
       Derive(box_p);
     }
@@ -354,6 +362,7 @@ class Evaluator {
 MagicEvalResult EvaluateMagic(TermStore& store, const MagicProgram& magic,
                               const MagicEvalOptions& options,
                               const std::vector<TermId>* preloaded) {
+  obs::ScopedPhaseTimer timer(obs::Phase::kMagicEval);
   Evaluator evaluator(store, magic, options, preloaded);
   return evaluator.Run();
 }

@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "src/lang/printer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/term/unify.h"
 
 namespace hilog {
@@ -53,6 +55,8 @@ class TabledEngine {
     bool changed = true;
     while (changed && !Overflow()) {
       changed = false;
+      obs::Count(obs::Counter::kTabledRestarts);
+      obs::TraceInstant("tabled.pass", tables_.size());
       // Tables may be created during the loop; index-based iteration.
       // Saturate each goal locally before moving on: for chain-structured
       // dependency graphs this collapses most global passes.
@@ -88,7 +92,12 @@ class TabledEngine {
   TermId Ensure(TermId goal) {
     TermId canon = CanonicalizeGoal(store_, goal);
     auto [it, inserted] = tables_.try_emplace(canon);
-    if (inserted) goal_order_.push_back(canon);
+    if (inserted) {
+      obs::Count(obs::Counter::kTabledSubgoals);
+      goal_order_.push_back(canon);
+    } else {
+      obs::Count(obs::Counter::kTabledHits);
+    }
     return canon;
   }
 
@@ -104,6 +113,7 @@ class TabledEngine {
     }
     table.answers.push_back(answer);
     ++total_answers_;
+    obs::Count(obs::Counter::kTabledAnswers);
     return true;
   }
 
@@ -132,6 +142,7 @@ class TabledEngine {
       result_.complete = false;
       return false;
     }
+    obs::Count(obs::Counter::kTabledSteps);
     if (index == body.size()) {
       return AddAnswer(canon, subst.Apply(store_, goal_instance));
     }

@@ -3,17 +3,21 @@
 #include <sstream>
 
 #include "src/lang/printer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace hilog {
 
 RelevanceGroundingResult GroundWithRelevance(TermStore& store,
                                              const Program& program,
                                              const BottomUpOptions& options) {
+  obs::ScopedPhaseTimer timer(obs::Phase::kGround);
   RelevanceGroundingResult result;
   BottomUpResult envelope =
       LeastModelOfPositiveProjection(store, program, options);
   result.truncated = envelope.truncated;
   result.envelope_size = envelope.facts.size();
+  obs::SetGauge(obs::Gauge::kEnvelopeSize, envelope.facts.size());
   if (!envelope.unsafe_rules.empty()) {
     std::ostringstream os;
     os << "rule is not safe for relevance grounding (head not bound by "
@@ -58,11 +62,14 @@ RelevanceGroundingResult GroundWithRelevance(TermStore& store,
                 RuleToString(store, rule);
             return false;
           }
+          obs::Count(obs::Counter::kGroundInstances);
           result.program.Add(std::move(ground));
           return true;
         });
     if (!result.ok) return result;
+    obs::TraceInstant("grounder.batch", result.program.size());
   }
+  obs::SetGauge(obs::Gauge::kGroundRules, result.program.size());
   return result;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace hilog {
 namespace {
 
@@ -60,6 +63,8 @@ Universe EnumerateHiLogUniverse(TermStore& store,
       if (result.truncated) break;
     }
   }
+  obs::Count(obs::Counter::kUniverseTerms, result.terms.size());
+  obs::SetGauge(obs::Gauge::kUniverseSize, result.terms.size());
   return result;
 }
 
@@ -165,6 +170,7 @@ InstantiationResult InstantiateOverUniverse(TermStore& store,
                                             const Program& program,
                                             const std::vector<TermId>& universe,
                                             size_t max_instances) {
+  obs::ScopedPhaseTimer timer(obs::Phase::kGround);
   InstantiationResult result;
   result.universe_size = universe.size();
   for (const Rule& rule : program.rules) {
@@ -187,6 +193,7 @@ InstantiationResult InstantiateOverUniverse(TermStore& store,
       for (const Literal& lit : rule.body) {
         (lit.positive() ? ground.pos : ground.neg).push_back(lit.atom);
       }
+      obs::Count(obs::Counter::kGroundInstances);
       result.program.Add(std::move(ground));
       continue;
     }
@@ -211,6 +218,7 @@ InstantiationResult InstantiateOverUniverse(TermStore& store,
         TermId atom = subst.Apply(store, lit.atom);
         (lit.positive() ? ground.pos : ground.neg).push_back(atom);
       }
+      obs::Count(obs::Counter::kGroundInstances);
       result.program.Add(std::move(ground));
       size_t k = 0;
       for (; k < vars.size(); ++k) {
@@ -219,7 +227,9 @@ InstantiationResult InstantiateOverUniverse(TermStore& store,
       }
       if (k >= vars.size()) break;
     }
+    obs::TraceInstant("grounder.batch", result.program.size());
   }
+  obs::SetGauge(obs::Gauge::kGroundRules, result.program.size());
   return result;
 }
 

@@ -1,0 +1,164 @@
+#include "src/obs/metrics.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/obs/trace.h"
+
+namespace hilog::obs {
+
+namespace internal {
+thread_local ObsContext tl_context;
+}  // namespace internal
+
+const char* CounterName(Counter c) {
+  switch (c) {
+    case Counter::kTermsInterned: return "term.interned";
+    case Counter::kTermInternHits: return "term.intern_hits";
+    case Counter::kUnifyCalls: return "term.unifications";
+    case Counter::kUnifyFailures: return "term.unify_failures";
+    case Counter::kOccursChecks: return "term.occurs_checks";
+    case Counter::kMatchCalls: return "term.matches";
+    case Counter::kGroundInstances: return "ground.instances";
+    case Counter::kUniverseTerms: return "ground.universe_terms";
+    case Counter::kBottomUpRounds: return "bottomup.rounds";
+    case Counter::kBottomUpFacts: return "bottomup.facts";
+    case Counter::kWfsRounds: return "wfs.rounds";
+    case Counter::kGammaApplications: return "wfs.gamma_applications";
+    case Counter::kWfsTrueAtoms: return "wfs.true_atoms";
+    case Counter::kWfsUndefinedAtoms: return "wfs.undefined_atoms";
+    case Counter::kStableCandidates: return "stable.candidates";
+    case Counter::kStableModels: return "stable.models";
+    case Counter::kMagicFactsDerived: return "magic.facts_derived";
+    case Counter::kMagicFacts: return "magic.magic_facts";
+    case Counter::kMagicBoxFirings: return "magic.box_firings";
+    case Counter::kMagicEdbPreloaded: return "magic.edb_preloaded";
+    case Counter::kTabledSubgoals: return "tabled.subgoals";
+    case Counter::kTabledHits: return "tabled.hits";
+    case Counter::kTabledRestarts: return "tabled.restarts";
+    case Counter::kTabledAnswers: return "tabled.answers";
+    case Counter::kTabledSteps: return "tabled.steps";
+    case Counter::kQueries: return "engine.queries";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+const char* GaugeName(Gauge g) {
+  switch (g) {
+    case Gauge::kProgramRules: return "program.rules";
+    case Gauge::kTermStoreSize: return "term.store_size";
+    case Gauge::kEnvelopeSize: return "ground.envelope_size";
+    case Gauge::kUniverseSize: return "ground.universe_size";
+    case Gauge::kGroundRules: return "ground.rules";
+    case Gauge::kAtomTableSize: return "wfs.atom_table_size";
+    case Gauge::kStableBranchAtoms: return "stable.branch_atoms";
+    case Gauge::kCount: break;
+  }
+  return "?";
+}
+
+const char* PhaseName(Phase p) {
+  switch (p) {
+    case Phase::kLoad: return "load";
+    case Phase::kAnalyze: return "analyze";
+    case Phase::kGround: return "ground";
+    case Phase::kSolveWfs: return "solve_wfs";
+    case Phase::kSolveStable: return "solve_stable";
+    case Phase::kSolveModular: return "solve_modular";
+    case Phase::kSolveStratified: return "solve_stratified";
+    case Phase::kSolveAggregates: return "solve_aggregates";
+    case Phase::kMagicRewrite: return "magic_rewrite";
+    case Phase::kMagicEval: return "magic_eval";
+    case Phase::kQuery: return "query";
+    case Phase::kProve: return "prove";
+    case Phase::kProveTabled: return "prove_tabled";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+void MetricsRegistry::Reset() {
+  counters_.fill(0);
+  gauges_.fill(0);
+  phases_.fill(PhaseStat{});
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  char buf[128];
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64, i ? "," : "",
+                  CounterName(static_cast<Counter>(i)), counters_[i]);
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64, i ? "," : "",
+                  GaugeName(static_cast<Gauge>(i)), gauges_[i]);
+    out += buf;
+  }
+  out += "},\"phases\":{";
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"calls\":%" PRIu64 ",\"total_ns\":%" PRIu64 "}",
+                  i ? "," : "", PhaseName(static_cast<Phase>(i)),
+                  phases_[i].calls, phases_[i].total_ns);
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::ToTable() const {
+  std::string out;
+  char buf[160];
+  out += "counters:\n";
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-26s %12" PRIu64 "\n",
+                  CounterName(static_cast<Counter>(i)), counters_[i]);
+    out += buf;
+  }
+  out += "gauges:\n";
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    if (gauges_[i] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-26s %12" PRIu64 "\n",
+                  GaugeName(static_cast<Gauge>(i)), gauges_[i]);
+    out += buf;
+  }
+  out += "phases:\n";
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    const PhaseStat& stat = phases_[i];
+    if (stat.calls == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "  %-26s %6" PRIu64 " call(s) %12.3f ms\n",
+                  PhaseName(static_cast<Phase>(i)), stat.calls,
+                  static_cast<double>(stat.total_ns) / 1e6);
+    out += buf;
+  }
+  return out;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ScopedPhaseTimer::ScopedPhaseTimer(Phase phase)
+    : phase_(phase), metrics_(CurrentMetrics()), trace_(CurrentTrace()) {
+  if (metrics_ == nullptr && trace_ == nullptr) return;
+  start_ns_ = NowNs();
+  if (trace_ != nullptr) trace_->Begin(PhaseName(phase_));
+}
+
+ScopedPhaseTimer::~ScopedPhaseTimer() {
+  if (metrics_ == nullptr && trace_ == nullptr) return;
+  if (trace_ != nullptr) trace_->End(PhaseName(phase_));
+  if (metrics_ != nullptr) metrics_->AddPhase(phase_, NowNs() - start_ns_);
+}
+
+}  // namespace hilog::obs

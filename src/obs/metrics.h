@@ -1,0 +1,218 @@
+#ifndef HILOG_OBS_METRICS_H_
+#define HILOG_OBS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace hilog::obs {
+
+class TraceBuffer;
+
+/// Engine-wide observability: monotonic counters, gauges, and accumulated
+/// phase timers, collected into a per-`Engine` `MetricsRegistry`.
+///
+/// Instrumentation sites (TermStore, the grounders, the fixpoint engines,
+/// the evaluators) report through a thread-local `ObsContext` installed
+/// with `ScopedObsContext`, so no hot-path API carries a registry pointer.
+/// When no context is installed every site is a single predictable branch;
+/// defining HILOG_OBS_DISABLED compiles all of it out entirely.
+///
+/// Counters are deterministic: for a fixed program and operation sequence
+/// they always land on the same values, so tests assert them exactly.
+/// Timers use the steady clock and are excluded from such assertions.
+
+enum class Counter : uint16_t {
+  // Term layer.
+  kTermsInterned = 0,  // New nodes created (symbols, variables, applies).
+  kTermInternHits,     // Intern lookups that found an existing term.
+  kUnifyCalls,
+  kUnifyFailures,
+  kOccursChecks,
+  kMatchCalls,
+  // Grounding layer.
+  kGroundInstances,  // Ground rule instances emitted (either grounder).
+  kUniverseTerms,    // Herbrand universe terms enumerated.
+  // Bottom-up substrate (positive-projection least model / envelope).
+  kBottomUpRounds,
+  kBottomUpFacts,
+  // Well-founded fixpoints.
+  kWfsRounds,          // Alternating Gamma^2 pairs, or W_P iterations.
+  kGammaApplications,  // GL-reduct least-model computations.
+  kWfsTrueAtoms,       // Atoms true in computed well-founded models.
+  kWfsUndefinedAtoms,  // Atoms undefined in computed well-founded models.
+  // Stable-model enumeration.
+  kStableCandidates,  // Total-interpretation candidates tested.
+  kStableModels,      // Candidates that passed the GL check.
+  // Magic-sets evaluation.
+  kMagicFactsDerived,  // All facts derived by the magic evaluator.
+  kMagicFacts,         // Of those, magic() seeds/propagations.
+  kMagicBoxFirings,    // box(P) native-rule firings.
+  kMagicEdbPreloaded,  // EDB facts preloaded outside the worklist.
+  // Tabled (OLDT) evaluation.
+  kTabledSubgoals,  // New tables created (table misses).
+  kTabledHits,      // Subgoal lookups served by an existing table.
+  kTabledRestarts,  // Global fixpoint passes over all tables.
+  kTabledAnswers,
+  kTabledSteps,
+  // Engine facade.
+  kQueries,
+  kCount,
+};
+
+enum class Gauge : uint16_t {
+  kProgramRules = 0,
+  kTermStoreSize,
+  kEnvelopeSize,
+  kUniverseSize,
+  kGroundRules,
+  kAtomTableSize,
+  kStableBranchAtoms,
+  kCount,
+};
+
+enum class Phase : uint16_t {
+  kLoad = 0,
+  kAnalyze,
+  kGround,
+  kSolveWfs,
+  kSolveStable,
+  kSolveModular,
+  kSolveStratified,
+  kSolveAggregates,
+  kMagicRewrite,
+  kMagicEval,
+  kQuery,
+  kProve,
+  kProveTabled,
+  kCount,
+};
+
+const char* CounterName(Counter c);
+const char* GaugeName(Gauge g);
+const char* PhaseName(Phase p);
+
+struct PhaseStat {
+  uint64_t calls = 0;
+  uint64_t total_ns = 0;
+};
+
+class MetricsRegistry {
+ public:
+  void Add(Counter c, uint64_t n = 1) {
+    counters_[static_cast<size_t>(c)] += n;
+  }
+  uint64_t value(Counter c) const {
+    return counters_[static_cast<size_t>(c)];
+  }
+
+  void Set(Gauge g, uint64_t v) { gauges_[static_cast<size_t>(g)] = v; }
+  uint64_t gauge(Gauge g) const { return gauges_[static_cast<size_t>(g)]; }
+
+  void AddPhase(Phase p, uint64_t ns) {
+    PhaseStat& stat = phases_[static_cast<size_t>(p)];
+    ++stat.calls;
+    stat.total_ns += ns;
+  }
+  const PhaseStat& phase(Phase p) const {
+    return phases_[static_cast<size_t>(p)];
+  }
+
+  void Reset();
+
+  /// JSON object {"counters":{...},"gauges":{...},"phases":{...}} per
+  /// docs/observability.md. Zero-valued counters/gauges are included so
+  /// the schema is stable across runs.
+  std::string ToJson() const;
+
+  /// Human-readable aligned table (the CLI's --stats output).
+  std::string ToTable() const;
+
+ private:
+  std::array<uint64_t, static_cast<size_t>(Counter::kCount)> counters_{};
+  std::array<uint64_t, static_cast<size_t>(Gauge::kCount)> gauges_{};
+  std::array<PhaseStat, static_cast<size_t>(Phase::kCount)> phases_{};
+};
+
+struct ObsContext {
+  MetricsRegistry* metrics = nullptr;
+  TraceBuffer* trace = nullptr;
+};
+
+namespace internal {
+extern thread_local ObsContext tl_context;
+}  // namespace internal
+
+inline MetricsRegistry* CurrentMetrics() {
+#ifdef HILOG_OBS_DISABLED
+  return nullptr;
+#else
+  return internal::tl_context.metrics;
+#endif
+}
+
+inline TraceBuffer* CurrentTrace() {
+#ifdef HILOG_OBS_DISABLED
+  return nullptr;
+#else
+  return internal::tl_context.trace;
+#endif
+}
+
+/// Installs (metrics, trace) as the thread's sinks for the scope's
+/// lifetime; restores the previous sinks on exit, so engine calls nest.
+class ScopedObsContext {
+ public:
+  explicit ScopedObsContext(MetricsRegistry* metrics,
+                            TraceBuffer* trace = nullptr) {
+#ifndef HILOG_OBS_DISABLED
+    saved_ = internal::tl_context;
+    internal::tl_context = ObsContext{metrics, trace};
+#else
+    (void)metrics;
+    (void)trace;
+#endif
+  }
+  ~ScopedObsContext() {
+#ifndef HILOG_OBS_DISABLED
+    internal::tl_context = saved_;
+#endif
+  }
+  ScopedObsContext(const ScopedObsContext&) = delete;
+  ScopedObsContext& operator=(const ScopedObsContext&) = delete;
+
+ private:
+  ObsContext saved_;
+};
+
+inline void Count(Counter c, uint64_t n = 1) {
+  if (MetricsRegistry* m = CurrentMetrics()) m->Add(c, n);
+}
+
+inline void SetGauge(Gauge g, uint64_t v) {
+  if (MetricsRegistry* m = CurrentMetrics()) m->Set(g, v);
+}
+
+/// Nanoseconds from the steady clock (monotonic; epoch unspecified).
+uint64_t NowNs();
+
+/// RAII phase timer: accumulates wall time into the current registry's
+/// phase stat and emits begin/end trace events. Snapshots the sinks at
+/// construction so nested context switches cannot unbalance it.
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(Phase phase);
+  ~ScopedPhaseTimer();
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  Phase phase_;
+  MetricsRegistry* metrics_;
+  TraceBuffer* trace_;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace hilog::obs
+
+#endif  // HILOG_OBS_METRICS_H_

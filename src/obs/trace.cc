@@ -1,0 +1,94 @@
+#include "src/obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hilog::obs {
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), epoch_ns_(NowNs()) {
+  events_.reserve(capacity_);
+}
+
+void TraceBuffer::Push(TraceEvent event) {
+  if (events_.size() < capacity_) {
+    events_.push_back(event);
+    return;
+  }
+  events_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  // Once the ring wrapped, next_ points at the oldest surviving event.
+  for (size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(next_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out->push_back('\\');
+    out->push_back(*s);
+  }
+}
+
+}  // namespace
+
+std::string TraceBuffer::ToJson() const {
+  std::string out = "{\"dropped\":" + std::to_string(dropped_) +
+                    ",\"events\":[";
+  char buf[96];
+  bool first = true;
+  for (const TraceEvent& event : Snapshot()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(&out, event.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"%c\",\"ts_ns\":%" PRIu64 ",\"value\":%" PRIu64
+                  "}",
+                  event.ph, event.ts_ns, event.value);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceBuffer::ToChromeJson() const {
+  std::string out = "{\"traceEvents\":[";
+  char buf[128];
+  bool first = true;
+  for (const TraceEvent& event : Snapshot()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(&out, event.name);
+    // Chrome wants microseconds; keep sub-us precision as a fraction.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":1",
+                  event.ph, static_cast<double>(event.ts_ns) / 1e3);
+    out += buf;
+    if (event.ph == 'i') {
+      std::snprintf(buf, sizeof(buf),
+                    ",\"s\":\"t\",\"args\":{\"value\":%" PRIu64 "}",
+                    event.value);
+      out += buf;
+    } else if (event.ph == 'C') {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%" PRIu64 "}",
+                    event.value);
+      out += buf;
+    }
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hilog::obs

@@ -1,0 +1,77 @@
+#ifndef HILOG_OBS_TRACE_H_
+#define HILOG_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace hilog::obs {
+
+/// One trace event. `name` must be a string literal (or otherwise outlive
+/// the buffer) — events are POD so the ring stays allocation-free.
+struct TraceEvent {
+  const char* name = "";
+  /// Chrome trace_event phase: 'B' begin, 'E' end, 'i' instant,
+  /// 'C' counter sample.
+  char ph = 'i';
+  uint64_t ts_ns = 0;  // Steady-clock time relative to buffer creation.
+  uint64_t value = 0;  // Payload for 'i'/'C' events (round index, size...).
+};
+
+/// Bounded ring buffer of trace events. When full, the oldest events are
+/// overwritten and `dropped()` counts how many were lost — tracing a long
+/// run costs bounded memory. Not thread-safe (like the rest of a store's
+/// pipeline, it is confined to one thread).
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity);
+
+  void Begin(const char* name) { Push({name, 'B', Stamp(), 0}); }
+  void End(const char* name) { Push({name, 'E', Stamp(), 0}); }
+  void Instant(const char* name, uint64_t value = 0) {
+    Push({name, 'i', Stamp(), value});
+  }
+  void CounterSample(const char* name, uint64_t value) {
+    Push({name, 'C', Stamp(), value});
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return events_.size(); }
+  uint64_t dropped() const { return dropped_; }
+
+  /// Events in chronological order (unwinds the ring).
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Plain JSON: {"dropped":n,"events":[{"name","ph","ts_ns","value"},...]}.
+  std::string ToJson() const;
+
+  /// Chrome trace_event JSON (load in chrome://tracing or Perfetto):
+  /// {"traceEvents":[{"name","ph","ts","pid","tid",...},...]}. Timestamps
+  /// are microseconds as the format requires.
+  std::string ToChromeJson() const;
+
+ private:
+  uint64_t Stamp() const { return NowNs() - epoch_ns_; }
+  void Push(TraceEvent event);
+
+  size_t capacity_;
+  uint64_t epoch_ns_;
+  std::vector<TraceEvent> events_;
+  size_t next_ = 0;  // Ring write cursor once events_ is full.
+  uint64_t dropped_ = 0;
+};
+
+/// Convenience emitters against the thread-local context; no-ops when no
+/// trace buffer is installed.
+inline void TraceInstant(const char* name, uint64_t value = 0) {
+  if (TraceBuffer* t = CurrentTrace()) t->Instant(name, value);
+}
+inline void TraceCounter(const char* name, uint64_t value) {
+  if (TraceBuffer* t = CurrentTrace()) t->CounterSample(name, value);
+}
+
+}  // namespace hilog::obs
+
+#endif  // HILOG_OBS_TRACE_H_

@@ -6,6 +6,8 @@
 #include <charconv>
 #include <sstream>
 
+#include "src/obs/metrics.h"
+
 namespace hilog {
 
 TermStore::TermStore() {
@@ -15,7 +17,11 @@ TermStore::TermStore() {
 
 TermId TermStore::MakeSymbol(std::string_view name) {
   auto it = symbol_index_.find(std::string(name));
-  if (it != symbol_index_.end()) return it->second;
+  if (it != symbol_index_.end()) {
+    obs::Count(obs::Counter::kTermInternHits);
+    return it->second;
+  }
+  obs::Count(obs::Counter::kTermsInterned);
   TermId id = static_cast<TermId>(nodes_.size());
   Node node;
   node.kind = TermKind::kSymbol;
@@ -30,7 +36,11 @@ TermId TermStore::MakeSymbol(std::string_view name) {
 
 TermId TermStore::MakeVariable(std::string_view name) {
   auto it = variable_index_.find(std::string(name));
-  if (it != variable_index_.end()) return it->second;
+  if (it != variable_index_.end()) {
+    obs::Count(obs::Counter::kTermInternHits);
+    return it->second;
+  }
+  obs::Count(obs::Counter::kTermsInterned);
   TermId id = static_cast<TermId>(nodes_.size());
   Node node;
   node.kind = TermKind::kVariable;
@@ -74,8 +84,12 @@ TermId TermStore::MakeApply(TermId name, std::span<const TermId> args) {
   uint64_t h = HashApply(name, args);
   auto [lo, hi] = apply_index_.equal_range(h);
   for (auto it = lo; it != hi; ++it) {
-    if (ApplyEquals(it->second, name, args)) return it->second;
+    if (ApplyEquals(it->second, name, args)) {
+      obs::Count(obs::Counter::kTermInternHits);
+      return it->second;
+    }
   }
+  obs::Count(obs::Counter::kTermsInterned);
   TermId id = static_cast<TermId>(nodes_.size());
   Node node;
   node.kind = TermKind::kApply;

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
+
 namespace hilog {
 namespace {
 
@@ -41,11 +43,13 @@ bool UnifyWalked(TermStore& store, TermId a, TermId b, Substitution* subst) {
   b = Walk(store, b, *subst);
   if (a == b) return true;
   if (store.IsVariable(a)) {
+    obs::Count(obs::Counter::kOccursChecks);
     if (OccursIn(store, a, b, *subst)) return false;
     subst->Bind(a, b);
     return true;
   }
   if (store.IsVariable(b)) {
+    obs::Count(obs::Counter::kOccursChecks);
     if (OccursIn(store, b, a, *subst)) return false;
     subst->Bind(b, a);
     return true;
@@ -100,8 +104,12 @@ bool OccursIn(TermStore& store, TermId var, TermId t,
 }
 
 bool UnifyInto(TermStore& store, TermId a, TermId b, Substitution* subst) {
+  obs::Count(obs::Counter::kUnifyCalls);
   Substitution trial = *subst;
-  if (!UnifyWalked(store, a, b, &trial)) return false;
+  if (!UnifyWalked(store, a, b, &trial)) {
+    obs::Count(obs::Counter::kUnifyFailures);
+    return false;
+  }
   ResolveAll(store, &trial);
   *subst = std::move(trial);
   return true;
@@ -173,6 +181,7 @@ bool VariantWalked(TermStore& store, TermId a, TermId b,
 
 bool MatchInto(TermStore& store, TermId pattern, TermId target,
                Substitution* subst) {
+  obs::Count(obs::Counter::kMatchCalls);
   Substitution trial = *subst;
   TermId walked = trial.Apply(store, pattern);
   if (!MatchWalked(store, walked, target, &trial)) return false;

@@ -1,5 +1,10 @@
 #include "src/wfs/alternating.h"
 
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace hilog {
 
 PreparedGround::PreparedGround(const GroundProgram& ground) {
@@ -28,6 +33,7 @@ PreparedGround::PreparedGround(const GroundProgram& ground) {
 
 std::vector<char> PreparedGround::GammaOperator(
     const std::vector<char>& assumed_true) const {
+  obs::Count(obs::Counter::kGammaApplications);
   // Counter-based Horn least model: remaining[r] = number of positive
   // subgoals of rule r not yet derived; blocked rules (negative literal on
   // an assumed-true atom) are skipped entirely.
@@ -75,11 +81,24 @@ WfsResult ComputeWfsAlternating(const GroundProgram& ground) {
   std::vector<char> lower(n, 0);  // A_i: atoms known true.
   std::vector<char> upper(n, 1);  // B_i: atoms possibly true.
 
+  obs::SetGauge(obs::Gauge::kAtomTableSize, n);
   WfsResult result;
   while (true) {
     ++result.iterations;
+    obs::Count(obs::Counter::kWfsRounds);
     std::vector<char> next_upper = prepared.GammaOperator(lower);
     std::vector<char> next_lower = prepared.GammaOperator(next_upper);
+    if (obs::CurrentTrace() != nullptr) {
+      // Delta sizes per round: how many atoms each bound moved this pair.
+      size_t grew = 0, shrank = 0;
+      for (size_t i = 0; i < n; ++i) {
+        grew += next_lower[i] && !lower[i];
+        shrank += upper[i] && !next_upper[i];
+      }
+      obs::TraceInstant("wfs.round", result.iterations);
+      obs::TraceCounter("wfs.lower_delta", grew);
+      obs::TraceCounter("wfs.upper_delta", shrank);
+    }
     if (next_lower == lower && next_upper == upper) break;
     lower = std::move(next_lower);
     upper = std::move(next_upper);
@@ -87,15 +106,20 @@ WfsResult ComputeWfsAlternating(const GroundProgram& ground) {
 
   AtomTable table = prepared.table();
   result.model = Interpretation(std::move(table));
+  size_t true_atoms = 0, undefined_atoms = 0;
   for (uint32_t i = 0; i < n; ++i) {
     if (lower[i]) {
+      ++true_atoms;
       result.model.SetAt(i, TruthValue::kTrue);
     } else if (upper[i]) {
+      ++undefined_atoms;
       result.model.SetAt(i, TruthValue::kUndefined);
     } else {
       result.model.SetAt(i, TruthValue::kFalse);
     }
   }
+  obs::Count(obs::Counter::kWfsTrueAtoms, true_atoms);
+  obs::Count(obs::Counter::kWfsUndefinedAtoms, undefined_atoms);
   return result;
 }
 

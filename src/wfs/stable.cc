@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/wfs/wfs.h"
 
 namespace hilog {
@@ -72,6 +74,7 @@ StableModelsResult EnumerateStableModels(const GroundProgram& ground,
       branch_atoms.push_back(i);
     }
   }
+  obs::SetGauge(obs::Gauge::kStableBranchAtoms, branch_atoms.size());
   if (branch_atoms.size() > options.max_branch_atoms) {
     result.complete = false;
     return result;
@@ -91,6 +94,7 @@ StableModelsResult EnumerateStableModels(const GroundProgram& ground,
       candidate[branch_atoms[b]] = (mask >> b) & 1 ? 1 : 0;
     }
     ++result.candidates_checked;
+    obs::Count(obs::Counter::kStableCandidates);
     // The candidate's stability must be checked against the prepared
     // program's own table (same table as wfs.model's by construction).
     std::vector<char> assumed(prepared.num_atoms(), 0);
@@ -107,6 +111,8 @@ StableModelsResult EnumerateStableModels(const GroundProgram& ground,
         if (assumed[i]) model.true_atoms.push_back(prepared.table().atom(i));
       }
       std::sort(model.true_atoms.begin(), model.true_atoms.end());
+      obs::Count(obs::Counter::kStableModels);
+      obs::TraceInstant("stable.model", result.models.size() + 1);
       result.models.push_back(std::move(model));
       if (result.models.size() >= options.max_models) {
         result.complete = mask + 1 == combos;

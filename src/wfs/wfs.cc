@@ -1,5 +1,8 @@
 #include "src/wfs/wfs.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace hilog {
 namespace {
 
@@ -98,6 +101,8 @@ WfsResult ComputeWfsViaOperator(const GroundProgram& ground) {
   WfsResult result;
   while (true) {
     ++result.iterations;
+    obs::Count(obs::Counter::kWfsRounds);
+    obs::TraceInstant("wfs.operator_round", result.iterations);
     std::vector<TruthValue> true_part = ApplyTp(ground, table, current);
     std::vector<bool> unfounded = GreatestUnfoundedSet(ground, table, current);
     std::vector<TruthValue> next(table.size(), TruthValue::kUndefined);
@@ -113,9 +118,14 @@ WfsResult ComputeWfsViaOperator(const GroundProgram& ground) {
   }
 
   result.model = Interpretation(std::move(table));
+  size_t true_atoms = 0, undefined_atoms = 0;
   for (uint32_t i = 0; i < current.size(); ++i) {
+    true_atoms += current[i] == TruthValue::kTrue;
+    undefined_atoms += current[i] == TruthValue::kUndefined;
     result.model.SetAt(i, current[i]);
   }
+  obs::Count(obs::Counter::kWfsTrueAtoms, true_atoms);
+  obs::Count(obs::Counter::kWfsUndefinedAtoms, undefined_atoms);
   return result;
 }
 

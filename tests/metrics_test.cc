@@ -1,0 +1,219 @@
+// Tests for the observability layer (src/obs): registry semantics, the
+// thread-local context install, the trace ring buffer, and exact counter
+// values for the engine on the ground win/move chain (the ground instance
+// family of the paper's Example 6.1 game program).
+
+#include "src/core/engine.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hilog {
+namespace {
+
+// bench::GroundWinChain(n): w(ni) :- m(ni,ni+1), ~w(ni+1) plus the move
+// facts. Already ground, so grounding yields exactly 2n instances.
+std::string GroundWinChain(int n) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    std::string x = std::to_string(i);
+    std::string y = std::to_string(i + 1);
+    text += "w(n" + x + ") :- m(n" + x + ",n" + y + "), ~w(n" + y + ").\n";
+    text += "m(n" + x + ",n" + y + ").\n";
+  }
+  return text;
+}
+
+TEST(MetricsRegistryTest, CountersGaugesPhases) {
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(reg.value(obs::Counter::kUnifyCalls), 0u);
+  reg.Add(obs::Counter::kUnifyCalls, 3);
+  reg.Add(obs::Counter::kUnifyCalls);
+  EXPECT_EQ(reg.value(obs::Counter::kUnifyCalls), 4u);
+  reg.Set(obs::Gauge::kProgramRules, 7);
+  EXPECT_EQ(reg.gauge(obs::Gauge::kProgramRules), 7u);
+  reg.AddPhase(obs::Phase::kLoad, 1000);
+  reg.AddPhase(obs::Phase::kLoad, 500);
+  EXPECT_EQ(reg.phase(obs::Phase::kLoad).calls, 2u);
+  EXPECT_EQ(reg.phase(obs::Phase::kLoad).total_ns, 1500u);
+  reg.Reset();
+  EXPECT_EQ(reg.value(obs::Counter::kUnifyCalls), 0u);
+  EXPECT_EQ(reg.gauge(obs::Gauge::kProgramRules), 0u);
+  EXPECT_EQ(reg.phase(obs::Phase::kLoad).calls, 0u);
+}
+
+TEST(MetricsRegistryTest, JsonHasStableSchema) {
+  obs::MetricsRegistry reg;
+  reg.Add(obs::Counter::kWfsRounds, 5);
+  std::string json = reg.ToJson();
+  // Every key is present even at zero, so downstream diffs are stable.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"wfs.rounds\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"term.interned\":0"), std::string::npos);
+}
+
+TEST(ObsContextTest, CountIsNoOpWithoutContext) {
+  // No context installed: must not crash and must not touch any registry.
+  obs::Count(obs::Counter::kUnifyCalls);
+  obs::SetGauge(obs::Gauge::kProgramRules, 9);
+  obs::TraceInstant("free.standing", 1);
+  EXPECT_EQ(obs::CurrentMetrics(), nullptr);
+  EXPECT_EQ(obs::CurrentTrace(), nullptr);
+}
+
+TEST(ObsContextTest, ScopedInstallAndNestedRestore) {
+  obs::MetricsRegistry outer;
+  obs::MetricsRegistry inner;
+  {
+    obs::ScopedObsContext outer_ctx(&outer, nullptr);
+    obs::Count(obs::Counter::kUnifyCalls);
+    {
+      obs::ScopedObsContext inner_ctx(&inner, nullptr);
+      obs::Count(obs::Counter::kUnifyCalls, 2);
+    }
+    // Restored to the outer registry after the inner scope ends.
+    obs::Count(obs::Counter::kUnifyCalls);
+  }
+  EXPECT_EQ(outer.value(obs::Counter::kUnifyCalls), 2u);
+  EXPECT_EQ(inner.value(obs::Counter::kUnifyCalls), 2u);
+  EXPECT_EQ(obs::CurrentMetrics(), nullptr);
+}
+
+TEST(ObsContextTest, PhaseTimerAccumulates) {
+  obs::MetricsRegistry reg;
+  {
+    obs::ScopedObsContext ctx(&reg, nullptr);
+    obs::ScopedPhaseTimer timer(obs::Phase::kQuery);
+  }
+  EXPECT_EQ(reg.phase(obs::Phase::kQuery).calls, 1u);
+}
+
+TEST(TraceBufferTest, RingOverwritesOldest) {
+  obs::TraceBuffer buffer(4);
+  for (uint64_t i = 0; i < 6; ++i) buffer.Instant("ev", i);
+  EXPECT_EQ(buffer.dropped(), 2u);
+  auto events = buffer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest two (values 0, 1) were overwritten; order is preserved.
+  EXPECT_EQ(events.front().value, 2u);
+  EXPECT_EQ(events.back().value, 5u);
+  std::string chrome = buffer.ToChromeJson();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(buffer.ToJson().find("\"dropped\":2"), std::string::npos);
+}
+
+// Satellite: exact, deterministic counters on the Example 6.1 win/move
+// chain. These values are part of the observable contract — a change in
+// any of them means the engine's work (not just its timing) changed.
+TEST(EngineMetricsTest, WinChainExactWfsCounters) {
+  Engine engine;
+  ASSERT_EQ(engine.Load(GroundWinChain(8)), "");
+  Engine::WfsAnswer answer = engine.SolveWellFounded();
+  ASSERT_TRUE(answer.ok) << answer.notes;
+  ASSERT_TRUE(answer.exact);
+
+  const obs::MetricsRegistry& m = engine.metrics();
+  // Grounding: the program is already ground, 8 rules + 8 facts.
+  EXPECT_EQ(m.value(obs::Counter::kGroundInstances), 16u);
+  EXPECT_EQ(m.gauge(obs::Gauge::kProgramRules), 16u);
+  EXPECT_EQ(m.gauge(obs::Gauge::kGroundRules), 16u);
+  // Alternating fixpoint on a chain of length 8 settles in 6 rounds,
+  // two Gamma applications per round.
+  EXPECT_EQ(m.value(obs::Counter::kWfsRounds), 6u);
+  EXPECT_EQ(m.value(obs::Counter::kGammaApplications), 12u);
+  // True atoms: 8 move facts + w(n1), w(n3), w(n5), w(n7).
+  EXPECT_EQ(m.value(obs::Counter::kWfsTrueAtoms), 12u);
+  EXPECT_EQ(m.value(obs::Counter::kWfsUndefinedAtoms), 0u);
+  // 17 atoms: w(n0..n8) and the 8 move facts.
+  EXPECT_EQ(m.gauge(obs::Gauge::kAtomTableSize), 17u);
+  // Semi-naive evaluation inside Gamma derives 16 facts over 2 rounds
+  // on the first (most productive) application.
+  EXPECT_EQ(m.value(obs::Counter::kBottomUpRounds), 2u);
+  EXPECT_EQ(m.value(obs::Counter::kBottomUpFacts), 16u);
+}
+
+TEST(EngineMetricsTest, WinChainExactMagicQueryCounters) {
+  Engine engine;
+  ASSERT_EQ(engine.Load(GroundWinChain(8)), "");
+  ASSERT_TRUE(engine.SolveWellFounded().ok);
+  engine.metrics().Reset();
+
+  Engine::QueryAnswer answer = engine.Query("w(n1)");
+  ASSERT_TRUE(answer.ok) << answer.error;
+  EXPECT_EQ(answer.answers.size(), 1u);  // w(n1) is well-founded true.
+
+  const obs::MetricsRegistry& m = engine.metrics();
+  EXPECT_EQ(m.value(obs::Counter::kQueries), 1u);
+  // Magic rewriting seeds w(n1) and walks the chain upward only:
+  // magic facts for w(n1..n8) plus the seed's adornment.
+  EXPECT_EQ(m.value(obs::Counter::kMagicFacts), 9u);
+  EXPECT_EQ(m.value(obs::Counter::kMagicFactsDerived), 50u);
+  EXPECT_EQ(m.value(obs::Counter::kMagicEdbPreloaded), 8u);
+  EXPECT_EQ(m.value(obs::Counter::kMagicBoxFirings), 4u);
+  // The query must not re-run the full WFS computation.
+  EXPECT_EQ(m.value(obs::Counter::kWfsRounds), 0u);
+}
+
+TEST(EngineMetricsTest, CountersAreDeterministicAcrossRuns) {
+  auto run = [] {
+    Engine engine;
+    EXPECT_EQ(engine.Load(GroundWinChain(8)), "");
+    EXPECT_TRUE(engine.SolveWellFounded().ok);
+    EXPECT_TRUE(engine.Query("w(n0)").ok);
+    // Phase timers are wall-clock; only counters and gauges are
+    // deterministic, so compare the JSON up to the "phases" section.
+    std::string json = engine.metrics().ToJson();
+    return json.substr(0, json.find("\"phases\""));
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// Satellite: disabled instrumentation must not change any answer.
+TEST(EngineMetricsTest, DisabledMetricsYieldIdenticalAnswers) {
+  EngineOptions off;
+  off.metrics_enabled = false;
+  EngineOptions on;
+  on.trace_capacity = 1024;
+  Engine plain(off);
+  Engine instrumented(on);  // metrics on + a trace buffer
+
+  const std::string text = GroundWinChain(8);
+  ASSERT_EQ(plain.Load(text), "");
+  ASSERT_EQ(instrumented.Load(text), "");
+
+  Engine::WfsAnswer a = plain.SolveWellFounded();
+  Engine::WfsAnswer b = instrumented.SolveWellFounded();
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.ground_rules, b.ground_rules);
+  for (int i = 0; i <= 8; ++i) {
+    std::string atom = "w(n" + std::to_string(i) + ")";
+    TermId pa = *ParseTerm(plain.store(), atom);
+    TermId pb = *ParseTerm(instrumented.store(), atom);
+    EXPECT_EQ(a.model.Value(pa), b.model.Value(pb)) << atom;
+  }
+
+  Engine::QueryAnswer qa = plain.Query("w(n1)");
+  Engine::QueryAnswer qb = instrumented.Query("w(n1)");
+  ASSERT_TRUE(qa.ok);
+  ASSERT_TRUE(qb.ok);
+  EXPECT_EQ(qa.answers.size(), qb.answers.size());
+  EXPECT_EQ(qa.ground_status, qb.ground_status);
+
+  // With metrics disabled nothing was recorded at all.
+  EXPECT_EQ(plain.metrics().value(obs::Counter::kWfsRounds), 0u);
+  EXPECT_EQ(plain.metrics().value(obs::Counter::kTermsInterned), 0u);
+  EXPECT_EQ(plain.metrics().phase(obs::Phase::kSolveWfs).calls, 0u);
+  // The instrumented twin recorded the same exact values as always.
+  EXPECT_EQ(instrumented.metrics().value(obs::Counter::kWfsRounds), 6u);
+  ASSERT_NE(instrumented.trace(), nullptr);
+  EXPECT_GT(instrumented.trace()->Snapshot().size(), 0u);
+}
+
+}  // namespace
+}  // namespace hilog
