@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare two hilog-bench-core-v1 JSON files and fail on regressions.
+
+Usage:
+    bench/compare.py BASELINE.json CURRENT.json [--threshold 0.25]
+                     [--min-ns 500]
+
+Exit status is non-zero iff any case present in both files regressed by
+more than --threshold (fractional slowdown of real_time_ns). Cases whose
+baseline and current times are both under --min-ns are skipped: at that
+scale scheduler jitter dominates and a "regression" is noise. Cases that
+exist in only one file are reported but never fail the comparison —
+benches are added and retired by design.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path):
+    """Return {"binary/case-name": real_time_ns} for a core-v1 file."""
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema != "hilog-bench-core-v1":
+        raise SystemExit(f"{path}: unexpected schema {schema!r}")
+    cases = {}
+    for binary in doc.get("binaries", []):
+        prefix = binary.get("binary", "?")
+        for bench in binary.get("benchmarks", []):
+            cases[f"{prefix}/{bench['name']}"] = float(bench["real_time_ns"])
+    return cases
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated fractional slowdown (default "
+                             "0.25 = 25%%)")
+    parser.add_argument("--min-ns", type=float, default=500.0,
+                        help="skip cases where both sides run under this "
+                             "many ns (jitter floor, default 500)")
+    args = parser.parse_args()
+
+    base = load_cases(args.baseline)
+    cur = load_cases(args.current)
+
+    regressions = []
+    improvements = []
+    for name in sorted(base.keys() & cur.keys()):
+        b, c = base[name], cur[name]
+        if b < args.min_ns and c < args.min_ns:
+            continue
+        delta = (c - b) / b if b > 0 else float("inf")
+        if delta > args.threshold:
+            regressions.append((name, b, c, delta))
+        elif delta < -args.threshold:
+            improvements.append((name, b, c, delta))
+
+    for name in sorted(base.keys() - cur.keys()):
+        print(f"note: {name} only in baseline (retired?)")
+    for name in sorted(cur.keys() - base.keys()):
+        print(f"note: {name} only in current run (new bench)")
+    for name, b, c, delta in improvements:
+        print(f"improved: {name}  {b:.0f}ns -> {c:.0f}ns  "
+              f"({delta * 100:+.1f}%)")
+    for name, b, c, delta in regressions:
+        print(f"REGRESSION: {name}  {b:.0f}ns -> {c:.0f}ns  "
+              f"({delta * 100:+.1f}% > {args.threshold * 100:.0f}%)")
+
+    shared = len(base.keys() & cur.keys())
+    print(f"compared {shared} cases: {len(regressions)} regressions, "
+          f"{len(improvements)} improvements")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

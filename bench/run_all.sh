@@ -19,8 +19,10 @@ shift $(( $# > 2 ? 2 : $# )) || true
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
 
-# Keep the committed baseline cheap: only workload sizes up to 3 digits.
-default_filter='--benchmark_filter=.*/[0-9]{1,3}$'
+# Keep the committed baseline cheap: only workload sizes up to 3 digits,
+# plus the IndexedJoin cases (deliberately 10k-100k facts — they exist to
+# exercise the argument index at scale and stay fast *because* of it).
+default_filter='--benchmark_filter=(.*/[0-9]{1,3}$)|(IndexedJoin)'
 min_time='--benchmark_min_time=0.02'
 
 bins=("$build_dir"/bench/bench_*)

@@ -1,5 +1,6 @@
 #include "src/eval/bottomup.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "src/obs/metrics.h"
@@ -11,27 +12,34 @@ namespace {
 
 // Recursively matches positive body literals [index..] against facts,
 // with literal `delta_pos` (if != SIZE_MAX) restricted to `delta`.
+// Backtracking uses the substitution's undo trail: matching binds only
+// fresh variables, so truncating to the mark restores the binding set
+// without rebuilding it per candidate.
 bool MatchBody(TermStore& store, const std::vector<TermId>& body_atoms,
-               size_t index, size_t delta_pos,
-               const std::vector<TermId>* delta, const FactBase& facts,
-               Substitution* subst,
+               size_t index, size_t delta_pos, const FactBase* delta,
+               const FactBase& facts, Substitution* subst,
                const std::function<bool(const Substitution&)>& fn) {
   if (index == body_atoms.size()) return fn(*subst);
   TermId pattern = subst->Apply(store, body_atoms[index]);
-  // Copy: the callback may insert facts, growing the bucket under us.
-  const std::vector<TermId> candidates =
-      (index == delta_pos && delta != nullptr)
-          ? *delta
-          : facts.Candidates(store, pattern);
+  const FactBase& source =
+      (index == delta_pos && delta != nullptr) ? *delta : facts;
+  const size_t baseline = source.NameBucketSize(store, pattern);
+  // Snapshot: the callback may insert facts, growing the index under us.
+  const std::vector<TermId> candidates = source.Candidates(store, pattern);
+  if (baseline > candidates.size()) {
+    obs::Count(obs::Counter::kUnificationsAvoided,
+               baseline - candidates.size());
+  }
+  const size_t mark = subst->Mark();
   for (TermId fact : candidates) {
-    Substitution saved = *subst;
     if (MatchInto(store, pattern, fact, subst)) {
       if (!MatchBody(store, body_atoms, index + 1, delta_pos, delta, facts,
                      subst, fn)) {
+        subst->UndoTo(mark);
         return false;
       }
+      subst->UndoTo(mark);
     }
-    *subst = std::move(saved);
   }
   return true;
 }
@@ -44,12 +52,92 @@ std::vector<TermId> PositiveAtoms(const Rule& rule) {
   return atoms;
 }
 
+// Greedy join plan: repeatedly picks the literal with the most arguments
+// already bound (by constants or by variables of previously placed
+// literals), breaking ties toward the smaller estimated relation, then
+// the original position (so plans are deterministic). The delta literal,
+// if any, is pinned first: it is the smallest relation by construction
+// and every semi-naive firing must use it.
+std::vector<TermId> PlanJoin(const TermStore& store,
+                             const std::vector<TermId>& atoms,
+                             const FactBase& facts, size_t delta_pos) {
+  if (atoms.size() <= (delta_pos == SIZE_MAX ? size_t{1} : size_t{2})) {
+    if (delta_pos != SIZE_MAX && delta_pos != 0) {
+      std::vector<TermId> swapped = atoms;
+      std::swap(swapped[0], swapped[delta_pos]);
+      return swapped;
+    }
+    return atoms;
+  }
+  // Per-literal: variables of each argument (the name's variables count
+  // toward no argument but do join), plus a static size estimate.
+  struct Info {
+    std::vector<std::vector<TermId>> arg_vars;
+    std::vector<TermId> all_vars;
+    size_t est_size = 0;
+  };
+  std::vector<Info> info(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    TermId atom = atoms[i];
+    store.CollectVariables(atom, &info[i].all_vars);
+    if (store.IsApply(atom)) {
+      auto args = store.apply_args(atom);
+      info[i].arg_vars.resize(args.size());
+      for (size_t a = 0; a < args.size(); ++a) {
+        store.CollectVariables(args[a], &info[i].arg_vars[a]);
+      }
+    }
+    TermId name = store.PredName(atom);
+    info[i].est_size =
+        store.IsGround(name) ? facts.WithName(name).size() : facts.size();
+  }
+
+  std::vector<TermId> ordered;
+  ordered.reserve(atoms.size());
+  std::unordered_set<TermId> bound;
+  std::vector<bool> placed(atoms.size(), false);
+  auto place = [&](size_t i) {
+    placed[i] = true;
+    ordered.push_back(atoms[i]);
+    for (TermId v : info[i].all_vars) bound.insert(v);
+  };
+  if (delta_pos != SIZE_MAX) place(delta_pos);
+  while (ordered.size() < atoms.size()) {
+    size_t best = SIZE_MAX;
+    size_t best_bound = 0;
+    size_t best_size = 0;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (placed[i]) continue;
+      size_t bound_args = 0;
+      for (const std::vector<TermId>& vars : info[i].arg_vars) {
+        bool all_bound = true;
+        for (TermId v : vars) {
+          if (bound.count(v) == 0) {
+            all_bound = false;
+            break;
+          }
+        }
+        if (all_bound) ++bound_args;
+      }
+      if (best == SIZE_MAX || bound_args > best_bound ||
+          (bound_args == best_bound && info[i].est_size < best_size)) {
+        best = i;
+        best_bound = bound_args;
+        best_size = info[i].est_size;
+      }
+    }
+    place(best);
+  }
+  return ordered;
+}
+
 }  // namespace
 
 bool ForEachPositiveMatch(TermStore& store, const Rule& rule,
                           const FactBase& facts,
                           const std::function<bool(const Substitution&)>& fn) {
-  std::vector<TermId> atoms = PositiveAtoms(rule);
+  std::vector<TermId> atoms =
+      PlanJoin(store, PositiveAtoms(rule), facts, SIZE_MAX);
   Substitution subst;
   return MatchBody(store, atoms, 0, SIZE_MAX, nullptr, facts, &subst, fn);
 }
@@ -60,8 +148,10 @@ BottomUpResult LeastModelOfPositiveProjection(TermStore& store,
   BottomUpResult result;
   std::unordered_set<size_t> unsafe;
 
-  // Round 0: facts (rules with no positive body literals).
-  std::vector<TermId> delta;
+  // Round 0: facts (rules with no positive body literals). The delta is
+  // itself a FactBase so the semi-naive delta position probes by
+  // argument, exactly like the accumulated facts.
+  FactBase delta;
   for (size_t r = 0; r < program.rules.size(); ++r) {
     const Rule& rule = program.rules[r];
     if (!PositiveAtoms(rule).empty()) continue;
@@ -71,7 +161,7 @@ BottomUpResult LeastModelOfPositiveProjection(TermStore& store,
     }
     if (result.facts.Insert(store, rule.head)) {
       obs::Count(obs::Counter::kBottomUpFacts);
-      delta.push_back(rule.head);
+      delta.Insert(store, rule.head);
     }
   }
 
@@ -83,15 +173,18 @@ BottomUpResult LeastModelOfPositiveProjection(TermStore& store,
       result.truncated = true;
       break;
     }
-    std::vector<TermId> next_delta;
+    FactBase next_delta;
     bool budget_hit = false;
     for (size_t r = 0; r < program.rules.size() && !budget_hit; ++r) {
       const Rule& rule = program.rules[r];
       std::vector<TermId> atoms = PositiveAtoms(rule);
       if (atoms.empty()) continue;
       for (size_t dpos = 0; dpos < atoms.size() && !budget_hit; ++dpos) {
+        // The plan pins the delta literal first.
+        std::vector<TermId> planned = PlanJoin(store, atoms, result.facts,
+                                               dpos);
         Substitution subst;
-        MatchBody(store, atoms, 0, dpos, &delta, result.facts, &subst,
+        MatchBody(store, planned, 0, 0, &delta, result.facts, &subst,
                   [&](const Substitution& theta) {
                     TermId head = theta.Apply(store, rule.head);
                     if (!store.IsGround(head)) {
@@ -100,7 +193,7 @@ BottomUpResult LeastModelOfPositiveProjection(TermStore& store,
                     }
                     if (result.facts.Insert(store, head)) {
                       obs::Count(obs::Counter::kBottomUpFacts);
-                      next_delta.push_back(head);
+                      next_delta.Insert(store, head);
                       if (result.facts.size() >= options.max_facts) {
                         budget_hit = true;
                         return false;

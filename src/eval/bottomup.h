@@ -38,7 +38,9 @@ struct BottomUpResult {
 /// which is what the relevance grounder needs.
 ///
 /// Evaluation is semi-naive: each round only considers rule firings that
-/// use at least one fact derived in the previous round.
+/// use at least one fact derived in the previous round. The delta is
+/// itself argument-indexed, and positive bodies are joined in an order
+/// chosen per rule by a greedy selectivity heuristic (docs/performance.md).
 BottomUpResult LeastModelOfPositiveProjection(TermStore& store,
                                               const Program& program,
                                               const BottomUpOptions& options);
@@ -46,7 +48,9 @@ BottomUpResult LeastModelOfPositiveProjection(TermStore& store,
 /// Enumerates every substitution theta (over the rule's variables) such
 /// that each *positive* body literal, instantiated by theta, matches a
 /// fact in `facts`. Negative, aggregate, and builtin literals are skipped.
-/// Returns false if `fn` ever returns false (early exit).
+/// Returns false if `fn` ever returns false (early exit). Literals are
+/// joined in planner order, not textual order; the set of enumerated
+/// substitutions is unaffected, only the enumeration sequence.
 bool ForEachPositiveMatch(TermStore& store, const Rule& rule,
                           const FactBase& facts,
                           const std::function<bool(const Substitution&)>& fn);

@@ -1,6 +1,76 @@
 #include "src/eval/fact_base.h"
 
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+
 namespace hilog {
+namespace {
+
+// Buckets at or below this size are scanned directly; probing would cost
+// more than the handful of unifications it saves.
+constexpr size_t kSmallBucket = 4;
+
+// When the most selective probe bucket is still larger than this, it is
+// intersected with the second most selective one before being returned.
+constexpr size_t kIntersectThreshold = 16;
+
+// splitmix64 finalizer: a bijection on 64-bit values, so distinct seeds
+// stay distinct.
+uint64_t Mix(uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+namespace {
+
+// Exact fingerprint of a ground term: terms are hash-consed, so TermId
+// equality is term equality and the id alone discriminates perfectly.
+// Odd seed family (symbols and ground applications alike).
+uint64_t ExactFingerprint(TermId t) {
+  uint64_t h = Mix((uint64_t{t} << 1) | 1);
+  return h == 0 ? 1 : h;
+}
+
+// Shape fingerprint of an application with a ground name: (name, arity).
+// Even seed family, so it can never collide with an exact fingerprint.
+uint64_t ShapeFingerprint(TermId name, size_t arity) {
+  uint64_t h = Mix((uint64_t{name} << 20) ^ (uint64_t{arity} << 1));
+  return h == 0 ? 1 : h;
+}
+
+// Argument paths: a top-level position i, or sub-position j inside the
+// compound argument at position i (one nesting level).
+uint32_t TopPath(size_t i) { return static_cast<uint32_t>(i) << 4; }
+uint32_t SubPath(size_t i, size_t j) {
+  return (static_cast<uint32_t>(i) << 4) | static_cast<uint32_t>(j + 1);
+}
+
+}  // namespace
+
+uint64_t ArgFingerprint(const TermStore& store, TermId t) {
+  // A ground pattern argument matches only the identical fact argument:
+  // use the exact fingerprint. This is what keeps discrimination sharp
+  // when many facts share an argument *shape* — e.g. the universal
+  // call/u_i encoding, where every wrapped predicate is u_k(p) and only
+  // the inner symbol tells them apart.
+  if (store.IsGround(t)) return ExactFingerprint(t);
+  // A non-ground application whose name is ground still constrains any
+  // matching fact argument to the same (name, arity) shape.
+  if (store.kind(t) == TermKind::kApply &&
+      store.IsGround(store.apply_name(t))) {
+    return ShapeFingerprint(store.apply_name(t), store.arity(t));
+  }
+  // A variable (or an application under a variable name) matches
+  // anything: no fingerprint.
+  return 0;
+}
 
 const std::vector<TermId> FactBase::kEmpty;
 
@@ -9,7 +79,47 @@ bool FactBase::Insert(const TermStore& store, TermId atom) {
   if (!inserted) return false;
   ordered_.push_back(atom);
   by_name_[store.PredName(atom)].push_back(atom);
+  // Keep the argument index current only once a probe has built it; until
+  // then inserts stay a single bucket push (see EnsureArgIndex).
+  if (arg_index_active_) {
+    IndexArgsOf(store, atom, store.PredName(atom));
+    ++indexed_upto_;
+  }
   return true;
+}
+
+void FactBase::IndexArgsOf(const TermStore& store, TermId atom,
+                           TermId name) const {
+  if (!store.IsApply(atom)) return;
+  auto args = store.apply_args(atom);
+  for (size_t pos = 0; pos < args.size() && pos < kMaxIndexedArgs; ++pos) {
+    // Fact arguments are ground: index under the exact fingerprint, and
+    // for applications also under the (name, arity) shape so partially
+    // instantiated pattern arguments like h(X) can still probe, plus
+    // one level of sub-arguments so patterns whose bindings sit inside
+    // a compound argument (u3(e,X,Y) and friends) discriminate too.
+    TermId arg = args[pos];
+    by_arg_[ArgKey{name, TopPath(pos), ExactFingerprint(arg)}].push_back(
+        atom);
+    if (store.IsApply(arg)) {
+      uint64_t shape =
+          ShapeFingerprint(store.apply_name(arg), store.arity(arg));
+      by_arg_[ArgKey{name, TopPath(pos), shape}].push_back(atom);
+      auto sub = store.apply_args(arg);
+      for (size_t j = 0; j < sub.size() && j < kMaxIndexedSubArgs; ++j) {
+        by_arg_[ArgKey{name, SubPath(pos, j), ExactFingerprint(sub[j])}]
+            .push_back(atom);
+      }
+    }
+  }
+}
+
+void FactBase::EnsureArgIndex(const TermStore& store) const {
+  arg_index_active_ = true;
+  for (; indexed_upto_ < ordered_.size(); ++indexed_upto_) {
+    TermId atom = ordered_[indexed_upto_];
+    IndexArgsOf(store, atom, store.PredName(atom));
+  }
 }
 
 const std::vector<TermId>& FactBase::WithName(TermId name) const {
@@ -17,17 +127,122 @@ const std::vector<TermId>& FactBase::WithName(TermId name) const {
   return it == by_name_.end() ? kEmpty : it->second;
 }
 
-const std::vector<TermId>& FactBase::Candidates(const TermStore& store,
-                                                TermId literal_atom) const {
+size_t FactBase::NameBucketSize(const TermStore& store,
+                                TermId literal_atom) const {
   TermId name = store.PredName(literal_atom);
-  if (store.IsGround(name)) return WithName(name);
-  return ordered_;
+  return store.IsGround(name) ? WithName(name).size() : ordered_.size();
+}
+
+std::vector<TermId> FactBase::Candidates(const TermStore& store,
+                                         TermId literal_atom) const {
+  TermId name = store.PredName(literal_atom);
+  // A variable predicate name can match any fact: full scan, exactly the
+  // semantics HiLog's higher-order joins rely on.
+  if (!store.IsGround(name)) return ordered_;
+  auto bucket_it = by_name_.find(name);
+  if (bucket_it == by_name_.end()) return {};
+  const std::vector<TermId>& bucket = bucket_it->second;
+  if (store.IsGround(literal_atom)) {
+    // A ground pattern matches exactly itself: one membership check.
+    obs::Count(obs::Counter::kIndexProbes);
+    if (facts_.count(literal_atom) > 0) {
+      obs::Count(obs::Counter::kCandidatesPruned, bucket.size() - 1);
+      return {literal_atom};
+    }
+    obs::Count(obs::Counter::kCandidatesPruned, bucket.size());
+    return {};
+  }
+  if (bucket.size() <= kSmallBucket || !store.IsApply(literal_atom)) {
+    return bucket;
+  }
+  auto args = store.apply_args(literal_atom);
+  // Only touch (and thereby lazily build) the argument index when at
+  // least one pattern argument can actually probe it; an all-variable
+  // pattern like m(X,Y) discriminates nothing.
+  bool can_probe = false;
+  for (size_t pos = 0; pos < args.size() && pos < kMaxIndexedArgs; ++pos) {
+    TermId arg = args[pos];
+    if (store.IsGround(arg) || (store.kind(arg) == TermKind::kApply &&
+                                store.IsGround(store.apply_name(arg)))) {
+      can_probe = true;
+      break;
+    }
+  }
+  if (!can_probe) return bucket;
+  EnsureArgIndex(store);
+  // Probe every indexable argument path whose fingerprint is defined. A
+  // probe miss is a proof of emptiness: no fact agrees with that bound
+  // (sub-)argument, so nothing can match.
+  std::vector<const std::vector<TermId>*> hits;
+  bool missed = false;
+  auto probe = [&](uint32_t path, uint64_t fp) {
+    obs::Count(obs::Counter::kIndexProbes);
+    auto it = by_arg_.find(ArgKey{name, path, fp});
+    if (it == by_arg_.end()) {
+      missed = true;
+      return;
+    }
+    hits.push_back(&it->second);
+  };
+  for (size_t pos = 0; pos < args.size() && pos < kMaxIndexedArgs && !missed;
+       ++pos) {
+    TermId arg = args[pos];
+    if (store.IsGround(arg)) {
+      probe(TopPath(pos), ExactFingerprint(arg));
+      continue;
+    }
+    if (store.kind(arg) != TermKind::kApply ||
+        !store.IsGround(store.apply_name(arg))) {
+      continue;  // A variable (or variable-named application): no probe.
+    }
+    probe(TopPath(pos),
+          ShapeFingerprint(store.apply_name(arg), store.arity(arg)));
+    // The compound argument is partially bound: its ground sub-arguments
+    // still discriminate (facts index one sub-level under exact keys).
+    auto sub = store.apply_args(arg);
+    for (size_t j = 0; j < sub.size() && j < kMaxIndexedSubArgs && !missed;
+         ++j) {
+      if (store.IsGround(sub[j])) probe(SubPath(pos, j),
+                                        ExactFingerprint(sub[j]));
+    }
+  }
+  if (missed) {
+    obs::Count(obs::Counter::kCandidatesPruned, bucket.size());
+    return {};
+  }
+  if (hits.empty()) return bucket;
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const std::vector<TermId>* a,
+                      const std::vector<TermId>* b) {
+                     return a->size() < b->size();
+                   });
+  std::vector<TermId> out;
+  if (hits.size() >= 2 && hits[0]->size() > kIntersectThreshold &&
+      hits[1]->size() * 2 <= bucket.size()) {
+    // Intersect only when the second bucket excludes at least half the
+    // name bucket; hashing a near-full bucket costs more than letting
+    // the downstream match reject the few extra candidates.
+    // Intersect the two most selective positions, preserving the most
+    // selective bucket's (insertion) order.
+    std::unordered_set<TermId> filter(hits[1]->begin(), hits[1]->end());
+    out.reserve(hits[0]->size());
+    for (TermId fact : *hits[0]) {
+      if (filter.count(fact) > 0) out.push_back(fact);
+    }
+  } else {
+    out = *hits[0];
+  }
+  obs::Count(obs::Counter::kCandidatesPruned, bucket.size() - out.size());
+  return out;
 }
 
 void FactBase::Clear() {
   facts_.clear();
   ordered_.clear();
   by_name_.clear();
+  by_arg_.clear();
+  arg_index_active_ = false;
+  indexed_upto_ = 0;
 }
 
 }  // namespace hilog

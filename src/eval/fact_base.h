@@ -1,6 +1,7 @@
 #ifndef HILOG_EVAL_FACT_BASE_H_
 #define HILOG_EVAL_FACT_BASE_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -9,15 +10,47 @@
 
 namespace hilog {
 
-/// A set of ground atoms with an index keyed on the atom's predicate name
-/// (and, as a fallback, the outermost functor), supporting the
-/// unification-joins of bottom-up evaluation.
+/// 64-bit discrimination fingerprint of a pattern argument: ground terms
+/// fingerprint exactly (hash-consing makes the term id a perfect key),
+/// non-ground applications with a ground name fingerprint by their
+/// (name, arity) shape. Returns 0 when the term cannot discriminate (a
+/// variable, or an application whose name still contains variables); 0 is
+/// never a valid fingerprint. The invariant the index relies on: if a
+/// pattern argument with a non-zero fingerprint matches (one-way or via
+/// unification against a ground fact) some fact argument, the fact
+/// argument was indexed under that fingerprint (facts index each
+/// application argument under both its exact and its shape key).
+uint64_t ArgFingerprint(const TermStore& store, TermId t);
+
+/// A set of ground atoms with a two-level index supporting the
+/// unification-joins of bottom-up evaluation:
 ///
-/// Because HiLog predicate names may themselves be compound (e.g.
-/// winning(move1)), the primary index key is the full name term; a literal
-/// whose name is still a variable scans the whole base.
+///  1. the atom's full predicate name (HiLog names may be compound, e.g.
+///     winning(move1), so the key is a term id, not a symbol), and
+///  2. a WAM-style argument-discrimination index keyed on
+///     (name, argument path, argument fingerprint) for the first
+///     kMaxIndexedArgs positions — where a path is either a top-level
+///     position or one sub-position inside a compound argument. The
+///     sub-positions matter for encodings that bury the joining terms one
+///     level down, e.g. the universal call/u_i encoding's call(u3(e,X,Y)),
+///     where only the sub-arguments of u3(...) discriminate anything.
+///
+/// `Candidates` probes the most selective ground argument positions of a
+/// query pattern and degrades gracefully: a fully ground pattern is an
+/// O(1) membership check, a pattern with no indexable arguments falls
+/// back to the per-name bucket, and a literal whose name is still a
+/// variable scans the whole base (preserving HiLog's variable-predicate
+/// semantics).
 class FactBase {
  public:
+  /// Argument positions covered by the discrimination index; facts with
+  /// higher arity are still indexed on their first kMaxIndexedArgs args.
+  static constexpr size_t kMaxIndexedArgs = 4;
+
+  /// Sub-positions indexed inside each compound argument (one nesting
+  /// level deep).
+  static constexpr size_t kMaxIndexedSubArgs = 4;
+
   FactBase() = default;
 
   /// Inserts a ground atom. Returns true if it was new.
@@ -34,17 +67,53 @@ class FactBase {
   /// vector reference if none.
   const std::vector<TermId>& WithName(TermId name) const;
 
-  /// Candidate facts for joining against `literal_atom`: if the literal's
-  /// name is ground, facts with exactly that name; otherwise all facts.
-  const std::vector<TermId>& Candidates(const TermStore& store,
-                                        TermId literal_atom) const;
+  /// Candidate facts for joining against `literal_atom`: a superset of
+  /// the facts the pattern matches, pruned by the most selective indexed
+  /// argument positions. Returned by value: the result is a snapshot, so
+  /// callers may insert facts while iterating it.
+  std::vector<TermId> Candidates(const TermStore& store,
+                                 TermId literal_atom) const;
+
+  /// Size of the candidate list the pre-index evaluator would have
+  /// scanned for this pattern: the name bucket for a ground name, the
+  /// whole base otherwise. Used to account unifications avoided.
+  size_t NameBucketSize(const TermStore& store, TermId literal_atom) const;
 
   void Clear();
 
  private:
+  struct ArgKey {
+    TermId name;
+    uint32_t path;  // TopPath(i) or SubPath(i, j); see fact_base.cc.
+    uint64_t fingerprint;
+    bool operator==(const ArgKey& o) const {
+      return name == o.name && path == o.path && fingerprint == o.fingerprint;
+    }
+  };
+  struct ArgKeyHash {
+    size_t operator()(const ArgKey& k) const {
+      uint64_t h = k.fingerprint ^ (uint64_t{k.name} << 32 | k.path);
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      return static_cast<size_t>(h);
+    }
+  };
+
+  // Catches the argument index up to `ordered_`. The index is built
+  // lazily on the first Candidates probe that wants it: many stores (the
+  // grounder's scratch bases, per-stratum intermediates) are filled once
+  // and scanned a handful of times, and for those the per-insert index
+  // maintenance would cost more than every scan it could save.
+  void EnsureArgIndex(const TermStore& store) const;
+  void IndexArgsOf(const TermStore& store, TermId atom, TermId name) const;
+
   std::unordered_set<TermId> facts_;
   std::vector<TermId> ordered_;
   std::unordered_map<TermId, std::vector<TermId>> by_name_;
+  mutable std::unordered_map<ArgKey, std::vector<TermId>, ArgKeyHash> by_arg_;
+  mutable bool arg_index_active_ = false;
+  mutable size_t indexed_upto_ = 0;  // ordered_ prefix already in by_arg_.
   static const std::vector<TermId> kEmpty;
 };
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/eval/fact_base.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/term/unify.h"
@@ -12,40 +13,52 @@ namespace hilog {
 namespace {
 
 // Fact store that admits non-ground facts, deduplicating up to variable
-// renaming. Ground facts take a fast exact-id path.
+// renaming. Ground facts live in a shared argument-indexed FactBase (the
+// same discrimination index the bottom-up evaluators join through);
+// non-ground facts — rare, produced only by unsafe rewritten rules — stay
+// in small per-name side buckets.
 class VariantFactStore {
  public:
   explicit VariantFactStore(TermStore& store) : store_(store) {}
 
   bool Insert(TermId fact) {
     if (store_.IsGround(fact)) {
-      if (!ground_.insert(fact).second) return false;
-      Bucket(fact).push_back(fact);
+      if (!ground_.Insert(store_, fact)) return false;
       ordered_.push_back(fact);
       return true;
     }
-    std::vector<TermId>& bucket = Bucket(fact);
+    // Variant dedup scans only the non-ground bucket for this name:
+    // ground duplicates are an O(1) membership check in the index above,
+    // so the scan no longer walks every ground fact of the predicate.
+    TermId name = store_.PredName(fact);
+    if (!store_.IsGround(name)) name = kNoTerm;
+    std::vector<TermId>& bucket = nonground_by_name_[name];
     for (TermId existing : bucket) {
-      if (!store_.IsGround(existing) && IsVariant(store_, existing, fact)) {
-        return false;
-      }
+      if (IsVariant(store_, existing, fact)) return false;
     }
     bucket.push_back(fact);
     ordered_.push_back(fact);
-    TermId name = store_.PredName(fact);
-    if (store_.IsGround(name)) nonground_by_name_[name].push_back(fact);
     return true;
   }
 
-  bool ContainsGround(TermId fact) const { return ground_.count(fact) > 0; }
+  bool ContainsGround(TermId fact) const { return ground_.Contains(fact); }
 
-  const std::vector<TermId>& Candidates(TermId pattern) const {
+  // Candidate facts for joining against `pattern`: index-pruned ground
+  // facts plus the non-ground facts sharing the pattern's ground name.
+  // By value — a snapshot, safe under concurrent Derive() insertions.
+  std::vector<TermId> Candidates(TermId pattern) const {
     TermId name = store_.PredName(pattern);
-    if (store_.IsGround(name)) {
-      auto it = by_name_.find(name);
-      return it == by_name_.end() ? kEmpty : it->second;
+    if (!store_.IsGround(name)) return ordered_;
+    const size_t baseline =
+        ground_.NameBucketSize(store_, pattern) +
+        NonGroundWithName(name).size();
+    std::vector<TermId> out = ground_.Candidates(store_, pattern);
+    const std::vector<TermId>& nonground = NonGroundWithName(name);
+    out.insert(out.end(), nonground.begin(), nonground.end());
+    if (baseline > out.size()) {
+      obs::Count(obs::Counter::kUnificationsAvoided, baseline - out.size());
     }
-    return ordered_;
+    return out;
   }
 
   /// Non-ground facts sharing the pattern's ground name (the only facts a
@@ -58,29 +71,24 @@ class VariantFactStore {
   /// Non-ground facts whose predicate name is itself non-ground (e.g. a
   /// bare-variable head); these can subsume atoms of any name.
   const std::vector<TermId>& NonGroundUnnamed() const {
-    auto it = by_name_.find(kNoTerm);
-    return it == by_name_.end() ? kEmpty : it->second;
+    auto it = nonground_by_name_.find(kNoTerm);
+    return it == nonground_by_name_.end() ? kEmpty : it->second;
   }
 
-  const std::vector<TermId>& WithName(TermId name) const {
-    auto it = by_name_.find(name);
-    return it == by_name_.end() ? kEmpty : it->second;
+  std::vector<TermId> WithName(TermId name) const {
+    std::vector<TermId> out = ground_.WithName(name);
+    const std::vector<TermId>& nonground = NonGroundWithName(name);
+    out.insert(out.end(), nonground.begin(), nonground.end());
+    return out;
   }
 
   const std::vector<TermId>& all() const { return ordered_; }
   size_t size() const { return ordered_.size(); }
 
  private:
-  std::vector<TermId>& Bucket(TermId fact) {
-    TermId name = store_.PredName(fact);
-    if (!store_.IsGround(name)) name = kNoTerm;
-    return by_name_[name];
-  }
-
   TermStore& store_;
-  std::unordered_set<TermId> ground_;
+  FactBase ground_;
   std::vector<TermId> ordered_;
-  std::unordered_map<TermId, std::vector<TermId>> by_name_;
   std::unordered_map<TermId, std::vector<TermId>> nonground_by_name_;
   static const std::vector<TermId> kEmpty;
 };
@@ -199,8 +207,7 @@ class Evaluator {
       }
       return;
     }
-    // Copy: Candidates() may reference a bucket that grows via Derive; we
-    // only need the snapshot (new facts re-trigger via the worklist).
+    // Snapshot: new facts derived below re-trigger via the worklist.
     std::vector<TermId> candidates = facts_.Candidates(pattern);
     for (TermId fact : candidates) {
       TermId target = fact;

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/eval/fact_base.h"
 #include "src/lang/printer.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -22,10 +23,15 @@ TermId CanonicalizeGoal(TermStore& store, TermId goal) {
 
 namespace {
 
-// One memo table per canonical subgoal.
+// One memo table per canonical subgoal. Ground answers live in an
+// argument-indexed FactBase so recursive subgoals probe by bound
+// argument instead of scanning the whole answer list; the (rare)
+// non-ground answers stay in a side list that is always consulted.
 struct Table {
-  std::vector<TermId> answers;           // Instances of the subgoal.
-  std::unordered_set<TermId> answer_set; // Exact-id dedup (plus variants).
+  std::vector<TermId> answers;           // Instances, in derivation order.
+  std::unordered_set<TermId> answer_set; // Variant dedup for non-ground.
+  FactBase ground;                       // Indexed ground answers.
+  std::vector<TermId> nonground;         // Canonicalized non-ground ones.
 };
 
 class TabledEngine {
@@ -104,12 +110,13 @@ class TabledEngine {
   bool AddAnswer(TermId canon, TermId answer) {
     Table& table = tables_[canon];
     if (store_.IsGround(answer)) {
-      if (!table.answer_set.insert(answer).second) return false;
+      if (!table.ground.Insert(store_, answer)) return false;
     } else {
       // Deduplicate non-ground answers up to variance.
       TermId canon_answer = CanonicalizeGoal(store_, answer);
       if (!table.answer_set.insert(canon_answer).second) return false;
       answer = canon_answer;
+      table.nonground.push_back(answer);
     }
     table.answers.push_back(answer);
     ++total_answers_;
@@ -148,8 +155,19 @@ class TabledEngine {
     }
     TermId subgoal = subst.Apply(store_, body[index].atom);
     TermId sub_canon = Ensure(subgoal);
-    // Copy: recursive AddAnswer may grow the vector under us.
-    std::vector<TermId> answers = tables_[sub_canon].answers;
+    // Index-pruned ground answers plus every non-ground one; a snapshot,
+    // since recursive AddAnswer grows the table under us. Unification
+    // against a ground answer succeeds only where one-way matching does,
+    // so the discrimination index prunes soundly here too.
+    const Table& sub_table = tables_[sub_canon];
+    const size_t baseline = sub_table.answers.size();
+    std::vector<TermId> answers = sub_table.ground.Candidates(store_, subgoal);
+    answers.insert(answers.end(), sub_table.nonground.begin(),
+                   sub_table.nonground.end());
+    if (baseline > answers.size()) {
+      obs::Count(obs::Counter::kUnificationsAvoided,
+                 baseline - answers.size());
+    }
     bool changed = false;
     for (TermId answer : answers) {
       TermId target = store_.IsGround(answer)

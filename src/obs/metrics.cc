@@ -24,6 +24,9 @@ const char* CounterName(Counter c) {
     case Counter::kUniverseTerms: return "ground.universe_terms";
     case Counter::kBottomUpRounds: return "bottomup.rounds";
     case Counter::kBottomUpFacts: return "bottomup.facts";
+    case Counter::kIndexProbes: return "index.probes";
+    case Counter::kCandidatesPruned: return "index.candidates_pruned";
+    case Counter::kUnificationsAvoided: return "index.unifications_avoided";
     case Counter::kWfsRounds: return "wfs.rounds";
     case Counter::kGammaApplications: return "wfs.gamma_applications";
     case Counter::kWfsTrueAtoms: return "wfs.true_atoms";

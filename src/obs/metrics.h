@@ -36,6 +36,10 @@ enum class Counter : uint16_t {
   // Bottom-up substrate (positive-projection least model / envelope).
   kBottomUpRounds,
   kBottomUpFacts,
+  // Argument-discrimination index (FactBase and the stores built on it).
+  kIndexProbes,          // Candidates() calls answered from the arg index.
+  kCandidatesPruned,     // Candidates skipped relative to the name bucket.
+  kUnificationsAvoided,  // Match/unify attempts the joins never made.
   // Well-founded fixpoints.
   kWfsRounds,          // Alternating Gamma^2 pairs, or W_P iterations.
   kGammaApplications,  // GL-reduct least-model computations.

@@ -25,10 +25,10 @@ TermId Substitution::Apply(TermStore& store, TermId t) const {
 Substitution Substitution::Compose(TermStore& store,
                                    const Substitution& other) const {
   Substitution out;
-  for (const auto& [var, term] : map_) {
+  for (const auto& [var, term] : bindings_) {
     out.Bind(var, other.Apply(store, term));
   }
-  for (const auto& [var, term] : other.map_) {
+  for (const auto& [var, term] : other.bindings_) {
     if (!out.Contains(var)) out.Bind(var, term);
   }
   return out;

@@ -2,6 +2,7 @@
 #define HILOG_TERM_SUBST_H_
 
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/term/term_store.h"
@@ -13,24 +14,73 @@ namespace hilog {
 /// `Apply` performs *simultaneous* substitution: bindings are not chased
 /// through each other, so a substitution produced by the unifier must be
 /// fully resolved first (the unifier does this before returning).
+///
+/// Bindings are stored as a flat insertion-ordered vector: rule-sized
+/// substitutions hold a handful of entries, where a linear scan beats
+/// hashing and copies are a memcpy. The vector layout also supports the
+/// mark/undo trail that lets the join loops backtrack without rebuilding
+/// the binding set per candidate (see Mark/UndoTo). Once a substitution
+/// outgrows kIndexThreshold entries (wide unifications, the universal
+/// encoding's renamed rules), a var -> slot hash index takes over lookup
+/// so Bind/Lookup stay O(1) instead of degrading quadratically.
 class Substitution {
  public:
   Substitution() = default;
 
   /// Binds `var` (must be a variable) to `term`, replacing any previous
   /// binding.
-  void Bind(TermId var, TermId term) { map_[var] = term; }
+  void Bind(TermId var, TermId term) {
+    if (!index_.empty() || bindings_.size() >= kIndexThreshold) {
+      EnsureIndex();
+      auto [it, inserted] = index_.try_emplace(var, bindings_.size());
+      if (!inserted) {
+        bindings_[it->second].second = term;
+        return;
+      }
+      bindings_.emplace_back(var, term);
+      return;
+    }
+    for (auto& [v, t] : bindings_) {
+      if (v == var) {
+        t = term;
+        return;
+      }
+    }
+    bindings_.emplace_back(var, term);
+  }
 
   /// Returns the binding of `var`, or kNoTerm if unbound.
   TermId Lookup(TermId var) const {
-    auto it = map_.find(var);
-    return it == map_.end() ? kNoTerm : it->second;
+    if (!index_.empty()) {
+      auto it = index_.find(var);
+      return it == index_.end() ? kNoTerm : bindings_[it->second].second;
+    }
+    for (const auto& [v, t] : bindings_) {
+      if (v == var) return t;
+    }
+    return kNoTerm;
   }
 
-  bool Contains(TermId var) const { return map_.count(var) > 0; }
-  bool empty() const { return map_.empty(); }
-  size_t size() const { return map_.size(); }
-  void Clear() { map_.clear(); }
+  bool Contains(TermId var) const { return Lookup(var) != kNoTerm; }
+  bool empty() const { return bindings_.empty(); }
+  size_t size() const { return bindings_.size(); }
+  void Clear() {
+    bindings_.clear();
+    index_.clear();
+  }
+
+  /// Undo trail: `Mark()` snapshots the current binding count; `UndoTo`
+  /// discards every binding added since that mark. Valid only while no
+  /// pre-mark binding has been *replaced* in between — the matching code
+  /// paths only ever bind fresh variables, which is what makes the trail
+  /// a correct (and copy-free) backtrack.
+  size_t Mark() const { return bindings_.size(); }
+  void UndoTo(size_t mark) {
+    for (size_t i = mark; i < bindings_.size() && !index_.empty(); ++i) {
+      index_.erase(bindings_[i].first);
+    }
+    bindings_.resize(mark);
+  }
 
   /// Applies the substitution to `t`, interning the result in `store`.
   TermId Apply(TermStore& store, TermId t) const;
@@ -38,10 +88,25 @@ class Substitution {
   /// Composition: returns a substitution s with s(t) == other(this(t)).
   Substitution Compose(TermStore& store, const Substitution& other) const;
 
-  const std::unordered_map<TermId, TermId>& bindings() const { return map_; }
+  const std::vector<std::pair<TermId, TermId>>& bindings() const {
+    return bindings_;
+  }
 
  private:
-  std::unordered_map<TermId, TermId> map_;
+  // Below this size the linear scan wins (and copies stay a memcpy); at
+  // it, the hash index is built once and maintained incrementally.
+  static constexpr size_t kIndexThreshold = 16;
+
+  void EnsureIndex() {
+    if (!index_.empty() || bindings_.empty()) return;
+    index_.reserve(bindings_.size() * 2);
+    for (size_t i = 0; i < bindings_.size(); ++i) {
+      index_.emplace(bindings_[i].first, i);
+    }
+  }
+
+  std::vector<std::pair<TermId, TermId>> bindings_;
+  std::unordered_map<TermId, size_t> index_;  // var -> slot in bindings_
 };
 
 /// Returns a copy of `t` with every variable renamed to a fresh variable.

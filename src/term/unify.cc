@@ -182,10 +182,15 @@ bool VariantWalked(TermStore& store, TermId a, TermId b,
 bool MatchInto(TermStore& store, TermId pattern, TermId target,
                Substitution* subst) {
   obs::Count(obs::Counter::kMatchCalls);
-  Substitution trial = *subst;
-  TermId walked = trial.Apply(store, pattern);
-  if (!MatchWalked(store, walked, target, &trial)) return false;
-  *subst = std::move(trial);
+  // Matching only ever binds fresh pattern variables (MatchWalked checks
+  // Lookup before Bind), so the undo trail restores `subst` exactly on
+  // failure without copying the binding set per call.
+  const size_t mark = subst->Mark();
+  TermId walked = subst->Apply(store, pattern);
+  if (!MatchWalked(store, walked, target, subst)) {
+    subst->UndoTo(mark);
+    return false;
+  }
   return true;
 }
 

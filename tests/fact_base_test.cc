@@ -4,8 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
+#include "random_programs.h"
 #include "src/eval/bottomup.h"
 #include "src/lang/parser.h"
+#include "src/term/unify.h"
 
 namespace hilog {
 namespace {
@@ -131,6 +136,86 @@ TEST_F(FactBaseTest, UnsafeRulesAreReported) {
       LeastModelOfPositiveProjection(store_, *parsed, BottomUpOptions());
   ASSERT_EQ(result.unsafe_rules.size(), 1u);
   EXPECT_EQ(result.unsafe_rules[0], 0u);
+}
+
+TEST_F(FactBaseTest, GroundPatternIsMembershipCheck) {
+  FactBase facts;
+  for (int i = 0; i < 20; ++i) {
+    facts.Insert(store_, T("e(n" + std::to_string(i) + ",n" +
+                           std::to_string(i + 1) + ")"));
+  }
+  // Present: exactly the one fact. Absent: empty, not the name bucket.
+  EXPECT_EQ(facts.Candidates(store_, T("e(n3,n4)")),
+            (std::vector<TermId>{T("e(n3,n4)")}));
+  EXPECT_TRUE(facts.Candidates(store_, T("e(n4,n3)")).empty());
+}
+
+TEST_F(FactBaseTest, ArgumentIndexPrunesBoundPositions) {
+  FactBase facts;
+  for (int i = 0; i < 100; ++i) {
+    facts.Insert(store_, T("e(n" + std::to_string(i) + ",n" +
+                           std::to_string(i + 1) + ")"));
+  }
+  // First argument bound: a chain node has exactly one successor.
+  EXPECT_EQ(facts.Candidates(store_, T("e(n42,Y)")).size(), 1u);
+  // Second argument bound: one predecessor.
+  EXPECT_EQ(facts.Candidates(store_, T("e(X,n42)")).size(), 1u);
+  // Nothing bound: the whole name bucket.
+  EXPECT_EQ(facts.Candidates(store_, T("e(X,Y)")).size(), 100u);
+  // A bound argument no fact carries: provably empty.
+  EXPECT_TRUE(facts.Candidates(store_, T("e(zzz,Y)")).empty());
+}
+
+// The indexed Candidates must yield exactly the match set of a full scan,
+// across compound HiLog names, nested arguments, and variable-name
+// literals. This is the contract every evaluator's join relies on.
+TEST_F(FactBaseTest, IndexedCandidatesAgreeWithFullScanOnRandomFacts) {
+  for (unsigned seed = 0; seed < 25; ++seed) {
+    FactBase facts;
+    for (const std::string& text : testing::RandomHiLogFacts(seed, 120)) {
+      facts.Insert(store_, T(text));
+    }
+    for (const std::string& text :
+         testing::RandomHiLogPatterns(seed * 31 + 7, 40)) {
+      TermId pattern = T(text);
+      auto matches = [&](const std::vector<TermId>& candidates) {
+        std::set<TermId> out;
+        for (TermId fact : candidates) {
+          Substitution subst;
+          if (MatchInto(store_, pattern, fact, &subst)) out.insert(fact);
+        }
+        return out;
+      };
+      std::set<TermId> via_index = matches(facts.Candidates(store_, pattern));
+      std::set<TermId> via_scan = matches(facts.facts());
+      EXPECT_EQ(via_index, via_scan)
+          << "pattern " << text << " seed " << seed;
+    }
+  }
+}
+
+// The join planner reorders body literals; the enumerated substitution
+// multiset must not change. A deliberately badly ordered rule (the huge
+// relation first, the selective guard last) exercises the reorder.
+TEST_F(FactBaseTest, JoinPlannerPreservesMatchMultiset) {
+  FactBase facts;
+  for (int i = 0; i < 50; ++i) {
+    std::string s = std::to_string(i);
+    facts.Insert(store_, T("big(c" + s + ",d" + s + ")"));
+  }
+  facts.Insert(store_, T("sel(c7)"));
+  facts.Insert(store_, T("sel(c9)"));
+  auto parsed =
+      ParseProgram(store_, "out(X,Y) :- big(X,Y), sel(X).");
+  ASSERT_TRUE(parsed.ok());
+  std::multiset<std::string> heads;
+  ForEachPositiveMatch(store_, parsed->rules[0], facts,
+                       [&](const Substitution& theta) {
+                         heads.insert(store_.ToString(
+                             theta.Apply(store_, parsed->rules[0].head)));
+                         return true;
+                       });
+  EXPECT_EQ(heads, (std::multiset<std::string>{"out(c7,d7)", "out(c9,d9)"}));
 }
 
 }  // namespace

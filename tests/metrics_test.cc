@@ -135,6 +135,12 @@ TEST(EngineMetricsTest, WinChainExactWfsCounters) {
   // on the first (most productive) application.
   EXPECT_EQ(m.value(obs::Counter::kBottomUpRounds), 2u);
   EXPECT_EQ(m.value(obs::Counter::kBottomUpFacts), 16u);
+  // The argument-discrimination index must be on the hot path: ground
+  // body literals resolve by membership probe, skipping the per-name
+  // bucket scans the seed evaluator performed.
+  EXPECT_GT(m.value(obs::Counter::kIndexProbes), 0u);
+  EXPECT_GT(m.value(obs::Counter::kCandidatesPruned), 0u);
+  EXPECT_GT(m.value(obs::Counter::kUnificationsAvoided), 0u);
 }
 
 TEST(EngineMetricsTest, WinChainExactMagicQueryCounters) {

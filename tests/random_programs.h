@@ -4,6 +4,7 @@
 
 #include <random>
 #include <string>
+#include <vector>
 
 namespace hilog::testing {
 
@@ -60,6 +61,69 @@ inline std::string RandomGameProgram(unsigned seed, bool cyclic = false,
     }
   }
   return text;
+}
+
+// A random pool of ground HiLog facts over plain and compound predicate
+// names (p, winning(move1), f(g)) with symbol and nested-application
+// arguments — the workload for index-vs-full-scan equivalence checks.
+inline std::vector<std::string> RandomHiLogFacts(unsigned seed, int count) {
+  std::mt19937 rng(seed);
+  const char* names[] = {"p", "q", "winning(move1)", "winning(move2)",
+                         "f(g)"};
+  const char* consts[] = {"a", "b", "c", "d"};
+  std::vector<std::string> facts;
+  facts.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    std::string atom = names[rng() % 5];
+    int arity = rng() % 3;  // 0-ary through binary.
+    if (arity == 0) {
+      // A bare symbol atom only for non-compound names.
+      if (atom.find('(') != std::string::npos) atom += "()";
+    } else {
+      atom += "(";
+      for (int a = 0; a < arity; ++a) {
+        if (a > 0) atom += ",";
+        if (rng() % 4 == 0) {
+          atom += std::string("h(") + consts[rng() % 4] + ")";
+        } else {
+          atom += consts[rng() % 4];
+        }
+      }
+      atom += ")";
+    }
+    facts.push_back(atom);
+  }
+  return facts;
+}
+
+// Random query patterns over the RandomHiLogFacts vocabulary: constants,
+// compound arguments, variables in any position, and variable predicate
+// names (the HiLog case that must fall back to a full scan).
+inline std::vector<std::string> RandomHiLogPatterns(unsigned seed,
+                                                    int count) {
+  std::mt19937 rng(seed);
+  const char* names[] = {"p", "q", "winning(move1)", "winning(move2)",
+                         "f(g)", "G"};
+  const char* args[] = {"a", "b", "c", "d", "X", "Y", "h(a)", "h(X)",
+                        "h(d)"};
+  std::vector<std::string> patterns;
+  patterns.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    std::string pattern = names[rng() % 6];
+    int arity = rng() % 3;
+    if (arity == 0) {
+      if (pattern.find('(') != std::string::npos) pattern += "()";
+    } else {
+      pattern += "(";
+      for (int a = 0; a < arity; ++a) {
+        if (a > 0) pattern += ",";
+        pattern += args[rng() % 9];
+      }
+      pattern += ")";
+    }
+    patterns.push_back(pattern);
+  }
+  return patterns;
 }
 
 // A random ground normal program with negation (for WFS engine
