@@ -88,6 +88,19 @@ void MetricsRegistry::Reset() {
   phases_.fill(PhaseStat{});
 }
 
+void MetricsRegistry::MergeInto(MetricsRegistry* into) const {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    into->counters_[i] += counters_[i];
+  }
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    if (gauges_[i] > into->gauges_[i]) into->gauges_[i] = gauges_[i];
+  }
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    into->phases_[i].calls += phases_[i].calls;
+    into->phases_[i].total_ns += phases_[i].total_ns;
+  }
+}
+
 std::string MetricsRegistry::ToJson() const {
   std::string out = "{\"counters\":{";
   char buf[128];

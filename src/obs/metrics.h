@@ -124,6 +124,13 @@ class MetricsRegistry {
 
   void Reset();
 
+  /// Accumulates this registry into `into`: counters and phase stats add,
+  /// gauges merge by maximum (they are sizes, so the aggregate keeps the
+  /// high-water mark across merged registries). Registries are not
+  /// thread-safe; callers serialize merges — the service layer merges each
+  /// worker's per-query registry into its aggregate under one mutex.
+  void MergeInto(MetricsRegistry* into) const;
+
   /// JSON object {"counters":{...},"gauges":{...},"phases":{...}} per
   /// docs/observability.md. Zero-valued counters/gauges are included so
   /// the schema is stable across runs.

@@ -5,9 +5,20 @@
 
 namespace hilog::obs {
 
-TraceBuffer::TraceBuffer(size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity), epoch_ns_(NowNs()) {
+TraceBuffer::TraceBuffer(size_t capacity, uint32_t tid)
+    : capacity_(capacity == 0 ? 1 : capacity), tid_(tid), epoch_ns_(NowNs()) {
   events_.reserve(capacity_);
+}
+
+void TraceBuffer::MergeInto(TraceBuffer* into) const {
+  for (TraceEvent event : Snapshot()) {
+    // Rebase: absolute time = epoch + ts; re-express in into's frame.
+    const uint64_t absolute_ns = epoch_ns_ + event.ts_ns;
+    event.ts_ns =
+        absolute_ns > into->epoch_ns_ ? absolute_ns - into->epoch_ns_ : 0;
+    into->Push(event);
+  }
+  into->dropped_ += dropped_;
 }
 
 void TraceBuffer::Push(TraceEvent event) {
@@ -71,9 +82,12 @@ std::string TraceBuffer::ToChromeJson() const {
     out += "{\"name\":\"";
     AppendEscaped(&out, event.name);
     // Chrome wants microseconds; keep sub-us precision as a fraction.
+    // Lane 0 (a single-threaded buffer) renders as tid 1, the historical
+    // value; merged service traces get one lane per worker.
     std::snprintf(buf, sizeof(buf),
-                  "\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":1",
-                  event.ph, static_cast<double>(event.ts_ns) / 1e3);
+                  "\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":%u",
+                  event.ph, static_cast<double>(event.ts_ns) / 1e3,
+                  event.tid + 1);
     out += buf;
     if (event.ph == 'i') {
       std::snprintf(buf, sizeof(buf),

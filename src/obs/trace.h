@@ -16,6 +16,10 @@ struct TraceEvent {
   /// Chrome trace_event phase: 'B' begin, 'E' end, 'i' instant,
   /// 'C' counter sample.
   char ph = 'i';
+  /// Logical thread lane (Chrome "tid"). 0 for a buffer confined to one
+  /// thread; service workers label their per-query buffers so merged
+  /// traces keep one lane per worker.
+  uint32_t tid = 0;
   uint64_t ts_ns = 0;  // Steady-clock time relative to buffer creation.
   uint64_t value = 0;  // Payload for 'i'/'C' events (round index, size...).
 };
@@ -26,20 +30,42 @@ struct TraceEvent {
 /// pipeline, it is confined to one thread).
 class TraceBuffer {
  public:
-  explicit TraceBuffer(size_t capacity);
+  /// `tid` labels every event pushed through this buffer (the lane shown
+  /// in merged Chrome traces); a single-threaded buffer keeps 0.
+  explicit TraceBuffer(size_t capacity, uint32_t tid = 0);
 
-  void Begin(const char* name) { Push({name, 'B', Stamp(), 0}); }
-  void End(const char* name) { Push({name, 'E', Stamp(), 0}); }
+  void Begin(const char* name) { Push({name, 'B', tid_, Stamp(), 0}); }
+  void End(const char* name) { Push({name, 'E', tid_, Stamp(), 0}); }
   void Instant(const char* name, uint64_t value = 0) {
-    Push({name, 'i', Stamp(), value});
+    Push({name, 'i', tid_, Stamp(), value});
   }
   void CounterSample(const char* name, uint64_t value) {
-    Push({name, 'C', Stamp(), value});
+    Push({name, 'C', tid_, Stamp(), value});
   }
 
   size_t capacity() const { return capacity_; }
   size_t size() const { return events_.size(); }
   uint64_t dropped() const { return dropped_; }
+
+  /// Empties the ring (epoch and tid are kept). The service merges a
+  /// worker's events into the aggregate after each query and clears, so
+  /// the next merge starts from nothing.
+  void Clear() {
+    events_.clear();
+    next_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Appends this buffer's events into `into`, rebasing timestamps from
+  /// this buffer's epoch into `into`'s so absolute steady-clock times are
+  /// preserved (events older than `into` clamp to 0). `into`'s ring
+  /// semantics apply — overflow overwrites its oldest — and this buffer's
+  /// own dropped count carries over. Neither buffer is thread-safe; the
+  /// caller serializes (the service merges per-query buffers under its
+  /// aggregate mutex, which also makes worker-thread-exit flushes safe).
+  /// Merged events keep their original `tid` lane; interleaved merges may
+  /// be out of timestamp order (Perfetto sorts on load).
+  void MergeInto(TraceBuffer* into) const;
 
   /// Events in chronological order (unwinds the ring).
   std::vector<TraceEvent> Snapshot() const;
@@ -57,6 +83,7 @@ class TraceBuffer {
   void Push(TraceEvent event);
 
   size_t capacity_;
+  uint32_t tid_;
   uint64_t epoch_ns_;
   std::vector<TraceEvent> events_;
   size_t next_ = 0;  // Ring write cursor once events_ is full.

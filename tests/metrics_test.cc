@@ -57,6 +57,44 @@ TEST(MetricsRegistryTest, JsonHasStableSchema) {
   EXPECT_NE(json.find("\"term.interned\":0"), std::string::npos);
 }
 
+// The multi-thread aggregation contract: each worker accumulates into a
+// private registry, then merges into the service aggregate under a lock.
+TEST(MetricsRegistryTest, MergeIntoAddsCountersAndPhasesMaxesGauges) {
+  obs::MetricsRegistry worker;
+  obs::MetricsRegistry aggregate;
+  aggregate.Add(obs::Counter::kUnifyCalls, 10);
+  aggregate.Set(obs::Gauge::kProgramRules, 5);
+  aggregate.AddPhase(obs::Phase::kQuery, 100);
+
+  worker.Add(obs::Counter::kUnifyCalls, 3);
+  worker.Add(obs::Counter::kQueries, 1);
+  worker.Set(obs::Gauge::kProgramRules, 2);   // Below the aggregate: kept.
+  worker.Set(obs::Gauge::kAtomTableSize, 9);  // New high-water mark.
+  worker.AddPhase(obs::Phase::kQuery, 250);
+  worker.MergeInto(&aggregate);
+
+  EXPECT_EQ(aggregate.value(obs::Counter::kUnifyCalls), 13u);
+  EXPECT_EQ(aggregate.value(obs::Counter::kQueries), 1u);
+  EXPECT_EQ(aggregate.gauge(obs::Gauge::kProgramRules), 5u);
+  EXPECT_EQ(aggregate.gauge(obs::Gauge::kAtomTableSize), 9u);
+  EXPECT_EQ(aggregate.phase(obs::Phase::kQuery).calls, 2u);
+  EXPECT_EQ(aggregate.phase(obs::Phase::kQuery).total_ns, 350u);
+  // The source registry is untouched; the per-query flush pairs
+  // MergeInto with an explicit Reset.
+  EXPECT_EQ(worker.value(obs::Counter::kUnifyCalls), 3u);
+}
+
+TEST(MetricsRegistryTest, MergeIntoTwiceDoublesOnlyWithoutReset) {
+  obs::MetricsRegistry worker;
+  obs::MetricsRegistry aggregate;
+  worker.Add(obs::Counter::kQueries, 1);
+  worker.MergeInto(&aggregate);
+  worker.Reset();  // The flush protocol: merge, then restart from zero.
+  worker.Add(obs::Counter::kQueries, 1);
+  worker.MergeInto(&aggregate);
+  EXPECT_EQ(aggregate.value(obs::Counter::kQueries), 2u);
+}
+
 TEST(ObsContextTest, CountIsNoOpWithoutContext) {
   // No context installed: must not crash and must not touch any registry.
   obs::Count(obs::Counter::kUnifyCalls);
@@ -105,6 +143,59 @@ TEST(TraceBufferTest, RingOverwritesOldest) {
   std::string chrome = buffer.ToChromeJson();
   EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(buffer.ToJson().find("\"dropped\":2"), std::string::npos);
+}
+
+TEST(TraceBufferTest, ClearEmptiesRingAndKeepsLane) {
+  obs::TraceBuffer buffer(4, /*tid=*/3);
+  for (uint64_t i = 0; i < 6; ++i) buffer.Instant("ev", i);
+  EXPECT_EQ(buffer.dropped(), 2u);
+  buffer.Clear();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.dropped(), 0u);
+  buffer.Instant("after", 7);
+  auto events = buffer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].value, 7u);
+  EXPECT_EQ(events[0].tid, 3u);  // The lane survives Clear.
+}
+
+TEST(TraceBufferTest, MergeIntoRebasesKeepsLanesAndCarriesDropped) {
+  obs::TraceBuffer aggregate(8, /*tid=*/0);
+  obs::TraceBuffer worker(2, /*tid=*/5);  // Created after: later epoch.
+  aggregate.Instant("agg.before", 1);
+  worker.Instant("w.dropped", 0);  // Overwritten below (capacity 2).
+  worker.Instant("w.a", 2);
+  worker.Instant("w.b", 3);
+  ASSERT_EQ(worker.dropped(), 1u);
+  const uint64_t worker_local_ts = worker.Snapshot()[0].ts_ns;
+
+  worker.MergeInto(&aggregate);
+  auto events = aggregate.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(std::string(events[1].name), "w.a");
+  EXPECT_EQ(events[1].tid, 5u);  // Worker lane preserved in the merge.
+  EXPECT_EQ(events[0].tid, 0u);
+  // Rebasing into the earlier epoch can only push timestamps forward.
+  EXPECT_GE(events[1].ts_ns, worker_local_ts);
+  EXPECT_EQ(aggregate.dropped(), 1u);  // The worker's loss is not hidden.
+
+  // Chrome export separates the lanes (+1 keeps the historical lane 1
+  // for single-threaded buffers).
+  std::string chrome = aggregate.ToChromeJson();
+  EXPECT_NE(chrome.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(chrome.find("\"tid\":6"), std::string::npos);
+}
+
+TEST(TraceBufferTest, MergeIntoRespectsDestinationCapacity) {
+  obs::TraceBuffer aggregate(2);
+  obs::TraceBuffer worker(4);
+  for (uint64_t i = 0; i < 4; ++i) worker.Instant("ev", i);
+  worker.MergeInto(&aggregate);
+  auto events = aggregate.Snapshot();
+  ASSERT_EQ(events.size(), 2u);  // Ring semantics in the destination.
+  EXPECT_EQ(events.front().value, 2u);
+  EXPECT_EQ(events.back().value, 3u);
+  EXPECT_EQ(aggregate.dropped(), 2u);
 }
 
 // Satellite: exact, deterministic counters on the Example 6.1 win/move
