@@ -13,9 +13,15 @@ TermId Substitution::Apply(TermStore& store, TermId t) const {
     case TermKind::kApply: {
       if (store.IsGround(t)) return t;
       TermId name = Apply(store, store.apply_name(t));
+      const size_t n = store.arity(t);
       std::vector<TermId> args;
-      args.reserve(store.arity(t));
-      for (TermId a : store.apply_args(t)) args.push_back(Apply(store, a));
+      args.reserve(n);
+      // Refetch the argument span each round: the recursive Apply may
+      // intern new terms, growing the store's argument pool and
+      // invalidating a span held across the call.
+      for (size_t i = 0; i < n; ++i) {
+        args.push_back(Apply(store, store.apply_args(t)[i]));
+      }
       return store.MakeApply(name, args);
     }
   }

@@ -1,6 +1,7 @@
 #include "src/term/unify.h"
 
 #include <unordered_map>
+#include <vector>
 
 #include "src/obs/metrics.h"
 
@@ -27,10 +28,14 @@ TermId DeepResolve(TermStore& store, TermId t, const Substitution& subst) {
     case TermKind::kApply: {
       if (store.IsGround(t)) return t;
       TermId name = DeepResolve(store, store.apply_name(t), subst);
+      const size_t n = store.arity(t);
       std::vector<TermId> args;
-      args.reserve(store.arity(t));
-      for (TermId a : store.apply_args(t)) {
-        args.push_back(DeepResolve(store, a, subst));
+      args.reserve(n);
+      // Refetch the argument span each round: the recursive DeepResolve
+      // interns new terms, which can grow the argument pool and
+      // invalidate a span held across the call.
+      for (size_t i = 0; i < n; ++i) {
+        args.push_back(DeepResolve(store, store.apply_args(t)[i], subst));
       }
       return store.MakeApply(name, args);
     }

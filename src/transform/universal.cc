@@ -1,6 +1,7 @@
 #include "src/transform/universal.h"
 
 #include <string>
+#include <vector>
 
 namespace hilog {
 
@@ -21,11 +22,17 @@ TermId UniversalTransform::EncodeTerm(TermId t) {
     case TermKind::kVariable:
       return t;
     case TermKind::kApply: {
+      const size_t n = store_.arity(t);
       std::vector<TermId> encoded;
-      encoded.reserve(store_.arity(t) + 1);
+      encoded.reserve(n + 1);
       encoded.push_back(EncodeTerm(store_.apply_name(t)));
-      for (TermId a : store_.apply_args(t)) encoded.push_back(EncodeTerm(a));
-      TermId u = u_symbol(store_.arity(t) + 1);
+      // Refetch the argument span each round: the recursive EncodeTerm
+      // interns new terms, which can grow the argument pool and
+      // invalidate a span held across the call.
+      for (size_t i = 0; i < n; ++i) {
+        encoded.push_back(EncodeTerm(store_.apply_args(t)[i]));
+      }
+      TermId u = u_symbol(n + 1);
       return store_.MakeApply(u, encoded);
     }
   }
@@ -49,13 +56,15 @@ std::optional<TermId> UniversalTransform::DecodeTerm(TermId t) {
       size_t n = store_.arity(t);
       if (!store_.IsSymbol(name) || name != u_symbol(n)) return std::nullopt;
       if (n == 0) return std::nullopt;
-      auto args = store_.apply_args(t);
-      std::optional<TermId> inner_name = DecodeTerm(args[0]);
+      // Refetch the argument span after every recursive DecodeTerm: it
+      // interns new terms, which can grow the argument pool and
+      // invalidate a span held across the call.
+      std::optional<TermId> inner_name = DecodeTerm(store_.apply_args(t)[0]);
       if (!inner_name.has_value()) return std::nullopt;
       std::vector<TermId> inner_args;
       inner_args.reserve(n - 1);
       for (size_t i = 1; i < n; ++i) {
-        std::optional<TermId> a = DecodeTerm(args[i]);
+        std::optional<TermId> a = DecodeTerm(store_.apply_args(t)[i]);
         if (!a.has_value()) return std::nullopt;
         inner_args.push_back(*a);
       }

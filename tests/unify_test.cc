@@ -161,5 +161,39 @@ TEST_F(UnifyTest, SubstitutionCompose) {
   EXPECT_EQ(composed.Apply(store_, T("Y")), T("a"));
 }
 
+// Regression: Apply used to iterate the span returned by apply_args()
+// while its recursive calls interned fresh terms via MakeApply. When the
+// interning grew the store's argument pool the span dangled mid-loop
+// (SEGV under sanitizer allocators). Wide terms whose every argument
+// rewrites to a brand-new compound force many pool appends per Apply.
+TEST_F(UnifyTest, ApplySurvivesArgPoolGrowthMidTerm) {
+  constexpr int kWidth = 64;
+  constexpr int kRounds = 16;
+  TermId f = T("f");
+  for (int r = 0; r < kRounds; ++r) {
+    // wide = p(f(V0), ..., f(V63)): rebuilding each f(Vi) under the
+    // substitution interns a compound that did not exist before this
+    // round, appending to the pool while the outer span is being walked.
+    Substitution subst;
+    std::vector<TermId> args;
+    std::vector<TermId> expected;
+    for (int i = 0; i < kWidth; ++i) {
+      TermId v = store_.MakeFreshVariable();
+      TermId c = T("c" + std::to_string(r) + "_" + std::to_string(i));
+      subst.Bind(v, c);
+      args.push_back(store_.MakeApply(f, {v}));
+      expected.push_back(c);
+    }
+    TermId wide = store_.MakeApply(T("p"), args);
+    TermId applied = subst.Apply(store_, wide);
+    ASSERT_EQ(store_.arity(applied), static_cast<size_t>(kWidth));
+    for (int i = 0; i < kWidth; ++i) {
+      TermId got = store_.apply_args(applied)[i];
+      ASSERT_EQ(store_.apply_name(got), f);
+      EXPECT_EQ(store_.apply_args(got)[0], expected[i]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hilog
