@@ -1,0 +1,121 @@
+// Service-layer benchmarks: query throughput through the thread-pool
+// executor as worker count scales (the ROADMAP's "heavy query traffic"
+// target — on a 4+-core machine BM_ServiceThroughput/4 should clear 3x
+// the single-worker rate), and the cost of publishing a new snapshot
+// (parse + WFS solve off to the side while readers keep the old epoch).
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_main.h"
+
+#include "workloads.h"
+#include "src/service/executor.h"
+#include "src/service/snapshot.h"
+
+namespace hilog {
+namespace {
+
+using service::ExecutorOptions;
+using service::QueryExecutor;
+using service::QueryRequest;
+using service::QueryResponse;
+using service::ServiceStatus;
+using service::SnapshotStore;
+
+constexpr int kChain = 128;
+constexpr int kBatch = 64;
+
+std::vector<std::string> ThroughputQueries() {
+  // Queries spread over the tail half of the win/move chain: each one is
+  // magic-directed to a suffix, so per-query work varies but stays small.
+  std::vector<std::string> queries;
+  queries.reserve(kBatch);
+  for (int i = 0; i < kBatch; ++i) {
+    const int pos = kChain / 2 + (i * 7) % (kChain / 2 - 2);
+    queries.push_back("w(n" + std::to_string(pos) + ")");
+  }
+  return queries;
+}
+
+// Arg = worker threads. One executor built outside the timed region (and
+// warmed so every worker has materialized its session); each iteration
+// submits a batch and waits for all answers.
+void BM_ServiceThroughput(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  auto snapshots = std::make_shared<SnapshotStore>();
+  std::string error = snapshots->Publish(bench::WinMoveProgram(kChain),
+                                         /*append=*/false,
+                                         /*solve_wfs=*/false);
+  if (!error.empty()) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  ExecutorOptions options;
+  options.threads = threads;
+  options.queue_capacity = kBatch * 2;
+  QueryExecutor executor(snapshots, options);
+  const std::vector<std::string> queries = ThroughputQueries();
+
+  // Warm-up: force every worker session to materialize the snapshot.
+  {
+    std::vector<std::future<QueryResponse>> warm;
+    for (size_t i = 0; i < threads * 4; ++i) {
+      warm.push_back(executor.Submit({queries[i % queries.size()], 0, {}}));
+    }
+    for (auto& f : warm) f.get();
+  }
+
+  uint64_t answered = 0;
+  for (auto _ : state) {
+    std::vector<std::future<QueryResponse>> futures;
+    futures.reserve(queries.size());
+    for (const std::string& q : queries) {
+      futures.push_back(executor.Submit({q, 0, {}}));
+    }
+    for (auto& f : futures) {
+      QueryResponse response = f.get();
+      if (response.status != ServiceStatus::kOk) {
+        state.SkipWithError(response.error.c_str());
+        return;
+      }
+      answered += response.answers.size();
+    }
+  }
+  benchmark::DoNotOptimize(answered);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  executor.Shutdown();
+}
+// No ->UseRealTime(): the name suffix it adds would fall out of
+// run_all.sh's baseline filter, and the JSON reporter records
+// real_time_ns regardless (compare wall time across thread counts there).
+BENCHMARK(BM_ServiceThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Arg = ground win-chain length. Publishing builds the next snapshot —
+// parse plus a full WFS solve — while the previous epoch stays current
+// for readers; this is the write-path cost LoadMore pays.
+void BM_SnapshotSwap(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::string program = bench::GroundWinChain(n);
+  SnapshotStore snapshots;
+  for (auto _ : state) {
+    std::string error =
+        snapshots.Publish(program, /*append=*/false, /*solve_wfs=*/true);
+    if (!error.empty()) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(snapshots.Current()->epoch());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SnapshotSwap)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace hilog
+
+HILOG_BENCH_MAIN("bench_service")

@@ -8,6 +8,13 @@
 //   --stats-json <file>  write the metrics registry as JSON ("-" = stdout)
 //   --trace-json <file>  write the trace buffer as Chrome trace_event JSON
 //   --query <atom>       batch: run a magic-sets query after loading
+//   --client <addr>      talk to a running hilog_server instead of
+//                        evaluating locally; <addr> is host:port or a Unix
+//                        socket path (anything containing '/'). Stdin lines
+//                        starting with '{' are sent as raw protocol JSON,
+//                        anything else is wrapped as a query op. With
+//                        --query, sends that one query and exits.
+//   --deadline-ms <n>    client mode: deadline attached to wrapped queries
 //
 // Passing any of the observability options together with a program file
 // runs in batch mode: load, SolveWellFounded, the --query if given, emit
@@ -26,7 +33,14 @@
 //   :clear             drop the program
 //   :help  :quit
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -36,6 +50,7 @@
 #include "src/analysis/lint.h"
 #include "src/core/engine.h"
 #include "src/lang/printer.h"
+#include "src/service/wire.h"
 
 namespace {
 
@@ -183,6 +198,136 @@ void RunQuery(hilog::Engine& engine, const std::string& text) {
   }
 }
 
+// Connects to `addr` (host:port, or a Unix socket path when it contains
+// '/'). Returns the fd or -1 with a message on stderr.
+int ConnectServer(const std::string& addr) {
+  if (addr.find('/') != std::string::npos) {
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    if (addr.size() >= sizeof(sa.sun_path)) {
+      std::fprintf(stderr, "unix socket path too long: %s\n", addr.c_str());
+      return -1;
+    }
+    std::strncpy(sa.sun_path, addr.c_str(), sizeof(sa.sun_path) - 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0 ||
+        ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+      std::fprintf(stderr, "cannot connect to %s: %s\n", addr.c_str(),
+                   std::strerror(errno));
+      if (fd >= 0) ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  const size_t colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--client wants host:port or a socket path, got %s\n",
+                 addr.c_str());
+    return -1;
+  }
+  const std::string host = addr.substr(0, colon);
+  const int port = std::atoi(addr.c_str() + colon + 1);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string ip = (host == "localhost" || host.empty()) ? "127.0.0.1"
+                                                               : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &sa.sin_addr) != 1) {
+    std::fprintf(stderr, "bad address %s\n", ip.c_str());
+    return -1;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    std::fprintf(stderr, "cannot connect to %s: %s\n", addr.c_str(),
+                 std::strerror(errno));
+    if (fd >= 0) ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Sends one protocol line and prints the one response line. Returns false
+// on a transport error.
+bool ClientRoundTrip(int fd, std::string line, std::string* carry) {
+  line.push_back('\n');
+  size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "send: %s\n", std::strerror(errno));
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  char chunk[4096];
+  while (carry->find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "recv: %s\n", std::strerror(errno));
+      return false;
+    }
+    if (n == 0) {
+      std::fprintf(stderr, "server closed the connection\n");
+      return false;
+    }
+    carry->append(chunk, static_cast<size_t>(n));
+  }
+  const size_t nl = carry->find('\n');
+  std::printf("%s\n", carry->substr(0, nl).c_str());
+  carry->erase(0, nl + 1);
+  return true;
+}
+
+std::string WrapQueryLine(const std::string& query, uint64_t deadline_ms) {
+  std::string line = "{\"op\":\"query\",\"q\":";
+  line += hilog::service::JsonQuote(query);
+  if (deadline_ms != 0) {
+    line += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  }
+  line += "}";
+  return line;
+}
+
+// The --client REPL: raw '{...}' lines pass through, anything else becomes
+// a query op. Returns the process exit code.
+int RunClient(const std::string& addr, const std::string& batch_query,
+              uint64_t deadline_ms) {
+  const int fd = ConnectServer(addr);
+  if (fd < 0) return 1;
+  std::string carry;
+  int exit_code = 0;
+  if (!batch_query.empty()) {
+    if (!ClientRoundTrip(fd, WrapQueryLine(batch_query, deadline_ms),
+                         &carry)) {
+      exit_code = 1;
+    }
+  } else {
+    const bool tty = ::isatty(STDIN_FILENO) != 0;
+    if (tty) std::puts("hilog client shell — :quit to exit");
+    std::string line;
+    while (true) {
+      if (tty) {
+        std::printf("hilog@%s> ", addr.c_str());
+        std::fflush(stdout);
+      }
+      if (!std::getline(std::cin, line)) break;
+      if (line.empty()) continue;
+      if (line == ":quit" || line == ":q") break;
+      const std::string wire =
+          line[0] == '{' ? line : WrapQueryLine(line, deadline_ms);
+      if (!ClientRoundTrip(fd, wire, &carry)) {
+        exit_code = 1;
+        break;
+      }
+    }
+  }
+  ::close(fd);
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -191,6 +336,8 @@ int main(int argc, char** argv) {
   std::string trace_json_path;
   std::string batch_query;
   std::string program_path;
+  std::string client_addr;
+  uint64_t client_deadline_ms = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     auto take_value = [&](const char* flag) -> const char* {
@@ -208,6 +355,11 @@ int main(int argc, char** argv) {
       trace_json_path = take_value("--trace-json");
     } else if (std::strcmp(arg, "--query") == 0) {
       batch_query = take_value("--query");
+    } else if (std::strcmp(arg, "--client") == 0) {
+      client_addr = take_value("--client");
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      client_deadline_ms =
+          std::strtoull(take_value("--deadline-ms"), nullptr, 10);
     } else if (arg[0] == '-' && arg[1] != '\0') {
       std::fprintf(stderr, "unknown option %s\n", arg);
       return 2;
@@ -215,6 +367,10 @@ int main(int argc, char** argv) {
       program_path = arg;
     }
   }
+  if (!client_addr.empty()) {
+    return RunClient(client_addr, batch_query, client_deadline_ms);
+  }
+
   const bool observing =
       want_stats || !stats_json_path.empty() || !trace_json_path.empty();
   const bool batch = observing && !program_path.empty();

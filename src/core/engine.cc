@@ -7,7 +7,8 @@ namespace hilog {
 
 Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   if (options_.trace_capacity > 0) {
-    trace_ = std::make_unique<obs::TraceBuffer>(options_.trace_capacity);
+    trace_ = std::make_unique<obs::TraceBuffer>(options_.trace_capacity,
+                                                options_.trace_tid);
   }
 }
 
@@ -165,6 +166,7 @@ Engine::QueryAnswer Engine::Query(std::string_view query_text) {
       EvaluateMagic(store_, magic, options_.magic, &edb_facts_cache_);
   if (!result.error.empty()) {
     answer.ok = false;
+    answer.cancelled = result.cancelled;
     answer.error = result.error;
     return answer;
   }

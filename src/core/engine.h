@@ -44,6 +44,9 @@ struct EngineOptions {
   bool metrics_enabled = true;
   /// Capacity of the trace-event ring buffer; 0 disables tracing.
   size_t trace_capacity = 0;
+  /// Lane label stamped on this engine's trace events (Chrome "tid");
+  /// service workers set it so merged traces keep one lane per worker.
+  uint32_t trace_tid = 0;
 };
 
 /// Syntactic/semantic classification of the loaded program, covering the
@@ -80,6 +83,7 @@ class Engine {
   /// Trace-event ring buffer, or nullptr when options().trace_capacity
   /// is 0.
   const obs::TraceBuffer* trace() const { return trace_.get(); }
+  obs::TraceBuffer* trace() { return trace_.get(); }
 
   /// Parses and loads program text. Returns an empty string on success,
   /// else the parse error. Replaces any previously loaded program.
@@ -124,6 +128,11 @@ class Engine {
   /// Result of a magic-sets query.
   struct QueryAnswer {
     bool ok = true;
+    /// Evaluation stopped by the thread's installed CancelToken
+    /// (src/eval/cancel.h): ok is false and error names the reason. The
+    /// service layer maps this to kTimeout/kCancelled by the token's
+    /// latched reason.
+    bool cancelled = false;
     std::string error;
     std::vector<TermId> answers;
     QueryStatus ground_status = QueryStatus::kUnsettled;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "src/eval/cancel.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/term/unify.h"
@@ -173,6 +174,11 @@ BottomUpResult LeastModelOfPositiveProjection(TermStore& store,
       result.truncated = true;
       break;
     }
+    if (CancelRequested()) {
+      result.cancelled = true;
+      result.truncated = true;
+      break;
+    }
     FactBase next_delta;
     bool budget_hit = false;
     for (size_t r = 0; r < program.rules.size() && !budget_hit; ++r) {
@@ -186,6 +192,11 @@ BottomUpResult LeastModelOfPositiveProjection(TermStore& store,
         Substitution subst;
         MatchBody(store, planned, 0, 0, &delta, result.facts, &subst,
                   [&](const Substitution& theta) {
+                    if (CancelRequested()) {
+                      result.cancelled = true;
+                      budget_hit = true;
+                      return false;
+                    }
                     TermId head = theta.Apply(store, rule.head);
                     if (!store.IsGround(head)) {
                       unsafe.insert(r);

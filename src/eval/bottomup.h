@@ -22,6 +22,9 @@ struct BottomUpOptions {
 struct BottomUpResult {
   FactBase facts;
   bool truncated = false;
+  /// Stopped early by the installed CancelToken (src/eval/cancel.h);
+  /// `truncated` is also set so budget-aware callers stay conservative.
+  bool cancelled = false;
   /// Rules whose head stayed non-ground after matching all positive body
   /// literals (unsafe for bottom-up evaluation); their indices in
   /// `Program::rules`.

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/eval/cancel.h"
 #include "src/eval/fact_base.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -140,6 +141,12 @@ class Evaluator {
       Propagate();
     }
 
+    if (result_.cancelled) {
+      result_.error = CancelReasonMessage(
+          CurrentCancelToken() != nullptr ? CurrentCancelToken()->reason()
+                                          : CancelReason::kCancelled);
+      return result_;
+    }
     CollectAnswers();
     return result_;
   }
@@ -147,6 +154,13 @@ class Evaluator {
  private:
   void Derive(TermId fact) {
     if (result_.truncated) return;
+    // Cooperative cancellation, polled per derivation attempt; setting
+    // `truncated` too makes every existing unwind guard stop the join.
+    if (CancelRequested()) {
+      result_.cancelled = true;
+      result_.truncated = true;
+      return;
+    }
     if (!facts_.Insert(fact)) return;
     ++result_.facts_derived;
     obs::Count(obs::Counter::kMagicFactsDerived);
@@ -238,6 +252,11 @@ class Evaluator {
 
   void Propagate() {
     while (!worklist_.empty() && !result_.truncated) {
+      if (CancelRequested()) {
+        result_.cancelled = true;
+        result_.truncated = true;
+        return;
+      }
       TermId fact = worklist_.front();
       worklist_.pop_front();
       TermId name = store_.PredName(fact);

@@ -35,6 +35,10 @@ struct MagicEvalResult {
   /// non-modularly-stratified inputs).
   std::vector<TermId> unsettled_negative_calls;
   bool truncated = false;
+  /// Stopped early by the installed CancelToken (src/eval/cancel.h);
+  /// `error` then carries CancelReasonMessage() and answers are not
+  /// collected.
+  bool cancelled = false;
   std::string error;
   size_t facts_derived = 0;
   size_t box_firings = 0;

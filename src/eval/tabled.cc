@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/eval/cancel.h"
 #include "src/eval/fact_base.h"
 #include "src/lang/printer.h"
 #include "src/obs/metrics.h"
@@ -76,6 +77,13 @@ class TabledEngine {
       }
     }
 
+    if (result_.cancelled) {
+      result_.error = CancelReasonMessage(
+          CurrentCancelToken() != nullptr ? CurrentCancelToken()->reason()
+                                          : CancelReason::kCancelled);
+      return result_;
+    }
+
     // Collect the root's answers.
     result_.tables = tables_.size();
     Table& root_table = tables_[root];
@@ -85,6 +93,12 @@ class TabledEngine {
 
  private:
   bool Overflow() {
+    if (result_.cancelled) return true;
+    if (CancelRequested()) {
+      result_.cancelled = true;
+      result_.complete = false;
+      return true;
+    }
     if (result_.steps > options_.max_steps ||
         total_answers_ > options_.max_answers) {
       result_.complete = false;

@@ -22,6 +22,9 @@ struct TabledResult {
   /// set is then complete — tabling needs no depth bound on terminating
   /// programs).
   bool complete = true;
+  /// Stopped early by the installed CancelToken (src/eval/cancel.h);
+  /// `complete` is false and `error` carries CancelReasonMessage().
+  bool cancelled = false;
   size_t steps = 0;
   /// Number of distinct (variant-canonicalized) subgoals tabled.
   size_t tables = 0;

@@ -1,0 +1,69 @@
+#include "src/service/snapshot.h"
+
+namespace hilog::service {
+
+std::shared_ptr<const ModelSnapshot> SnapshotStore::Build(
+    uint64_t epoch, std::string text, bool solve_wfs,
+    const EngineOptions& options, std::string* error) {
+  // shared_ptr<ModelSnapshot> first (the constructor is private to the
+  // store's friendship), then decay to const on return.
+  std::shared_ptr<ModelSnapshot> snapshot(new ModelSnapshot());
+  snapshot->epoch_ = epoch;
+  snapshot->prototype_ = std::make_unique<Engine>(options);
+  std::string load_error = snapshot->prototype_->Load(text);
+  if (!load_error.empty()) {
+    *error = load_error;
+    return nullptr;
+  }
+  snapshot->program_text_ = std::move(text);
+  if (solve_wfs && snapshot->prototype_->program().size() > 0) {
+    snapshot->wfs_ = snapshot->prototype_->SolveWellFounded();
+    if (!snapshot->wfs_.ok) {
+      *error = "well-founded solve failed: " + snapshot->wfs_.notes;
+      return nullptr;
+    }
+    snapshot->has_wfs_ = true;
+  }
+  return snapshot;
+}
+
+SnapshotStore::SnapshotStore(EngineOptions engine_options)
+    : engine_options_(std::move(engine_options)) {
+  std::string error;
+  current_.store(Build(/*epoch=*/0, "", /*solve_wfs=*/false, engine_options_,
+                       &error),
+                 std::memory_order_release);
+}
+
+std::string SnapshotStore::Publish(std::string_view text, bool append,
+                                   bool solve_wfs) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  std::string source;
+  if (append) {
+    source = Current()->program_text();
+    if (!source.empty() && source.back() != '\n') source.push_back('\n');
+  }
+  source.append(text);
+  std::string error;
+  std::shared_ptr<const ModelSnapshot> next =
+      Build(next_epoch_, std::move(source), solve_wfs, engine_options_,
+            &error);
+  if (next == nullptr) return error;
+  ++next_epoch_;
+  // The swap: in-flight readers keep the previous snapshot alive through
+  // their shared_ptr; it is destroyed when the last of them lets go.
+  current_.store(std::move(next), std::memory_order_release);
+  return "";
+}
+
+std::string EngineSession::Materialize(const ModelSnapshot& snapshot) {
+  if (engine_ != nullptr && epoch_ == snapshot.epoch()) return "";
+  auto fresh = std::make_unique<Engine>(options_);
+  std::string error = fresh->Load(snapshot.program_text());
+  if (!error.empty()) return error;  // Unreachable: the publisher parsed it.
+  engine_ = std::move(fresh);
+  epoch_ = snapshot.epoch();
+  return "";
+}
+
+}  // namespace hilog::service

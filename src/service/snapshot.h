@@ -1,0 +1,122 @@
+#ifndef HILOG_SERVICE_SNAPSHOT_H_
+#define HILOG_SERVICE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/core/engine.h"
+
+namespace hilog::service {
+
+/// An immutable published model.
+///
+/// A snapshot owns the canonical program source and a fully materialized
+/// *prototype* engine: the parsed program in its own term store, and —
+/// when the publisher asked for it — the warm well-founded model computed
+/// once at publish time, so every request that consults the saturated
+/// model reads it instead of recomputing. After `SnapshotStore::Publish`
+/// returns, nothing ever mutates a snapshot; any number of threads may
+/// read it concurrently through const access.
+///
+/// Queries intern new terms (the magic rewrite, the evaluator), so they
+/// cannot run against the shared prototype store. Each worker instead
+/// holds an `EngineSession` that materializes its own engine from the
+/// snapshot's source — the same deterministic code path as a sequential
+/// `Engine`, which is what makes service answers byte-identical to
+/// `Engine::Query`.
+class ModelSnapshot {
+ public:
+  uint64_t epoch() const { return epoch_; }
+  const std::string& program_text() const { return program_text_; }
+  size_t rules() const { return prototype_->program().size(); }
+
+  /// The shared read-only engine: program, term store, and (if solved)
+  /// the WFS interpretation. Const access only — never query through it.
+  const Engine& prototype() const { return *prototype_; }
+
+  /// Well-founded model computed at publish; meaningful iff has_wfs().
+  bool has_wfs() const { return has_wfs_; }
+  const Engine::WfsAnswer& wfs() const { return wfs_; }
+
+ private:
+  friend class SnapshotStore;
+  ModelSnapshot() = default;
+
+  uint64_t epoch_ = 0;
+  std::string program_text_;
+  std::unique_ptr<Engine> prototype_;
+  bool has_wfs_ = false;
+  Engine::WfsAnswer wfs_;
+};
+
+/// The publication point: writers build the next snapshot off to the
+/// side (parse + optional WFS solve on a private engine) and swap it in
+/// with one atomic shared_ptr store. Readers `Current()` without taking
+/// any lock and keep their snapshot alive by holding the shared_ptr, so
+/// readers never block writers and vice versa; publishers serialize among
+/// themselves on `publish_mu_`.
+class SnapshotStore {
+ public:
+  /// Constructs with an empty program published at epoch 0.
+  explicit SnapshotStore(EngineOptions engine_options = EngineOptions());
+
+  /// The currently published snapshot; never null.
+  std::shared_ptr<const ModelSnapshot> Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Builds and publishes the next snapshot. With `append`, the new
+  /// source is the current snapshot's text plus `text` (the service's
+  /// LoadMore); otherwise `text` replaces the program. `solve_wfs`
+  /// saturates the well-founded model into the snapshot at publish time.
+  /// Returns "" on success, else the parse/solve error — on error nothing
+  /// is published and the current snapshot is unchanged.
+  std::string Publish(std::string_view text, bool append, bool solve_wfs);
+
+  /// Epoch of the currently published snapshot.
+  uint64_t epoch() const { return Current()->epoch(); }
+
+ private:
+  /// Builds a snapshot off to the side; returns nullptr + error on
+  /// failure (only the store can reach ModelSnapshot's internals).
+  static std::shared_ptr<const ModelSnapshot> Build(
+      uint64_t epoch, std::string text, bool solve_wfs,
+      const EngineOptions& options, std::string* error);
+
+  EngineOptions engine_options_;
+  std::mutex publish_mu_;
+  uint64_t next_epoch_ = 1;  // Guarded by publish_mu_.
+  std::atomic<std::shared_ptr<const ModelSnapshot>> current_;
+};
+
+/// A worker-thread-confined engine, rebuilt lazily from published
+/// snapshots: `Materialize` is a no-op while the epoch is unchanged, so
+/// across the many queries of one epoch the session keeps its warmed
+/// term store and EDB caches ("keep a saturated model warm").
+class EngineSession {
+ public:
+  explicit EngineSession(EngineOptions options = EngineOptions())
+      : options_(std::move(options)) {}
+
+  /// Ensures the private engine holds exactly `snapshot`'s program.
+  /// Returns "" on success (including the fast same-epoch path).
+  std::string Materialize(const ModelSnapshot& snapshot);
+
+  /// Valid after the first successful Materialize.
+  Engine& engine() { return *engine_; }
+  bool materialized() const { return engine_ != nullptr; }
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  EngineOptions options_;
+  std::unique_ptr<Engine> engine_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace hilog::service
+
+#endif  // HILOG_SERVICE_SNAPSHOT_H_

@@ -1,0 +1,461 @@
+#include "src/service/wire.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace hilog::service {
+
+namespace {
+
+/// Recursive-descent parser over a string_view; positions are byte
+/// offsets for error messages.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    SkipWs();
+    if (!ParseValue(out, error)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      Fail(error, "trailing characters after JSON value");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void Fail(std::string* error, std::string_view what) {
+    *error = std::string(what) + " at byte " + std::to_string(pos_);
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, std::string* error) {
+    if (depth_ > kMaxDepth) {
+      Fail(error, "nesting too deep");
+      return false;
+    }
+    if (pos_ >= text_.size()) {
+      Fail(error, "unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, error);
+      case '[': return ParseArray(out, error);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string, error);
+      case 't':
+        if (!Literal("true")) break;
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return true;
+      case 'f':
+        if (!Literal("false")) break;
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return true;
+      case 'n':
+        if (!Literal("null")) break;
+        out->kind = JsonValue::Kind::kNull;
+        return true;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          return ParseNumber(out, error);
+        }
+        break;
+    }
+    Fail(error, "unexpected character");
+    return false;
+  }
+
+  bool ParseObject(JsonValue* out, std::string* error) {
+    ++pos_;  // '{'
+    ++depth_;
+    out->kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        Fail(error, "expected object key");
+        return false;
+      }
+      std::string key;
+      if (!ParseString(&key, error)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        Fail(error, "expected ':'");
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value, error)) return false;
+      out->object[std::move(key)] = std::move(value);
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      Fail(error, "expected ',' or '}'");
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out, std::string* error) {
+    ++pos_;  // '['
+    ++depth_;
+    out->kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value, error)) return false;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      Fail(error, "expected ',' or ']'");
+      return false;
+    }
+  }
+
+  bool ParseHex4(uint32_t* out, std::string* error) {
+    if (pos_ + 4 > text_.size()) {
+      Fail(error, "truncated \\u escape");
+      return false;
+    }
+    uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_ + i];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<uint32_t>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<uint32_t>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<uint32_t>(h - 'A' + 10);
+      else {
+        Fail(error, "bad hex digit in \\u escape");
+        return false;
+      }
+    }
+    pos_ += 4;
+    *out = code;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            uint32_t code = 0;
+            if (!ParseHex4(&code, error)) return false;
+            if (code >= 0xD800 && code <= 0xDBFF &&
+                text_.substr(pos_, 2) == "\\u") {
+              // Surrogate pair.
+              pos_ += 2;
+              uint32_t low = 0;
+              if (!ParseHex4(&low, error)) return false;
+              if (low >= 0xDC00 && low <= 0xDFFF) {
+                code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+              } else {
+                Fail(error, "unpaired surrogate in \\u escape");
+                return false;
+              }
+            }
+            AppendUtf8(out, code);
+            break;
+          }
+          default:
+            --pos_;
+            Fail(error, "bad escape in string");
+            return false;
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail(error, "unescaped control character in string");
+        return false;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    Fail(error, "unterminated string");
+    return false;
+  }
+
+  bool ParseNumber(JsonValue* out, std::string* error) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") {
+      Fail(error, "bad number");
+      return false;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(token.c_str(), nullptr);
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Get(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 std::string_view fallback) const {
+  const JsonValue* value = Get(key);
+  if (value == nullptr || value->kind != Kind::kString) {
+    return std::string(fallback);
+  }
+  return value->string;
+}
+
+uint64_t JsonValue::GetUint(std::string_view key, uint64_t fallback) const {
+  const JsonValue* value = Get(key);
+  if (value == nullptr || value->kind != Kind::kNumber) return fallback;
+  if (!(value->number >= 0)) return fallback;  // Also rejects NaN.
+  return static_cast<uint64_t>(value->number);
+}
+
+bool JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* value = Get(key);
+  if (value == nullptr || value->kind != Kind::kBool) return fallback;
+  return value->boolean;
+}
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  JsonParser parser(text);
+  return parser.Parse(out, error);
+}
+
+void JsonAppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  JsonAppendEscaped(&out, s);
+  out.push_back('"');
+  return out;
+}
+
+bool ParseWireRequest(std::string_view line, WireRequest* out,
+                      std::string* error) {
+  JsonValue value;
+  if (!ParseJson(line, &value, error)) return false;
+  if (!value.IsObject()) {
+    *error = "request must be a JSON object";
+    return false;
+  }
+  out->op = value.GetString("op");
+  if (out->op.empty()) {
+    *error = "missing \"op\"";
+    return false;
+  }
+  if (out->op != "query" && out->op != "load" && out->op != "load_more" &&
+      out->op != "wfs" && out->op != "stats" && out->op != "ping" &&
+      out->op != "shutdown") {
+    *error = "unknown op \"" + out->op + "\"";
+    return false;
+  }
+  out->q = value.GetString("q");
+  out->program = value.GetString("program");
+  out->deadline_ms = value.GetUint("deadline_ms");
+  out->id = value.GetString("id");
+  if (out->op == "query" && out->q.empty()) {
+    *error = "op \"query\" requires \"q\"";
+    return false;
+  }
+  if ((out->op == "load" || out->op == "load_more") && out->program.empty()) {
+    *error = "op \"" + out->op + "\" requires \"program\"";
+    return false;
+  }
+  return true;
+}
+
+const char* QueryStatusWireName(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kTrue: return "true";
+    case QueryStatus::kSettledFalse: return "false";
+    case QueryStatus::kUnsettled: return "unsettled";
+  }
+  return "?";
+}
+
+std::string EncodeQueryResponse(const QueryResponse& response,
+                                std::string_view id) {
+  std::string out = "{\"status\":";
+  out += JsonQuote(ServiceStatusName(response.status));
+  if (!id.empty()) {
+    out += ",\"id\":";
+    out += JsonQuote(id);
+  }
+  if (response.status == ServiceStatus::kOk) {
+    out += ",\"ground_status\":";
+    out += JsonQuote(QueryStatusWireName(response.ground_status));
+    out += ",\"answers\":[";
+    bool first = true;
+    for (const std::string& answer : response.answers) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += JsonQuote(answer);
+    }
+    out += "]";
+    if (!response.unsettled_negative_calls.empty()) {
+      out += ",\"unsettled_negative_calls\":[";
+      first = true;
+      for (const std::string& call : response.unsettled_negative_calls) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += JsonQuote(call);
+      }
+      out += "]";
+    }
+    out += ",\"facts_derived\":" + std::to_string(response.facts_derived);
+  } else {
+    out += ",\"error\":";
+    out += JsonQuote(response.error);
+  }
+  out += ",\"epoch\":" + std::to_string(response.epoch);
+  out += "}";
+  return out;
+}
+
+std::string EncodeErrorResponse(std::string_view error, std::string_view id) {
+  std::string out = "{\"status\":\"error\"";
+  if (!id.empty()) {
+    out += ",\"id\":";
+    out += JsonQuote(id);
+  }
+  out += ",\"error\":";
+  out += JsonQuote(error);
+  out += "}";
+  return out;
+}
+
+}  // namespace hilog::service

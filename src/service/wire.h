@@ -1,0 +1,84 @@
+#ifndef HILOG_SERVICE_WIRE_H_
+#define HILOG_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/service/executor.h"
+
+namespace hilog::service {
+
+/// Minimal JSON value for the line protocol (docs/service.md): objects,
+/// arrays, strings with standard escapes (incl. \uXXXX -> UTF-8),
+/// numbers, booleans, null. Just enough for one request object per line;
+/// no streaming, no comments.
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray,
+                              kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // std::map keeps member iteration deterministic (not needed for the
+  // protocol, convenient for tests).
+  std::map<std::string, JsonValue> object;
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsString() const { return kind == Kind::kString; }
+
+  /// Object member or nullptr.
+  const JsonValue* Get(std::string_view key) const;
+  /// Member as string / unsigned integer / bool, or `fallback` when
+  /// absent or of another kind.
+  std::string GetString(std::string_view key,
+                        std::string_view fallback = "") const;
+  uint64_t GetUint(std::string_view key, uint64_t fallback = 0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed).
+/// Returns false and sets `error` on malformed input.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
+
+/// Appends `s` JSON-escaped (no surrounding quotes) to `out`.
+void JsonAppendEscaped(std::string* out, std::string_view s);
+std::string JsonQuote(std::string_view s);
+
+/// One decoded protocol request line. `op` is the discriminator; unused
+/// fields stay at their defaults.
+struct WireRequest {
+  std::string op;        // query|load|load_more|wfs|stats|ping|shutdown
+  std::string q;         // op=query: the atom text.
+  std::string program;   // op=load/load_more: rules text.
+  uint64_t deadline_ms = 0;
+  std::string id;        // Echoed verbatim in the response when set.
+};
+
+/// Decodes a protocol line. Returns false + error for malformed JSON, a
+/// non-object line, or a missing/unknown "op".
+bool ParseWireRequest(std::string_view line, WireRequest* out,
+                      std::string* error);
+
+/// Renders a query response as one protocol line (no trailing newline).
+/// Field order is fixed so responses are byte-stable for identical
+/// results — the property the concurrency tests pin.
+std::string EncodeQueryResponse(const QueryResponse& response,
+                                std::string_view id);
+
+/// {"status":"error","error":...} line for protocol-level failures.
+std::string EncodeErrorResponse(std::string_view error, std::string_view id);
+
+/// The wire name of a magic-sets ground status: "true", "false",
+/// "unsettled".
+const char* QueryStatusWireName(QueryStatus status);
+
+}  // namespace hilog::service
+
+#endif  // HILOG_SERVICE_WIRE_H_

@@ -1,0 +1,754 @@
+// Tests for the concurrent query service (src/service): cooperative
+// cancellation tokens, snapshot publishing/epoch swap, the thread-pool
+// executor (correctness vs the sequential engine, deadlines, overload
+// shedding, drain), the wire protocol, and an end-to-end socket run with
+// concurrent clients whose response lines must be byte-identical to the
+// sequential encoding.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/eval/cancel.h"
+#include "src/obs/metrics.h"
+#include "src/service/executor.h"
+#include "src/service/server.h"
+#include "src/service/snapshot.h"
+#include "src/service/wire.h"
+
+namespace hilog {
+namespace {
+
+using service::EngineSession;
+using service::ExecutorOptions;
+using service::LineServer;
+using service::ModelSnapshot;
+using service::QueryExecutor;
+using service::QueryRequest;
+using service::QueryResponse;
+using service::ServerOptions;
+using service::ServiceStats;
+using service::ServiceStatus;
+using service::SnapshotStore;
+using service::WireRequest;
+
+// The ground win/move chain for positions [lo, hi) — Example 6.1's game.
+// Appending the [n, m) slice to the [0, n) slice equals the full [0, m)
+// program, which is how the epoch-swap tests extend a live program.
+std::string WinChainSlice(int lo, int hi) {
+  std::string text;
+  for (int i = lo; i < hi; ++i) {
+    std::string x = std::to_string(i);
+    std::string y = std::to_string(i + 1);
+    text += "w(n" + x + ") :- m(n" + x + ",n" + y + "), ~w(n" + y + ").\n";
+    text += "m(n" + x + ",n" + y + ").\n";
+  }
+  return text;
+}
+
+std::string HiLogGame(int games, int positions) {
+  std::string text = "winning(M)(X) :- game(M), M(X,Y), ~winning(M)(Y).\n";
+  for (int g = 0; g < games; ++g) {
+    std::string mv = "mv" + std::to_string(g);
+    text += "game(" + mv + ").\n";
+    for (int i = 0; i < positions; ++i) {
+      text += mv + "(n" + std::to_string(i) + ",n" + std::to_string(i + 1) +
+              ").\n";
+    }
+  }
+  return text;
+}
+
+// What the service must reproduce: the sequential engine's rendered
+// answer set for `query` on `program`.
+QueryResponse SequentialResponse(const std::string& program,
+                                 const std::string& query, uint64_t epoch) {
+  Engine engine;
+  EXPECT_EQ(engine.Load(program), "");
+  Engine::QueryAnswer answer = engine.Query(query);
+  QueryResponse response;
+  response.epoch = epoch;
+  if (!answer.ok) {
+    response.status = ServiceStatus::kError;
+    response.error = answer.error;
+    return response;
+  }
+  response.status = ServiceStatus::kOk;
+  for (TermId atom : answer.answers) {
+    response.answers.push_back(engine.store().ToString(atom));
+  }
+  response.ground_status = answer.ground_status;
+  for (TermId atom : answer.unsettled_negative_calls) {
+    response.unsettled_negative_calls.push_back(
+        engine.store().ToString(atom));
+  }
+  response.facts_derived = answer.facts_derived;
+  return response;
+}
+
+TEST(CancelTokenTest, CancelLatchesFirstReason) {
+  CancelToken token;
+  EXPECT_FALSE(token.tripped());
+  EXPECT_EQ(token.Poll(), CancelReason::kNone);
+  token.Cancel();
+  EXPECT_TRUE(token.tripped());
+  EXPECT_EQ(token.reason(), CancelReason::kCancelled);
+  // A later deadline trip cannot overwrite the latched reason.
+  token.SetDeadlineNs(1);
+  EXPECT_EQ(token.Poll(), CancelReason::kCancelled);
+}
+
+TEST(CancelTokenTest, DeadlinePollTrips) {
+  CancelToken token;
+  token.SetDeadlineNs(obs::NowNs() - 1);  // Already in the past.
+  EXPECT_EQ(token.Poll(), CancelReason::kDeadline);
+  EXPECT_TRUE(token.tripped());
+}
+
+TEST(CancelTokenTest, FarDeadlineDoesNotTrip) {
+  CancelToken token;
+  token.SetDeadlineNs(obs::NowNs() + 60ull * 1'000'000'000);
+  EXPECT_EQ(token.Poll(), CancelReason::kNone);
+}
+
+TEST(CancelTokenTest, CancelRequestedNeedsInstalledToken) {
+  EXPECT_FALSE(CancelRequested());  // No token: the cheap path.
+  CancelToken token;
+  {
+    ScopedCancelToken scope(&token);
+    EXPECT_FALSE(CancelRequested());
+    token.Cancel();
+    EXPECT_TRUE(CancelRequested());
+  }
+  EXPECT_FALSE(CancelRequested());  // Restored on scope exit.
+}
+
+TEST(EngineCancelTest, PreCancelledTokenStopsQuery) {
+  Engine engine;
+  ASSERT_EQ(engine.Load(WinChainSlice(0, 64)), "");
+  CancelToken token;
+  token.Cancel();
+  ScopedCancelToken scope(&token);
+  Engine::QueryAnswer answer = engine.Query("w(n0)");
+  EXPECT_FALSE(answer.ok);
+  EXPECT_TRUE(answer.cancelled);
+  EXPECT_EQ(answer.error, "query cancelled");
+}
+
+TEST(EngineCancelTest, DeadlineStopsLongQuery) {
+  Engine engine;
+  // A chain long enough that walking it from the head takes well over
+  // the 1 ms deadline even on a fast machine.
+  ASSERT_EQ(engine.Load(WinChainSlice(0, 20000)), "");
+  CancelToken token;
+  token.SetDeadlineNs(obs::NowNs() + 1'000'000);
+  ScopedCancelToken scope(&token);
+  Engine::QueryAnswer answer = engine.Query("w(n0)");
+  EXPECT_FALSE(answer.ok);
+  EXPECT_TRUE(answer.cancelled);
+  EXPECT_EQ(answer.error, "deadline exceeded");
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+}
+
+TEST(EngineCancelTest, TabledProofRespectsToken) {
+  Engine engine;
+  ASSERT_EQ(engine.Load("t(X,Y) :- e(X,Y).\n"
+                        "t(X,Y) :- e(X,Z), t(Z,Y).\n"
+                        "e(a,b). e(b,c). e(c,a).\n"),
+            "");
+  CancelToken token;
+  token.Cancel();
+  ScopedCancelToken scope(&token);
+  TabledResult result = engine.ProveTabled("t(a,X)");
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(EngineCancelTest, NoTokenMeansNoChange) {
+  Engine engine;
+  ASSERT_EQ(engine.Load(WinChainSlice(0, 8)), "");
+  Engine::QueryAnswer answer = engine.Query("w(n1)");
+  EXPECT_TRUE(answer.ok);
+  EXPECT_FALSE(answer.cancelled);
+  EXPECT_EQ(answer.answers.size(), 1u);
+}
+
+TEST(SnapshotStoreTest, StartsEmptyAtEpochZero) {
+  SnapshotStore store;
+  auto snapshot = store.Current();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->epoch(), 0u);
+  EXPECT_EQ(snapshot->rules(), 0u);
+  EXPECT_FALSE(snapshot->has_wfs());
+}
+
+TEST(SnapshotStoreTest, PublishReplacesAndAppendExtends) {
+  SnapshotStore store;
+  ASSERT_EQ(store.Publish(WinChainSlice(0, 4), /*append=*/false,
+                          /*solve_wfs=*/true),
+            "");
+  auto first = store.Current();
+  EXPECT_EQ(first->epoch(), 1u);
+  EXPECT_EQ(first->rules(), 8u);  // 4 rules + 4 move facts.
+  ASSERT_TRUE(first->has_wfs());
+  EXPECT_TRUE(first->wfs().ok);
+
+  ASSERT_EQ(store.Publish(WinChainSlice(4, 6), /*append=*/true,
+                          /*solve_wfs=*/true),
+            "");
+  auto second = store.Current();
+  EXPECT_EQ(second->epoch(), 2u);
+  EXPECT_EQ(second->rules(), 12u);
+  // The old snapshot is immutable and still fully usable: epoch swap
+  // never invalidates in-flight readers.
+  EXPECT_EQ(first->epoch(), 1u);
+  EXPECT_EQ(first->rules(), 8u);
+}
+
+TEST(SnapshotStoreTest, PublishErrorLeavesCurrentUnchanged) {
+  SnapshotStore store;
+  ASSERT_EQ(store.Publish(WinChainSlice(0, 2), false, false), "");
+  auto before = store.Current();
+  EXPECT_NE(store.Publish("this is not ( valid", /*append=*/true,
+                          /*solve_wfs=*/false),
+            "");
+  EXPECT_EQ(store.Current().get(), before.get());
+  EXPECT_EQ(store.epoch(), 1u);
+}
+
+TEST(EngineSessionTest, MaterializeIsNoOpWithinEpoch) {
+  SnapshotStore store;
+  ASSERT_EQ(store.Publish(WinChainSlice(0, 4), false, false), "");
+  EngineSession session;
+  EXPECT_FALSE(session.materialized());
+  ASSERT_EQ(session.Materialize(*store.Current()), "");
+  ASSERT_TRUE(session.materialized());
+  Engine* engine_before = &session.engine();
+  EXPECT_EQ(session.epoch(), 1u);
+
+  // Same epoch: the warmed engine (term store, EDB caches) is kept.
+  ASSERT_EQ(session.Materialize(*store.Current()), "");
+  EXPECT_EQ(&session.engine(), engine_before);
+
+  ASSERT_EQ(store.Publish(WinChainSlice(4, 6), true, false), "");
+  ASSERT_EQ(session.Materialize(*store.Current()), "");
+  EXPECT_EQ(session.epoch(), 2u);
+  EXPECT_EQ(session.engine().program().size(), 12u);
+}
+
+// The core tentpole claim: concurrent answers are byte-identical to the
+// sequential engine, across both a normal and a genuinely HiLog program.
+TEST(QueryExecutorTest, ConcurrentAnswersMatchSequential) {
+  const std::string program = WinChainSlice(0, 24) + HiLogGame(2, 8);
+  auto snapshots = std::make_shared<SnapshotStore>();
+  ASSERT_EQ(snapshots->Publish(program, false, false), "");
+
+  std::vector<std::string> queries;
+  for (int i = 0; i < 24; ++i) {
+    queries.push_back("w(n" + std::to_string(i) + ")");
+  }
+  for (int g = 0; g < 2; ++g) {
+    for (int i = 0; i < 8; ++i) {
+      queries.push_back("winning(mv" + std::to_string(g) + ")(n" +
+                        std::to_string(i) + ")");
+    }
+  }
+
+  ExecutorOptions options;
+  options.threads = 4;
+  options.queue_capacity = queries.size() * 3;
+  QueryExecutor executor(snapshots, options);
+
+  std::vector<std::future<QueryResponse>> futures;
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& q : queries) {
+      futures.push_back(executor.Submit({q, 0, {}}));
+    }
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    QueryResponse got = futures[i].get();
+    const std::string& q = queries[i % queries.size()];
+    ASSERT_EQ(got.status, ServiceStatus::kOk) << q << ": " << got.error;
+    QueryResponse want = SequentialResponse(program, q, /*epoch=*/1);
+    EXPECT_EQ(got.answers, want.answers) << q;
+    EXPECT_EQ(got.ground_status, want.ground_status) << q;
+    EXPECT_EQ(got.facts_derived, want.facts_derived) << q;
+    EXPECT_EQ(got.epoch, 1u);
+  }
+  executor.Shutdown();
+  ServiceStats stats = executor.stats();
+  EXPECT_EQ(stats.ok, futures.size());
+  EXPECT_EQ(stats.completed, futures.size());
+}
+
+TEST(QueryExecutorTest, DeadlineTimesOutWithoutCorruptingSnapshot) {
+  auto snapshots = std::make_shared<SnapshotStore>();
+  ASSERT_EQ(snapshots->Publish(WinChainSlice(0, 8000), false, false), "");
+  ExecutorOptions options;
+  options.threads = 2;
+  QueryExecutor executor(snapshots, options);
+
+  QueryResponse timed_out = executor.Execute({"w(n0)", /*deadline_ms=*/1, {}});
+  EXPECT_EQ(timed_out.status, ServiceStatus::kTimeout);
+  EXPECT_EQ(timed_out.error, "deadline exceeded");
+
+  // The snapshot (and the worker that hit the deadline) still serve
+  // correct answers afterwards: run enough queries to hit every worker.
+  // w(n7999) is true (its successor has no move), so one answer.
+  for (int i = 0; i < 4; ++i) {
+    QueryResponse ok = executor.Execute({"w(n7999)", 0, {}});
+    ASSERT_EQ(ok.status, ServiceStatus::kOk) << ok.error;
+    ASSERT_EQ(ok.answers.size(), 1u);
+    EXPECT_EQ(ok.answers[0], "w(n7999)");
+  }
+  executor.Shutdown();
+  EXPECT_GE(executor.stats().timeouts, 1u);
+}
+
+TEST(QueryExecutorTest, CallerTokenMapsToCancelled) {
+  auto snapshots = std::make_shared<SnapshotStore>();
+  ASSERT_EQ(snapshots->Publish(WinChainSlice(0, 2000), false, false), "");
+  ExecutorOptions options;
+  options.threads = 1;
+  QueryExecutor executor(snapshots, options);
+  auto token = std::make_shared<CancelToken>();
+  token->Cancel();  // Cancelled before it even runs.
+  QueryResponse response = executor.Execute({"w(n0)", 0, token});
+  EXPECT_EQ(response.status, ServiceStatus::kCancelled);
+  executor.Shutdown();
+  EXPECT_EQ(executor.stats().cancelled, 1u);
+}
+
+TEST(QueryExecutorTest, FullQueueShedsWithOverloaded) {
+  auto snapshots = std::make_shared<SnapshotStore>();
+  // A head-of-chain query on a 300-position chain costs ~100 ms — eons
+  // next to the microsecond submission burst, so shedding is guaranteed.
+  ASSERT_EQ(snapshots->Publish(WinChainSlice(0, 300), false, false), "");
+  ExecutorOptions options;
+  options.threads = 1;
+  options.queue_capacity = 2;
+  QueryExecutor executor(snapshots, options);
+
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(executor.Submit({"w(n0)", 0, {}}));
+  }
+  size_t ok = 0;
+  size_t shed = 0;
+  for (auto& future : futures) {
+    QueryResponse response = future.get();
+    if (response.status == ServiceStatus::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(response.status, ServiceStatus::kOverloaded);
+      EXPECT_EQ(response.error, "submission queue full");
+      ++shed;
+    }
+  }
+  // With one worker, a capacity-2 queue, and a burst of 32 nontrivial
+  // queries, shedding is guaranteed; every request resolved either way.
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(ok, 0u);
+  EXPECT_EQ(ok + shed, 32u);
+  executor.Shutdown();
+  ServiceStats stats = executor.stats();
+  EXPECT_EQ(stats.shed, shed);
+  EXPECT_EQ(stats.submitted, 32u);
+  EXPECT_LE(stats.max_queue_depth, 2u);
+}
+
+TEST(QueryExecutorTest, DrainShutdownCompletesQueuedWork) {
+  auto snapshots = std::make_shared<SnapshotStore>();
+  ASSERT_EQ(snapshots->Publish(WinChainSlice(0, 64), false, false), "");
+  ExecutorOptions options;
+  options.threads = 1;
+  options.queue_capacity = 64;
+  QueryExecutor executor(snapshots, options);
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(executor.Submit({"w(n1)", 0, {}}));
+  }
+  executor.Shutdown(/*drain=*/true);
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().status, ServiceStatus::kOk);
+  }
+  // Post-shutdown submissions are rejected, not queued.
+  QueryResponse late = executor.Execute({"w(n1)", 0, {}});
+  EXPECT_EQ(late.status, ServiceStatus::kShutdown);
+}
+
+TEST(QueryExecutorTest, AbortShutdownResolvesQueuedWithShutdown) {
+  auto snapshots = std::make_shared<SnapshotStore>();
+  ASSERT_EQ(snapshots->Publish(WinChainSlice(0, 300), false, false), "");
+  ExecutorOptions options;
+  options.threads = 1;
+  options.queue_capacity = 64;
+  QueryExecutor executor(snapshots, options);
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(executor.Submit({"w(n0)", 0, {}}));
+  }
+  executor.Shutdown(/*drain=*/false);
+  size_t abandoned = 0;
+  for (auto& future : futures) {
+    QueryResponse response = future.get();
+    if (response.status == ServiceStatus::kShutdown) ++abandoned;
+  }
+  // The worker may have finished a prefix, but everything still queued
+  // resolved as kShutdown instead of hanging.
+  EXPECT_EQ(abandoned + executor.stats().completed, 16u);
+}
+
+TEST(QueryExecutorTest, EpochSwapMidFlightServesPerEpochAnswers) {
+  // Publisher extends the chain while queries are in flight. Extending
+  // the chain flips win/lose parity for existing positions, so each
+  // response must match the sequential answer *for its epoch* — a
+  // response pairing an answer with the wrong epoch fails the test.
+  const int kBase = 8;
+  const int kSteps = 4;
+  const int kPerStep = 4;
+  auto snapshots = std::make_shared<SnapshotStore>();
+  ASSERT_EQ(snapshots->Publish(WinChainSlice(0, kBase), false, false), "");
+  std::vector<std::string> programs(kSteps + 1);
+  programs[0] = WinChainSlice(0, kBase);
+  for (int s = 1; s <= kSteps; ++s) {
+    programs[s] = WinChainSlice(0, kBase + s * kPerStep);
+  }
+
+  ExecutorOptions options;
+  options.threads = 4;
+  options.queue_capacity = 1024;
+  QueryExecutor executor(snapshots, options);
+
+  std::atomic<bool> done{false};
+  std::thread publisher([&] {
+    for (int s = 1; s <= kSteps; ++s) {
+      std::string slice =
+          WinChainSlice(kBase + (s - 1) * kPerStep, kBase + s * kPerStep);
+      ASSERT_EQ(snapshots->Publish(slice, /*append=*/true, false), "");
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    done.store(true);
+  });
+
+  std::vector<std::pair<std::string, std::future<QueryResponse>>> inflight;
+  int i = 0;
+  while (!done.load() || i < 64) {
+    std::string q = "w(n" + std::to_string(i % kBase) + ")";
+    inflight.emplace_back(q, executor.Submit({q, 0, {}}));
+    ++i;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  publisher.join();
+
+  for (auto& [q, future] : inflight) {
+    QueryResponse got = future.get();
+    ASSERT_EQ(got.status, ServiceStatus::kOk) << q << ": " << got.error;
+    ASSERT_LE(got.epoch, static_cast<uint64_t>(kSteps + 1));
+    ASSERT_GE(got.epoch, 1u);
+    QueryResponse want =
+        SequentialResponse(programs[got.epoch - 1], q, got.epoch);
+    EXPECT_EQ(got.answers, want.answers)
+        << q << " at epoch " << got.epoch;
+  }
+  executor.Shutdown();
+}
+
+TEST(QueryExecutorTest, AggregatesPerQueryMetricsAcrossWorkers) {
+  auto snapshots = std::make_shared<SnapshotStore>();
+  ASSERT_EQ(snapshots->Publish(WinChainSlice(0, 16), false, false), "");
+  ExecutorOptions options;
+  options.threads = 3;
+  options.engine.trace_capacity = 1024;
+  QueryExecutor executor(snapshots, options);
+  const int kQueries = 30;
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < kQueries; ++i) {
+    futures.push_back(
+        executor.Submit({"w(n" + std::to_string(i % 16) + ")", 0, {}}));
+  }
+  for (auto& future : futures) {
+    ASSERT_EQ(future.get().status, ServiceStatus::kOk);
+  }
+  obs::MetricsRegistry merged = executor.AggregatedMetrics();
+  // Every query counted exactly once across however many workers ran it.
+  EXPECT_EQ(merged.value(obs::Counter::kQueries),
+            static_cast<uint64_t>(kQueries));
+  EXPECT_GT(merged.value(obs::Counter::kMagicFactsDerived), 0u);
+  std::string trace = executor.AggregatedTraceJson();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"query\""), std::string::npos);
+  executor.Shutdown();
+}
+
+TEST(WireTest, ParsesRequestsAndRejectsMalformed) {
+  WireRequest request;
+  std::string error;
+  ASSERT_TRUE(service::ParseWireRequest(
+      R"js({"op":"query","q":"w(n0)","deadline_ms":250,"id":"7"})js", &request,
+      &error))
+      << error;
+  EXPECT_EQ(request.op, "query");
+  EXPECT_EQ(request.q, "w(n0)");
+  EXPECT_EQ(request.deadline_ms, 250u);
+  EXPECT_EQ(request.id, "7");
+
+  EXPECT_FALSE(service::ParseWireRequest("not json", &request, &error));
+  EXPECT_FALSE(service::ParseWireRequest("[1,2]", &request, &error));
+  EXPECT_NE(error.find("object"), std::string::npos);
+  EXPECT_FALSE(service::ParseWireRequest(R"js({"q":"w(n0)"})js", &request,
+                                         &error));
+  EXPECT_FALSE(service::ParseWireRequest(R"js({"op":"nope"})js", &request,
+                                         &error));
+  EXPECT_FALSE(service::ParseWireRequest(R"js({"op":"query"})js", &request,
+                                         &error));
+  EXPECT_FALSE(service::ParseWireRequest(R"js({"op":"load"})js", &request,
+                                         &error));
+  // Escapes (incl. \u) round-trip through the parser.
+  ASSERT_TRUE(service::ParseWireRequest(
+      R"js({"op":"query","q":"w(n0)\n"})js", &request, &error))
+      << error;
+  EXPECT_EQ(request.q, "w(n0)\n");
+}
+
+TEST(WireTest, EncodesResponsesDeterministically) {
+  QueryResponse response;
+  response.status = ServiceStatus::kOk;
+  response.answers = {"w(n1)", "w(n3)"};
+  response.ground_status = QueryStatus::kTrue;
+  response.facts_derived = 42;
+  response.epoch = 3;
+  EXPECT_EQ(service::EncodeQueryResponse(response, "9"),
+            "{\"status\":\"ok\",\"id\":\"9\",\"ground_status\":\"true\","
+            "\"answers\":[\"w(n1)\",\"w(n3)\"],\"facts_derived\":42,"
+            "\"epoch\":3}");
+
+  QueryResponse timeout;
+  timeout.status = ServiceStatus::kTimeout;
+  timeout.error = "deadline exceeded";
+  timeout.epoch = 1;
+  EXPECT_EQ(service::EncodeQueryResponse(timeout, ""),
+            "{\"status\":\"timeout\",\"error\":\"deadline exceeded\","
+            "\"epoch\":1}");
+
+  EXPECT_EQ(service::EncodeErrorResponse("bad \"op\"", "x"),
+            "{\"status\":\"error\",\"id\":\"x\",\"error\":"
+            "\"bad \\\"op\\\"\"}");
+}
+
+// ---- End-to-end socket tests -------------------------------------------
+
+// A minimal blocking line client for the tests.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    connected_ = fd_ >= 0 &&
+                 ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  // Sends one line, returns the one response line (without '\n').
+  std::string RoundTrip(const std::string& line) {
+    std::string out = line + "\n";
+    size_t sent = 0;
+    while (sent < out.size()) {
+      ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent, 0);
+      if (n <= 0) return "<send failed>";
+      sent += static_cast<size_t>(n);
+    }
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "<recv failed>";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    size_t nl = buffer_.find('\n');
+    std::string response = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return response;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+struct ServerFixture {
+  std::shared_ptr<SnapshotStore> snapshots;
+  std::shared_ptr<QueryExecutor> executor;
+  std::unique_ptr<LineServer> server;
+
+  explicit ServerFixture(const std::string& program, size_t threads = 4,
+                         bool solve_wfs = true) {
+    snapshots = std::make_shared<SnapshotStore>();
+    if (!program.empty()) {
+      EXPECT_EQ(snapshots->Publish(program, false, solve_wfs), "");
+    }
+    ExecutorOptions options;
+    options.threads = threads;
+    options.queue_capacity = 256;
+    executor = std::make_shared<QueryExecutor>(snapshots, options);
+    ServerOptions server_options;
+    server_options.port = 0;  // Ephemeral.
+    server = std::make_unique<LineServer>(snapshots, executor,
+                                          server_options);
+    EXPECT_EQ(server->Start(), "");
+  }
+  ~ServerFixture() {
+    server->Stop();
+    executor->Shutdown();
+  }
+};
+
+// The acceptance bar: >= 8 concurrent clients, every response line
+// byte-identical to encoding the sequential engine's answer.
+TEST(LineServerTest, EightConcurrentClientsGetSequentialBytes) {
+  const std::string program = WinChainSlice(0, 16) + HiLogGame(2, 6);
+  ServerFixture fixture(program);
+  const int kClients = 8;
+  const int kQueriesPerClient = 6;
+
+  std::vector<std::string> queries;
+  for (int i = 0; i < 16; ++i) {
+    queries.push_back("w(n" + std::to_string(i) + ")");
+  }
+  for (int i = 0; i < 6; ++i) {
+    queries.push_back("winning(mv1)(n" + std::to_string(i) + ")");
+  }
+  // Expected wire bytes, computed once from the sequential engine.
+  std::vector<std::string> expected;
+  for (const std::string& q : queries) {
+    expected.push_back(service::EncodeQueryResponse(
+        SequentialResponse(program, q, /*epoch=*/1), /*id=*/""));
+  }
+
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client(fixture.server->port());
+      if (!client.connected()) {
+        failures[c] = "connect failed";
+        return;
+      }
+      for (int k = 0; k < kQueriesPerClient; ++k) {
+        const size_t qi = (c * kQueriesPerClient + k) % queries.size();
+        std::string line = "{\"op\":\"query\",\"q\":\"" + queries[qi] +
+                           "\"}";
+        std::string got = client.RoundTrip(line);
+        if (got != expected[qi]) {
+          failures[c] = "query " + queries[qi] + "\n  got:  " + got +
+                        "\n  want: " + expected[qi];
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+  EXPECT_GE(fixture.executor->stats().ok,
+            static_cast<uint64_t>(kClients * kQueriesPerClient));
+}
+
+TEST(LineServerTest, ProtocolOpsRoundTrip) {
+  ServerFixture fixture("");
+  TestClient client(fixture.server->port());
+  ASSERT_TRUE(client.connected());
+
+  EXPECT_EQ(client.RoundTrip(R"js({"op":"ping","id":"a"})js"),
+            R"js({"status":"ok","id":"a","epoch":0})js");
+
+  // load publishes epoch 1; rules = 2 per chain position.
+  std::string load_line = R"js({"op":"load","program":")js";
+  // WinChainSlice(0, 2) contains newlines — escape them for the wire.
+  std::string program = WinChainSlice(0, 2);
+  std::string escaped;
+  service::JsonAppendEscaped(&escaped, program);
+  load_line += escaped + R"js(","id":"b"})js";
+  EXPECT_EQ(client.RoundTrip(load_line),
+            R"js({"status":"ok","id":"b","epoch":1,"rules":4})js");
+
+  // A query against the newly published snapshot.
+  std::string got = client.RoundTrip(R"js({"op":"query","q":"w(n0)"})js");
+  EXPECT_EQ(got, service::EncodeQueryResponse(
+                     SequentialResponse(program, "w(n0)", 1), ""));
+
+  // load_more extends to epoch 2.
+  std::string more = WinChainSlice(2, 3);
+  escaped.clear();
+  service::JsonAppendEscaped(&escaped, more);
+  EXPECT_EQ(client.RoundTrip(R"js({"op":"load_more","program":")js" + escaped +
+                             R"js("})js"),
+            R"js({"status":"ok","epoch":2,"rules":6})js");
+
+  // wfs reports the publish-time model of the current snapshot.
+  std::string wfs = client.RoundTrip(R"js({"op":"wfs"})js");
+  EXPECT_NE(wfs.find("\"has_wfs\":true"), std::string::npos) << wfs;
+  EXPECT_NE(wfs.find("\"epoch\":2"), std::string::npos) << wfs;
+  // Chain of 3: w(n0) undefined? No — acyclic chain is total: w(n2) true,
+  // w(n1) false, w(n0) true, plus 3 move facts => 5 true, 0 undefined.
+  EXPECT_NE(wfs.find("\"true_atoms\":5"), std::string::npos) << wfs;
+  EXPECT_NE(wfs.find("\"undefined_atoms\":0"), std::string::npos) << wfs;
+
+  // stats is well-formed and counts the one ok query.
+  std::string stats = client.RoundTrip(R"js({"op":"stats"})js");
+  EXPECT_NE(stats.find("\"submitted\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"ok\":1"), std::string::npos) << stats;
+
+  // Malformed lines get a typed error, and the connection stays usable.
+  std::string bad = client.RoundTrip("{nope");
+  EXPECT_NE(bad.find("\"status\":\"error\""), std::string::npos) << bad;
+  EXPECT_EQ(client.RoundTrip(R"js({"op":"ping"})js"),
+            R"js({"status":"ok","epoch":2})js");
+}
+
+TEST(LineServerTest, ShutdownOpStopsServer) {
+  ServerFixture fixture("");
+  TestClient client(fixture.server->port());
+  ASSERT_TRUE(client.connected());
+  std::string got = client.RoundTrip(R"js({"op":"shutdown"})js");
+  EXPECT_NE(got.find("\"stopping\":true"), std::string::npos);
+  fixture.server->Wait();  // Returns because the op requested stop.
+  EXPECT_TRUE(fixture.server->stopping());
+}
+
+TEST(LineServerTest, DeadlineOverWireTimesOut) {
+  ServerFixture fixture(WinChainSlice(0, 6000), /*threads=*/2,
+                        /*solve_wfs=*/false);
+  TestClient client(fixture.server->port());
+  ASSERT_TRUE(client.connected());
+  std::string got =
+      client.RoundTrip(R"js({"op":"query","q":"w(n0)","deadline_ms":1})js");
+  EXPECT_NE(got.find("\"status\":\"timeout\""), std::string::npos) << got;
+  // The same connection then gets a correct answer with no deadline.
+  std::string ok = client.RoundTrip(R"js({"op":"query","q":"w(n5999)"})js");
+  EXPECT_NE(ok.find("\"status\":\"ok\""), std::string::npos) << ok;
+  EXPECT_NE(ok.find("w(n5999)"), std::string::npos) << ok;
+}
+
+}  // namespace
+}  // namespace hilog
