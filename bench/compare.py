@@ -3,7 +3,7 @@
 
 Usage:
     bench/compare.py BASELINE.json CURRENT.json [--threshold 0.25]
-                     [--min-ns 500]
+                     [--min-ns 500] [--update]
 
 Exit status is non-zero iff any case present in both files regressed by
 more than --threshold (fractional slowdown of real_time_ns). Cases whose
@@ -11,10 +11,16 @@ baseline and current times are both under --min-ns are skipped: at that
 scale scheduler jitter dominates and a "regression" is noise. Cases that
 exist in only one file are reported but never fail the comparison —
 benches are added and retired by design.
+
+With --update, the comparison is still printed, then CURRENT is copied
+over BASELINE (picking up new benches and retiring removed ones) and the
+exit status is 0 regardless of regressions — this is how the checked-in
+baseline is regenerated after intentional performance changes.
 """
 
 import argparse
 import json
+import shutil
 import sys
 
 
@@ -43,6 +49,10 @@ def main():
     parser.add_argument("--min-ns", type=float, default=500.0,
                         help="skip cases where both sides run under this "
                              "many ns (jitter floor, default 500)")
+    parser.add_argument("--update", action="store_true",
+                        help="after printing the comparison, copy CURRENT "
+                             "over BASELINE and exit 0 (regenerate the "
+                             "checked-in baseline)")
     args = parser.parse_args()
 
     base = load_cases(args.baseline)
@@ -72,8 +82,14 @@ def main():
               f"({delta * 100:+.1f}% > {args.threshold * 100:.0f}%)")
 
     shared = len(base.keys() & cur.keys())
-    print(f"compared {shared} cases: {len(regressions)} regressions, "
+    new = len(cur.keys() - base.keys())
+    print(f"compared {shared} cases ({new} new, informational): "
+          f"{len(regressions)} regressions, "
           f"{len(improvements)} improvements")
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"updated baseline: {args.baseline} <- {args.current}")
+        return 0
     return 1 if regressions else 0
 
 
