@@ -7,6 +7,7 @@
 #include "bench_main.h"
 
 #include "workloads.h"
+#include "src/ground/grounder.h"
 #include "src/lang/parser.h"
 #include "src/wfs/stable.h"
 
@@ -50,6 +51,40 @@ void BM_StableEnumeration_WfsPrunesEverything(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_StableEnumeration_WfsPrunesEverything)->Range(16, 1024);
+
+void BM_StableEnumeration_Layered(benchmark::State& state) {
+  // A stratified layered-negation stack: the internal SCC-scheduled WFS
+  // is total, so enumeration emits the single model with zero branching
+  // regardless of depth.
+  const int layers = static_cast<int>(state.range(0));
+  TermStore store;
+  auto parsed =
+      ParseProgram(store, bench::LayeredNegationProgram(layers, /*width=*/8));
+  RelevanceGroundingResult g =
+      GroundWithRelevance(store, *parsed, BottomUpOptions());
+  for (auto _ : state) {
+    StableModelsResult r = EnumerateStableModels(g.program, StableOptions());
+    benchmark::DoNotOptimize(r.models.size());
+  }
+  state.SetItemsProcessed(state.iterations() * layers * 8);
+}
+BENCHMARK(BM_StableEnumeration_Layered)->Range(2, 32);
+
+void BM_StableEnumeration_MultiChains(benchmark::State& state) {
+  // Independent win chains: WFS (via the scheduler) fixes every atom
+  // per component, so enumeration stays a single candidate as the
+  // number of components grows.
+  const int chains = static_cast<int>(state.range(0));
+  TermStore store;
+  GroundProgram ground =
+      MakeGround(store, bench::MultiWinChains(chains, /*length=*/16));
+  for (auto _ : state) {
+    StableModelsResult r = EnumerateStableModels(ground, StableOptions());
+    benchmark::DoNotOptimize(r.models.size());
+  }
+  state.SetItemsProcessed(state.iterations() * chains * 16);
+}
+BENCHMARK(BM_StableEnumeration_MultiChains)->Range(4, 32);
 
 void BM_GelfondLifschitzCheck(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -8,6 +8,7 @@
 #include "bench_main.h"
 
 #include "workloads.h"
+#include "src/eval/scheduler.h"
 #include "src/ground/grounder.h"
 #include "src/lang/parser.h"
 #include "src/wfs/alternating.h"
@@ -85,6 +86,106 @@ void BM_WfsOperator_Cycle(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_WfsOperator_Cycle)->Range(8, 256);
+
+void BM_WfsScheduled_Chain(benchmark::State& state) {
+  // The SCC scheduler on the same chain: every atom SCC is a trivial
+  // singleton, settled by rule inspection — O(n) where the alternating
+  // fixpoint pays O(n) rounds over n atoms.
+  TermStore store;
+  GroundProgram ground =
+      MakeGround(store, bench::GroundWinChain(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    WfsResult r = ComputeWfsScc(ground);
+    benchmark::DoNotOptimize(r.model.CountTrue());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WfsScheduled_Chain)->Range(8, 4096);
+
+void BM_WfsAlternating_MultiChains(benchmark::State& state) {
+  // 8 independent chains of the given length, whole-program alternating
+  // fixpoint: the round count tracks the longest chain, and every round
+  // re-sweeps all chains — quadratic in the chain length.
+  const int length = static_cast<int>(state.range(0));
+  TermStore store;
+  GroundProgram ground =
+      MakeGround(store, bench::MultiWinChains(/*chains=*/8, length));
+  for (auto _ : state) {
+    WfsResult r = ComputeWfsAlternating(ground);
+    benchmark::DoNotOptimize(r.model.CountTrue());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * length);
+}
+BENCHMARK(BM_WfsAlternating_MultiChains)->Range(8, 512);
+
+void BM_WfsScheduled_MultiChains(benchmark::State& state) {
+  // Same program through the scheduler: each chain settles independently
+  // and each atom exactly once — linear in the total program size.
+  const int length = static_cast<int>(state.range(0));
+  TermStore store;
+  GroundProgram ground =
+      MakeGround(store, bench::MultiWinChains(/*chains=*/8, length));
+  for (auto _ : state) {
+    WfsResult r = ComputeWfsScc(ground);
+    benchmark::DoNotOptimize(r.model.CountTrue());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * length);
+}
+BENCHMARK(BM_WfsScheduled_MultiChains)->Range(8, 512);
+
+void BM_WfsComponentPipeline_MultiChains(benchmark::State& state) {
+  // End-to-end component-at-a-time evaluation from the non-ground
+  // program: condensation, restricted per-component grounding, and
+  // per-SCC settling (a cold scheduler cache every iteration).
+  const int chains = static_cast<int>(state.range(0));
+  TermStore store;
+  auto parsed = ParseProgram(store, bench::MultiWinChains(chains, 16));
+  for (auto _ : state) {
+    ComponentWfsResult r =
+        SolveWfsByComponents(store, *parsed, BottomUpOptions());
+    benchmark::DoNotOptimize(r.model.CountTrue());
+  }
+  state.SetItemsProcessed(state.iterations() * chains * 16);
+}
+BENCHMARK(BM_WfsComponentPipeline_MultiChains)->Range(4, 64);
+
+void BM_WfsComponentCacheReuse_MultiChains(benchmark::State& state) {
+  // The service's steady state: every component is unchanged since the
+  // last solve, so each iteration replays settled components from the
+  // cache without grounding or fixpoints.
+  const int chains = static_cast<int>(state.range(0));
+  TermStore store;
+  auto parsed = ParseProgram(store, bench::MultiWinChains(chains, 16));
+  SchedulerCache cache;
+  {
+    ComponentWfsResult warm =
+        SolveWfsByComponents(store, *parsed, BottomUpOptions(), &cache);
+    benchmark::DoNotOptimize(warm.model.CountTrue());
+  }
+  for (auto _ : state) {
+    ComponentWfsResult r =
+        SolveWfsByComponents(store, *parsed, BottomUpOptions(), &cache);
+    benchmark::DoNotOptimize(r.model.CountTrue());
+  }
+  state.SetItemsProcessed(state.iterations() * chains * 16);
+}
+BENCHMARK(BM_WfsComponentCacheReuse_MultiChains)->Range(4, 64);
+
+void BM_WfsScheduled_Layered(benchmark::State& state) {
+  // A deep stratified negation stack: one scheduler component per layer
+  // predicate, no cyclic SCCs anywhere.
+  const int layers = static_cast<int>(state.range(0));
+  TermStore store;
+  auto parsed =
+      ParseProgram(store, bench::LayeredNegationProgram(layers, /*width=*/8));
+  for (auto _ : state) {
+    ComponentWfsResult r =
+        SolveWfsByComponents(store, *parsed, BottomUpOptions());
+    benchmark::DoNotOptimize(r.model.CountTrue());
+  }
+  state.SetItemsProcessed(state.iterations() * layers * 8);
+}
+BENCHMARK(BM_WfsScheduled_Layered)->Range(2, 32);
 
 void BM_GammaOperator(benchmark::State& state) {
   // One Gamma (GL-reduct least model) application: the inner loop of

@@ -67,6 +67,49 @@ inline std::string HiLogGameProgram(int games, int positions) {
   return text;
 }
 
+// `chains` independent ground win/move chains of `length` positions
+// each over disjoint predicate pairs (w0/m0, w1/m1, ...): the
+// multi-component workload for the SCC evaluation scheduler. A
+// whole-program alternating fixpoint re-sweeps every chain each round;
+// component-at-a-time settling touches each chain once.
+inline std::string MultiWinChains(int chains, int length) {
+  std::string text;
+  for (int c = 0; c < chains; ++c) {
+    std::string w = "w" + std::to_string(c);
+    std::string m = "m" + std::to_string(c);
+    for (int i = 0; i < length; ++i) {
+      std::string x = std::to_string(i);
+      std::string y = std::to_string(i + 1);
+      text += w + "(n" + x + ") :- " + m + "(n" + x + ",n" + y + "), ~" +
+              w + "(n" + y + ").\n";
+      text += m + "(n" + x + ",n" + y + ").\n";
+    }
+  }
+  return text;
+}
+
+// A `layers`-deep stack of negation strata, `width` predicates wide:
+// every layer-l predicate depends positively on its layer-(l-1)
+// counterpart and negatively on a layer-(l-1) neighbour. Stratified, so
+// the WFS is total; each layer is its own scheduler component.
+inline std::string LayeredNegationProgram(int layers, int width) {
+  std::string text;
+  for (int w = 0; w < width; ++w) {
+    text += "p0_" + std::to_string(w) + "(c).\n";
+  }
+  for (int l = 1; l < layers; ++l) {
+    std::string lo = std::to_string(l - 1);
+    std::string hi = std::to_string(l);
+    for (int w = 0; w < width; ++w) {
+      std::string self = std::to_string(w);
+      std::string other = std::to_string((w + 1) % width);
+      text += "p" + hi + "_" + self + "(X) :- p" + lo + "_" + self +
+              "(X), ~p" + lo + "_" + other + "(X).\n";
+    }
+  }
+  return text;
+}
+
 // Generic transitive closure over a chain of size n (Example 2.1),
 // guarded so it is strongly range restricted.
 inline std::string TcProgram(int n) {

@@ -6,10 +6,10 @@
 #include "src/analysis/dependency.h"
 #include "src/analysis/range_restriction.h"
 #include "src/analysis/stratification.h"
+#include "src/eval/scheduler.h"
 #include "src/ground/grounder.h"
 #include "src/lang/printer.h"
 #include "src/term/unify.h"
-#include "src/wfs/alternating.h"
 
 namespace hilog {
 namespace {
@@ -271,7 +271,7 @@ ModularResult CheckModularHiLog(TermStore& store, const Program& program,
       result.reason = "reduced component is not locally stratified";
       return result;
     }
-    WfsResult wfs = ComputeWfsAlternating(ground);
+    WfsResult wfs = ComputeWfsScc(ground);
     if (!wfs.model.IsTotal()) {
       result.reason =
           "internal error: locally stratified component had a partial "
@@ -313,27 +313,19 @@ ModularResult CheckModularNormal(TermStore& store, const Program& program,
     result.reason = "program uses aggregate/builtin literals";
     return result;
   }
-  DependencyGraph graph = PredicateDependencyGraph(store, program);
-  uint32_t num_components = 0;
-  std::vector<uint32_t> component_of =
-      graph.StronglyConnectedComponents(&num_components);
-
-  // Tarjan numbers components in reverse topological order: a component
-  // only depends on (has edges into) components with smaller ids, so
-  // processing ids in increasing order visits dependencies first.
-  for (uint32_t c = 0; c < num_components; ++c) {
+  // The scheduler's condensation: components in reverse topological
+  // order, rules grouped by head-name component, so processing ids in
+  // increasing order visits dependencies first.
+  ProgramCondensation cond = CondenseProgram(store, program);
+  for (uint32_t c = 0; c < cond.num_components; ++c) {
     ++result.rounds;
     std::vector<TermId> component_preds;
-    for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
-      if (component_of[v] == c) component_preds.push_back(graph.node(v));
+    for (uint32_t v : cond.members[c]) {
+      component_preds.push_back(cond.graph.node(v));
     }
-    std::unordered_set<TermId> pred_set(component_preds.begin(),
-                                        component_preds.end());
     std::vector<Rule> component_rules;
-    for (const Rule& rule : program.rules) {
-      if (pred_set.count(store.PredName(rule.head)) > 0) {
-        component_rules.push_back(rule);
-      }
+    for (size_t r : cond.rules_of[c]) {
+      component_rules.push_back(program.rules[r]);
     }
     // Reduction of the component modulo the accumulated model
     // (Definition 6.3 is the normal-program specialization of 6.5).
@@ -354,7 +346,7 @@ ModularResult CheckModularNormal(TermStore& store, const Program& program,
       result.reason = "reduced component is not locally stratified";
       return result;
     }
-    WfsResult wfs = ComputeWfsAlternating(ground);
+    WfsResult wfs = ComputeWfsScc(ground);
     if (!wfs.model.IsTotal()) {
       result.reason =
           "component union lacks a total well-founded model (Definition "

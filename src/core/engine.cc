@@ -14,6 +14,7 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
 
 std::string Engine::Load(std::string_view text) {
   program_ = Program();
+  scheduler_cache_.Clear();
   return LoadMore(text);
 }
 
@@ -60,7 +61,11 @@ Engine::WfsAnswer Engine::SolveOnGround(const GroundProgram& ground,
   answer.exact = exact;
   answer.notes = std::move(notes);
   answer.ground_rules = ground.size();
-  WfsResult wfs = ComputeWfsAlternating(ground);
+  WfsResult wfs = ComputeWfsScc(ground);
+  if (wfs.cancelled) {
+    answer.cancelled = true;
+    answer.exact = false;
+  }
   answer.model = std::move(wfs.model);
   return answer;
 }
@@ -77,17 +82,22 @@ Engine::WfsAnswer Engine::SolveWellFoundedWith(GrounderKind grounder) {
   obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
   obs::ScopedPhaseTimer timer(obs::Phase::kSolveWfs);
   if (grounder == GrounderKind::kRelevance) {
-    RelevanceGroundingResult grounded =
-        GroundWithRelevance(store_, program_, options_.bottomup);
-    if (!grounded.ok) {
+    ComponentWfsResult scheduled = SolveWfsByComponents(
+        store_, program_, options_.bottomup, &scheduler_cache_);
+    if (!scheduled.ok) {
       WfsAnswer answer;
       answer.ok = false;
-      answer.notes = grounded.error;
+      answer.notes = scheduled.error;
       return answer;
     }
-    return SolveOnGround(grounded.program, GrounderKind::kRelevance,
-                         /*exact=*/!grounded.truncated,
-                         grounded.truncated ? "envelope truncated" : "");
+    WfsAnswer answer;
+    answer.grounder = GrounderKind::kRelevance;
+    answer.exact = !scheduled.truncated && !scheduled.cancelled;
+    answer.cancelled = scheduled.cancelled;
+    answer.notes = scheduled.truncated ? "envelope truncated" : "";
+    answer.ground_rules = scheduled.ground.size();
+    answer.model = std::move(scheduled.model);
+    return answer;
   }
   Universe universe =
       ProgramHiLogUniverse(store_, program_, options_.universe_bound);
@@ -105,10 +115,20 @@ StableModelsResult Engine::SolveStable() {
   obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
   obs::ScopedPhaseTimer timer(obs::Phase::kSolveStable);
   if (IsStronglyRangeRestricted(store_, program_)) {
-    RelevanceGroundingResult grounded =
-        GroundWithRelevance(store_, program_, options_.bottomup);
-    if (grounded.ok) {
-      return EnumerateStableModels(grounded.program, options_.stable);
+    // Scheduler path: the union of restricted component groundings, with
+    // the already-settled well-founded model handed to the enumerator so
+    // it only branches on genuinely undefined atoms.
+    ComponentWfsResult scheduled = SolveWfsByComponents(
+        store_, program_, options_.bottomup, &scheduler_cache_);
+    if (scheduled.cancelled) {
+      StableModelsResult cancelled;
+      cancelled.cancelled = true;
+      cancelled.complete = false;
+      return cancelled;
+    }
+    if (scheduled.ok) {
+      return EnumerateStableModels(scheduled.ground, options_.stable,
+                                   &scheduled.model);
     }
   }
   Universe universe =

@@ -11,6 +11,7 @@
 #include "src/eval/aggregate.h"
 #include "src/eval/magic_eval.h"
 #include "src/eval/resolution.h"
+#include "src/eval/scheduler.h"
 #include "src/eval/stratified.h"
 #include "src/eval/tabled.h"
 #include "src/ground/grounder.h"
@@ -103,13 +104,20 @@ class Engine {
     /// fragment was used (non-strongly-range-restricted programs).
     bool exact = true;
     bool ok = true;
+    /// Stopped early by the thread's installed CancelToken; the model is
+    /// partial and `exact` is false.
+    bool cancelled = false;
     std::string notes;
     size_t ground_rules = 0;
   };
 
   /// Computes the well-founded model, choosing the relevance grounder for
   /// strongly range-restricted programs and falling back to bounded
-  /// exhaustive Herbrand instantiation otherwise.
+  /// exhaustive Herbrand instantiation otherwise. Both paths run through
+  /// the SCC evaluation scheduler (src/eval/scheduler.h): the relevance
+  /// path evaluates predicate components against restricted active
+  /// domains and memoizes settled components across calls; the Herbrand
+  /// path schedules atom-level SCCs over the monolithic grounding.
   WfsAnswer SolveWellFounded();
 
   /// Like SolveWellFounded but forcing the grounder.
@@ -160,6 +168,11 @@ class Engine {
   /// Empirical Definition 5.1 check over the configured universe bound.
   DomainIndependenceResult CheckDomainIndependence(size_t extra_symbols = 2);
 
+  /// The scheduler's component cache: settled predicate components kept
+  /// across solves and LoadMore (cleared by Load). Exposed for tests and
+  /// service diagnostics.
+  const SchedulerCache& scheduler_cache() const { return scheduler_cache_; }
+
  private:
   WfsAnswer SolveOnGround(const GroundProgram& ground, GrounderKind kind,
                           bool exact, std::string notes);
@@ -184,6 +197,10 @@ class Engine {
   std::unordered_set<TermId> edb_names_cache_;
   std::vector<TermId> edb_facts_cache_;
   bool edb_cache_valid_ = false;
+  // Settled-component memo for the SCC scheduler. Safe across LoadMore
+  // (append-only: TermIds and rule indices of loaded text are stable);
+  // Load replaces the program, so it clears the cache.
+  SchedulerCache scheduler_cache_;
 };
 
 }  // namespace hilog

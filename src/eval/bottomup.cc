@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/eval/cancel.h"
+#include "src/eval/plan.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/term/unify.h"
@@ -53,82 +54,23 @@ std::vector<TermId> PositiveAtoms(const Rule& rule) {
   return atoms;
 }
 
-// Greedy join plan: repeatedly picks the literal with the most arguments
-// already bound (by constants or by variables of previously placed
-// literals), breaking ties toward the smaller estimated relation, then
-// the original position (so plans are deterministic). The delta literal,
-// if any, is pinned first: it is the smallest relation by construction
-// and every semi-naive firing must use it.
+// Plans the join through the shared greedy planner (src/eval/plan.h),
+// estimating each atom's relation by its FactBase name bucket. The delta
+// literal, if any, is pinned first.
 std::vector<TermId> PlanJoin(const TermStore& store,
                              const std::vector<TermId>& atoms,
                              const FactBase& facts, size_t delta_pos) {
-  if (atoms.size() <= (delta_pos == SIZE_MAX ? size_t{1} : size_t{2})) {
-    if (delta_pos != SIZE_MAX && delta_pos != 0) {
-      std::vector<TermId> swapped = atoms;
-      std::swap(swapped[0], swapped[delta_pos]);
-      return swapped;
-    }
-    return atoms;
-  }
-  // Per-literal: variables of each argument (the name's variables count
-  // toward no argument but do join), plus a static size estimate.
-  struct Info {
-    std::vector<std::vector<TermId>> arg_vars;
-    std::vector<TermId> all_vars;
-    size_t est_size = 0;
-  };
-  std::vector<Info> info(atoms.size());
-  for (size_t i = 0; i < atoms.size(); ++i) {
-    TermId atom = atoms[i];
-    store.CollectVariables(atom, &info[i].all_vars);
-    if (store.IsApply(atom)) {
-      auto args = store.apply_args(atom);
-      info[i].arg_vars.resize(args.size());
-      for (size_t a = 0; a < args.size(); ++a) {
-        store.CollectVariables(args[a], &info[i].arg_vars[a]);
-      }
-    }
-    TermId name = store.PredName(atom);
-    info[i].est_size =
-        store.IsGround(name) ? facts.WithName(name).size() : facts.size();
-  }
-
+  std::vector<size_t> order = PlanJoinOrder(
+      store, atoms,
+      [&](TermId atom) {
+        TermId name = store.PredName(atom);
+        return store.IsGround(name) ? facts.WithName(name).size()
+                                    : facts.size();
+      },
+      delta_pos);
   std::vector<TermId> ordered;
   ordered.reserve(atoms.size());
-  std::unordered_set<TermId> bound;
-  std::vector<bool> placed(atoms.size(), false);
-  auto place = [&](size_t i) {
-    placed[i] = true;
-    ordered.push_back(atoms[i]);
-    for (TermId v : info[i].all_vars) bound.insert(v);
-  };
-  if (delta_pos != SIZE_MAX) place(delta_pos);
-  while (ordered.size() < atoms.size()) {
-    size_t best = SIZE_MAX;
-    size_t best_bound = 0;
-    size_t best_size = 0;
-    for (size_t i = 0; i < atoms.size(); ++i) {
-      if (placed[i]) continue;
-      size_t bound_args = 0;
-      for (const std::vector<TermId>& vars : info[i].arg_vars) {
-        bool all_bound = true;
-        for (TermId v : vars) {
-          if (bound.count(v) == 0) {
-            all_bound = false;
-            break;
-          }
-        }
-        if (all_bound) ++bound_args;
-      }
-      if (best == SIZE_MAX || bound_args > best_bound ||
-          (bound_args == best_bound && info[i].est_size < best_size)) {
-        best = i;
-        best_bound = bound_args;
-        best_size = info[i].est_size;
-      }
-    }
-    place(best);
-  }
+  for (size_t i : order) ordered.push_back(atoms[i]);
   return ordered;
 }
 
@@ -146,13 +88,22 @@ bool ForEachPositiveMatch(TermStore& store, const Rule& rule,
 BottomUpResult LeastModelOfPositiveProjection(TermStore& store,
                                               const Program& program,
                                               const BottomUpOptions& options) {
+  return LeastModelOfPositiveProjectionSeeded(store, program, options, {});
+}
+
+BottomUpResult LeastModelOfPositiveProjectionSeeded(
+    TermStore& store, const Program& program, const BottomUpOptions& options,
+    const std::vector<TermId>& seed_facts) {
   BottomUpResult result;
   std::unordered_set<size_t> unsafe;
 
-  // Round 0: facts (rules with no positive body literals). The delta is
-  // itself a FactBase so the semi-naive delta position probes by
+  // Round 0: seeds plus facts (rules with no positive body literals). The
+  // delta is itself a FactBase so the semi-naive delta position probes by
   // argument, exactly like the accumulated facts.
   FactBase delta;
+  for (TermId seed : seed_facts) {
+    if (result.facts.Insert(store, seed)) delta.Insert(store, seed);
+  }
   for (size_t r = 0; r < program.rules.size(); ++r) {
     const Rule& rule = program.rules[r];
     if (!PositiveAtoms(rule).empty()) continue;

@@ -48,6 +48,15 @@ BottomUpResult LeastModelOfPositiveProjection(TermStore& store,
                                               const Program& program,
                                               const BottomUpOptions& options);
 
+/// Like LeastModelOfPositiveProjection but seeded with external facts —
+/// the SCC scheduler's per-component envelope, where `seed_facts` are the
+/// true-or-undefined atoms already derived by lower components. Seeds
+/// join and trigger rules like round-0 facts but are not counted as
+/// bottom-up derivations (their components already reported them).
+BottomUpResult LeastModelOfPositiveProjectionSeeded(
+    TermStore& store, const Program& program, const BottomUpOptions& options,
+    const std::vector<TermId>& seed_facts);
+
 /// Enumerates every substitution theta (over the rule's variables) such
 /// that each *positive* body literal, instantiated by theta, matches a
 /// fact in `facts`. Negative, aggregate, and builtin literals are skipped.

@@ -6,6 +6,7 @@
 
 #include "src/eval/cancel.h"
 #include "src/eval/fact_base.h"
+#include "src/eval/plan.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/term/unify.h"
@@ -85,6 +86,16 @@ class VariantFactStore {
 
   const std::vector<TermId>& all() const { return ordered_; }
   size_t size() const { return ordered_.size(); }
+
+  /// Relation-size estimate for the shared join planner: the pattern's
+  /// name bucket (ground + non-ground + unnamed) or, for a variable
+  /// predicate name, the whole store.
+  size_t EstimateForPattern(TermId pattern) const {
+    TermId name = store_.PredName(pattern);
+    if (!store_.IsGround(name)) return ordered_.size();
+    return ground_.WithName(name).size() + NonGroundWithName(name).size() +
+           NonGroundUnnamed().size();
+  }
 
  private:
   TermStore& store_;
@@ -185,25 +196,22 @@ class Evaluator {
     worklist_.push_back(fact);
   }
 
-  // Joins body positions of `rule` other than `skip`, extending `subst`;
-  // derives head instances.
-  void JoinFrom(const Rule& rule, size_t index, size_t skip,
-                Substitution subst) {
+  // Joins the body positions `order[depth..]` of `rule` (order[0] is the
+  // already-unified trigger position), extending `subst`; derives head
+  // instances.
+  void JoinFrom(const Rule& rule, const std::vector<size_t>& order,
+                size_t depth, Substitution subst) {
     if (result_.truncated) return;
-    if (index == rule.body.size()) {
+    if (depth == order.size()) {
       Derive(subst.Apply(store_, rule.head));
       return;
     }
-    if (index == skip) {
-      JoinFrom(rule, index + 1, skip, std::move(subst));
-      return;
-    }
-    TermId pattern = subst.Apply(store_, rule.body[index].atom);
+    TermId pattern = subst.Apply(store_, rule.body[order[depth]].atom);
     if (store_.IsGround(pattern)) {
       // Fast path: a ground subgoal is satisfied by the identical fact or
       // by a non-ground fact subsuming it — no bucket scan.
       if (facts_.ContainsGround(pattern)) {
-        JoinFrom(rule, index + 1, skip, subst);
+        JoinFrom(rule, order, depth + 1, subst);
         if (result_.truncated) return;
       }
       for (const std::vector<TermId>* bucket :
@@ -213,7 +221,7 @@ class Evaluator {
           Substitution extended = subst;
           TermId target = RenameApart(store_, fact, nullptr);
           if (UnifyInto(store_, target, pattern, &extended)) {
-            JoinFrom(rule, index + 1, skip, std::move(extended));
+            JoinFrom(rule, order, depth + 1, std::move(extended));
             break;  // One subsumption witness suffices for a ground goal.
           }
           if (result_.truncated) return;
@@ -230,7 +238,7 @@ class Evaluator {
       }
       Substitution extended = subst;
       if (UnifyInto(store_, pattern, target, &extended)) {
-        JoinFrom(rule, index + 1, skip, std::move(extended));
+        JoinFrom(rule, order, depth + 1, std::move(extended));
       }
       if (result_.truncated) return;
     }
@@ -247,7 +255,16 @@ class Evaluator {
     if (!UnifyInto(store_, renamed.body[position].atom, target, &subst)) {
       return;
     }
-    JoinFrom(renamed, 0, position, std::move(subst));
+    // Remaining positions joined in shared-planner order, with the
+    // trigger position pinned first (its variables are already bound).
+    std::vector<TermId> body_atoms;
+    body_atoms.reserve(renamed.body.size());
+    for (const Literal& lit : renamed.body) body_atoms.push_back(lit.atom);
+    std::vector<size_t> order = PlanJoinOrder(
+        store_, body_atoms,
+        [&](TermId atom) { return facts_.EstimateForPattern(atom); },
+        position);
+    JoinFrom(renamed, order, 1, std::move(subst));
   }
 
   void Propagate() {

@@ -1,0 +1,80 @@
+#include "src/eval/plan.h"
+
+#include <unordered_set>
+
+namespace hilog {
+
+std::vector<size_t> PlanJoinOrder(const TermStore& store,
+                                  const std::vector<TermId>& atoms,
+                                  const JoinSizeEstimator& estimate,
+                                  size_t pinned_first) {
+  std::vector<size_t> order;
+  order.reserve(atoms.size());
+  // One or zero free atoms: nothing to reorder beyond the pin.
+  if (atoms.size() <= (pinned_first == SIZE_MAX ? size_t{1} : size_t{2})) {
+    if (pinned_first != SIZE_MAX) order.push_back(pinned_first);
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (i != pinned_first) order.push_back(i);
+    }
+    return order;
+  }
+
+  // Per-atom: variables of each argument (the name's variables count
+  // toward no argument but do join), plus a static size estimate.
+  struct Info {
+    std::vector<std::vector<TermId>> arg_vars;
+    std::vector<TermId> all_vars;
+    size_t est_size = 0;
+  };
+  std::vector<Info> info(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    TermId atom = atoms[i];
+    store.CollectVariables(atom, &info[i].all_vars);
+    if (store.IsApply(atom)) {
+      auto args = store.apply_args(atom);
+      info[i].arg_vars.resize(args.size());
+      for (size_t a = 0; a < args.size(); ++a) {
+        store.CollectVariables(args[a], &info[i].arg_vars[a]);
+      }
+    }
+    info[i].est_size = estimate(atom);
+  }
+
+  std::unordered_set<TermId> bound;
+  std::vector<bool> placed(atoms.size(), false);
+  auto place = [&](size_t i) {
+    placed[i] = true;
+    order.push_back(i);
+    for (TermId v : info[i].all_vars) bound.insert(v);
+  };
+  if (pinned_first != SIZE_MAX) place(pinned_first);
+  while (order.size() < atoms.size()) {
+    size_t best = SIZE_MAX;
+    size_t best_bound = 0;
+    size_t best_size = 0;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (placed[i]) continue;
+      size_t bound_args = 0;
+      for (const std::vector<TermId>& vars : info[i].arg_vars) {
+        bool all_bound = true;
+        for (TermId v : vars) {
+          if (bound.count(v) == 0) {
+            all_bound = false;
+            break;
+          }
+        }
+        if (all_bound) ++bound_args;
+      }
+      if (best == SIZE_MAX || bound_args > best_bound ||
+          (bound_args == best_bound && info[i].est_size < best_size)) {
+        best = i;
+        best_bound = bound_args;
+        best_size = info[i].est_size;
+      }
+    }
+    place(best);
+  }
+  return order;
+}
+
+}  // namespace hilog

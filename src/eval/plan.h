@@ -1,0 +1,35 @@
+#ifndef HILOG_EVAL_PLAN_H_
+#define HILOG_EVAL_PLAN_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/term/term_store.h"
+
+namespace hilog {
+
+/// Relation-size estimate for one body atom pattern, supplied by the
+/// evaluator that owns the fact store (FactBase name buckets for the
+/// semi-naive engine, the variant store for the magic evaluator).
+using JoinSizeEstimator = std::function<size_t(TermId pattern)>;
+
+/// Greedy join plan shared by the semi-naive evaluator and the magic
+/// evaluator: repeatedly picks the atom with the most arguments already
+/// bound (by constants or by variables of previously placed atoms),
+/// breaking ties toward the smaller estimated relation, then the original
+/// position (so plans are deterministic). The pinned atom, if any, is
+/// placed first: it is the semi-naive delta literal or the magic trigger
+/// position — the smallest relation by construction, and every firing
+/// must use it.
+///
+/// Returns a permutation of [0, atoms.size()): the order in which to join.
+/// The enumerated match set is unaffected by the order, only the
+/// enumeration sequence and the work done to produce it.
+std::vector<size_t> PlanJoinOrder(const TermStore& store,
+                                  const std::vector<TermId>& atoms,
+                                  const JoinSizeEstimator& estimate,
+                                  size_t pinned_first);
+
+}  // namespace hilog
+
+#endif  // HILOG_EVAL_PLAN_H_

@@ -1,0 +1,531 @@
+#include "src/eval/scheduler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/eval/cancel.h"
+#include "src/lang/printer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/wfs/alternating.h"
+
+namespace hilog {
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+constexpr uint64_t kSigSeed = 1469598103934665603ull;
+
+}  // namespace
+
+ProgramCondensation CondenseProgram(const TermStore& store,
+                                    const Program& program) {
+  ProgramCondensation cond;
+  cond.graph = PredicateDependencyGraph(store, program);
+  cond.component_of =
+      cond.graph.StronglyConnectedComponents(&cond.num_components);
+  cond.members.resize(cond.num_components);
+  for (uint32_t v = 0; v < cond.graph.num_nodes(); ++v) {
+    cond.members[cond.component_of[v]].push_back(v);
+  }
+  cond.rules_of.resize(cond.num_components);
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    const Rule& rule = program.rules[r];
+    TermId head_name = store.PredName(rule.head);
+    if (!store.IsGround(head_name)) cond.exact = false;
+    for (const Literal& lit : rule.body) {
+      if (lit.atom == kNoTerm) continue;
+      if (!store.IsGround(store.PredName(lit.atom))) cond.exact = false;
+    }
+    cond.rules_of[cond.component_of[cond.graph.Find(head_name)]].push_back(r);
+  }
+  return cond;
+}
+
+WfsResult ComputeWfsScc(const GroundProgram& ground, SchedulerStats* stats,
+                        bool count_model_atoms) {
+  WfsResult result;
+  AtomTable table;
+  ground.CollectAtoms(&table);
+  obs::Count(obs::Counter::kSchedGroundAtoms, table.size());
+  if (count_model_atoms) {
+    obs::SetGauge(obs::Gauge::kAtomTableSize, table.size());
+  }
+  if (table.size() == 0) {
+    result.model = Interpretation(std::move(table));
+    return result;
+  }
+
+  DependencyGraph graph = AtomDependencyGraph(ground);
+  uint32_t num_components = 0;
+  std::vector<uint32_t> component_of =
+      graph.StronglyConnectedComponents(&num_components);
+  const uint32_t n = static_cast<uint32_t>(graph.num_nodes());
+
+  std::vector<std::vector<uint32_t>> members(num_components);
+  for (uint32_t v = 0; v < n; ++v) members[component_of[v]].push_back(v);
+  std::vector<std::vector<uint32_t>> rules_of(num_components);
+  for (uint32_t r = 0; r < ground.rules.size(); ++r) {
+    rules_of[component_of[graph.Find(ground.rules[r].head)]].push_back(r);
+  }
+
+  // Atom truth values, settled component by component. Every edge of the
+  // atom graph points into the same or a lower-numbered component, so by
+  // the time component c runs, all atoms its rules import are final.
+  std::vector<TruthValue> value(n, TruthValue::kFalse);
+  size_t largest = 0, trivial_count = 0, cyclic_count = 0;
+
+  for (uint32_t c = 0; c < num_components; ++c) {
+    if (CancelRequested()) {
+      result.cancelled = true;
+      break;
+    }
+    largest = std::max(largest, members[c].size());
+
+    bool trivial = members[c].size() == 1;
+    if (trivial) {
+      const uint32_t v = members[c][0];
+      for (const DependencyGraph::Edge& e : graph.OutEdges(v)) {
+        if (e.to == v) {
+          trivial = false;
+          break;
+        }
+      }
+    }
+
+    if (trivial) {
+      // Acyclic singleton: every body atom is settled, so the rules decide
+      // the atom directly — true if some instance has an all-true body,
+      // undefined if an instance survives with an undefined subgoal,
+      // false otherwise (including "no rules": unfounded).
+      ++trivial_count;
+      const uint32_t v = members[c][0];
+      TruthValue val = TruthValue::kFalse;
+      for (uint32_t r : rules_of[c]) {
+        const GroundRule& rule = ground.rules[r];
+        bool deleted = false, undef = false;
+        for (TermId a : rule.pos) {
+          TruthValue tv = value[graph.Find(a)];
+          if (tv == TruthValue::kFalse) {
+            deleted = true;
+            break;
+          }
+          if (tv == TruthValue::kUndefined) undef = true;
+        }
+        if (!deleted) {
+          for (TermId a : rule.neg) {
+            TruthValue tv = value[graph.Find(a)];
+            if (tv == TruthValue::kTrue) {
+              deleted = true;
+              break;
+            }
+            if (tv == TruthValue::kUndefined) undef = true;
+          }
+        }
+        if (deleted) continue;
+        if (!undef) {
+          val = TruthValue::kTrue;
+          break;
+        }
+        val = TruthValue::kUndefined;
+      }
+      value[v] = val;
+      continue;
+    }
+
+    // Cyclic component: resolve settled imports, keep undefined ones
+    // pinned undefined by a loop rule, and run the alternating fixpoint
+    // on the mini program.
+    ++cyclic_count;
+    GroundProgram mini;
+    std::unordered_set<TermId> loop_atoms;
+    std::vector<TermId> loop_order;
+    for (uint32_t r : rules_of[c]) {
+      const GroundRule& rule = ground.rules[r];
+      GroundRule out;
+      out.head = rule.head;
+      bool deleted = false;
+      for (TermId a : rule.pos) {
+        uint32_t w = graph.Find(a);
+        if (component_of[w] == c) {
+          out.pos.push_back(a);
+          continue;
+        }
+        TruthValue tv = value[w];
+        if (tv == TruthValue::kTrue) continue;
+        if (tv == TruthValue::kFalse) {
+          deleted = true;
+          break;
+        }
+        out.pos.push_back(a);
+        if (loop_atoms.insert(a).second) loop_order.push_back(a);
+      }
+      if (!deleted) {
+        for (TermId a : rule.neg) {
+          uint32_t w = graph.Find(a);
+          if (component_of[w] == c) {
+            out.neg.push_back(a);
+            continue;
+          }
+          TruthValue tv = value[w];
+          if (tv == TruthValue::kTrue) {
+            deleted = true;
+            break;
+          }
+          if (tv == TruthValue::kFalse) continue;
+          out.neg.push_back(a);
+          if (loop_atoms.insert(a).second) loop_order.push_back(a);
+        }
+      }
+      if (!deleted) mini.Add(std::move(out));
+    }
+    for (TermId a : loop_order) {
+      GroundRule loop;
+      loop.head = a;
+      loop.neg.push_back(a);
+      mini.Add(std::move(loop));
+    }
+
+    WfsResult sub = ComputeWfsAlternating(mini, /*count_model_atoms=*/false);
+    result.iterations += sub.iterations;
+    if (sub.cancelled) {
+      result.cancelled = true;
+      break;
+    }
+    // Interpretation::Value defaults to false for atoms the mini program
+    // never mentions — exactly right for rule-less members.
+    for (uint32_t v : members[c]) value[v] = sub.model.Value(graph.node(v));
+  }
+
+  obs::Count(obs::Counter::kSchedAtomSccs, trivial_count + cyclic_count);
+  obs::Count(obs::Counter::kSchedTrivialSccs, trivial_count);
+  obs::Count(obs::Counter::kSchedCyclicSccs, cyclic_count);
+  obs::SetGauge(obs::Gauge::kSchedLargestScc, largest);
+  obs::TraceInstant("sched.atom_sccs", trivial_count + cyclic_count);
+  if (stats != nullptr) {
+    stats->atom_sccs += trivial_count + cyclic_count;
+    stats->trivial_sccs += trivial_count;
+    stats->cyclic_sccs += cyclic_count;
+    stats->largest_scc = std::max(stats->largest_scc, largest);
+  }
+
+  result.model = Interpretation(std::move(table));
+  const AtomTable& atoms = result.model.atoms();
+  size_t true_atoms = 0, undefined_atoms = 0;
+  for (uint32_t i = 0; i < atoms.size(); ++i) {
+    TruthValue tv = value[graph.Find(atoms.atom(i))];
+    result.model.SetAt(i, tv);
+    true_atoms += tv == TruthValue::kTrue;
+    undefined_atoms += tv == TruthValue::kUndefined;
+  }
+  if (count_model_atoms) {
+    obs::Count(obs::Counter::kWfsTrueAtoms, true_atoms);
+    obs::Count(obs::Counter::kWfsUndefinedAtoms, undefined_atoms);
+  }
+  return result;
+}
+
+ComponentWfsResult SolveWfsByComponents(TermStore& store,
+                                        const Program& program,
+                                        const BottomUpOptions& options,
+                                        SchedulerCache* cache) {
+  ComponentWfsResult result;
+
+  // Same refusal (and wording) as the relevance grounder: aggregates and
+  // builtins belong to the aggregate evaluator.
+  for (const Rule& rule : program.rules) {
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kAggregate ||
+          lit.kind == Literal::Kind::kBuiltin) {
+        result.ok = false;
+        result.error =
+            "aggregate/builtin literals require the aggregate evaluator, not "
+            "the grounder: " +
+            RuleToString(store, rule);
+        return result;
+      }
+    }
+  }
+
+  ProgramCondensation cond = CondenseProgram(store, program);
+
+  // Component groups in dependency order. A non-exact condensation (some
+  // predicate name non-ground) cannot split evaluation soundly, so the
+  // whole program becomes one monolithic group; atom-level scheduling in
+  // ComputeWfsScc still applies.
+  std::vector<std::vector<size_t>> groups;
+  std::vector<std::vector<TermId>> group_names;
+  if (cond.exact) {
+    groups = cond.rules_of;
+    group_names.resize(cond.num_components);
+    for (uint32_t c = 0; c < cond.num_components; ++c) {
+      for (uint32_t v : cond.members[c]) {
+        group_names[c].push_back(cond.graph.node(v));
+      }
+    }
+  } else {
+    groups.emplace_back();
+    for (size_t r = 0; r < program.rules.size(); ++r) groups[0].push_back(r);
+    group_names.emplace_back();
+  }
+
+  // Per-group cache signature: member names, rule indices, and the
+  // signatures of referenced lower groups. LoadMore appends, so an
+  // unchanged component reproduces its signature exactly.
+  std::vector<uint64_t> sig(groups.size(), 0);
+
+  FactBase support_true;  // True atoms of settled groups.
+  FactBase support_all;   // True-or-undefined atoms of settled groups.
+  std::vector<TermId> model_true, model_undef;
+
+  for (size_t c = 0; c < groups.size(); ++c) {
+    if (CancelRequested()) {
+      result.cancelled = true;
+      result.truncated = true;
+      break;
+    }
+    std::unordered_set<TermId> member_names(group_names[c].begin(),
+                                            group_names[c].end());
+    auto is_member = [&](TermId name) {
+      return !cond.exact || member_names.count(name) > 0;
+    };
+
+    // Lower names this group's bodies reference, in first-reference order
+    // (deterministic seeding), plus the lower groups they belong to.
+    std::vector<TermId> lower_names;
+    std::vector<uint32_t> lower_groups;
+    if (cond.exact) {
+      std::unordered_set<TermId> name_seen;
+      std::unordered_set<uint32_t> group_seen;
+      for (size_t r : groups[c]) {
+        for (const Literal& lit : program.rules[r].body) {
+          if (lit.atom == kNoTerm) continue;
+          TermId name = store.PredName(lit.atom);
+          if (member_names.count(name) > 0) continue;
+          if (name_seen.insert(name).second) lower_names.push_back(name);
+          uint32_t node = cond.graph.Find(name);
+          if (node != UINT32_MAX &&
+              group_seen.insert(cond.component_of[node]).second) {
+            lower_groups.push_back(cond.component_of[node]);
+          }
+        }
+      }
+      std::sort(lower_groups.begin(), lower_groups.end());
+
+      std::vector<TermId> sorted_names = group_names[c];
+      std::sort(sorted_names.begin(), sorted_names.end());
+      uint64_t h = kSigSeed;
+      for (TermId name : sorted_names) h = Mix(h, name);
+      h = Mix(h, 0xFFFFFFFFull);
+      for (size_t r : groups[c]) h = Mix(h, r);
+      h = Mix(h, 0xFFFFFFFEull);
+      for (uint32_t g : lower_groups) h = Mix(h, sig[g]);
+      sig[c] = h;
+    }
+
+    // A name with no rules has only false atoms; nothing to do.
+    if (groups[c].empty()) continue;
+
+    TermId cache_key = kNoTerm;
+    if (cond.exact && cache != nullptr) {
+      cache_key =
+          *std::min_element(group_names[c].begin(), group_names[c].end());
+      auto it = cache->components.find(cache_key);
+      if (it != cache->components.end() && it->second.signature == sig[c]) {
+        const ComponentCacheEntry& entry = it->second;
+        for (const GroundRule& g : entry.ground_rules) result.ground.Add(g);
+        for (TermId a : entry.true_atoms) {
+          support_true.Insert(store, a);
+          support_all.Insert(store, a);
+          model_true.push_back(a);
+        }
+        for (TermId a : entry.undefined_atoms) {
+          support_all.Insert(store, a);
+          model_undef.push_back(a);
+        }
+        result.envelope_size += entry.envelope_size;
+        obs::Count(obs::Counter::kSchedComponentsReused);
+        ++result.stats.components_reused;
+        continue;
+      }
+    }
+
+    obs::Count(obs::Counter::kSchedComponents);
+    ++result.stats.components;
+    obs::TraceInstant("sched.component", c);
+
+    Program comp_program;
+    comp_program.rules.reserve(groups[c].size());
+    for (size_t r : groups[c]) comp_program.rules.push_back(program.rules[r]);
+
+    // Restricted active domain: seed the envelope with the settled lower
+    // atoms this group actually references, not the whole lower model.
+    std::vector<TermId> seeds;
+    for (TermId name : lower_names) {
+      const std::vector<TermId>& with = support_all.WithName(name);
+      seeds.insert(seeds.end(), with.begin(), with.end());
+    }
+
+    std::vector<GroundRule> comp_ground;
+    size_t comp_envelope = 0;
+    {
+      obs::ScopedPhaseTimer ground_timer(obs::Phase::kGround);
+      BottomUpResult envelope =
+          LeastModelOfPositiveProjectionSeeded(store, comp_program, options,
+                                               seeds);
+      result.truncated |= envelope.truncated;
+      comp_envelope = envelope.facts.size();
+      result.envelope_size += comp_envelope;
+      if (!envelope.unsafe_rules.empty()) {
+        result.ok = false;
+        result.error =
+            "rule is not safe for relevance grounding (head not bound by "
+            "positive body): " +
+            RuleToString(store, comp_program.rules[envelope.unsafe_rules[0]]);
+        return result;
+      }
+      if (envelope.cancelled) {
+        result.cancelled = true;
+        break;
+      }
+
+      for (const Rule& rule : comp_program.rules) {
+        bool instantiate_ok = true;
+        ForEachPositiveMatch(
+            store, rule, envelope.facts, [&](const Substitution& theta) {
+              GroundRule instance;
+              instance.head = theta.Apply(store, rule.head);
+              bool safe = store.IsGround(instance.head);
+              for (const Literal& lit : rule.body) {
+                TermId atom = theta.Apply(store, lit.atom);
+                if (!store.IsGround(atom)) safe = false;
+                (lit.positive() ? instance.pos : instance.neg).push_back(atom);
+              }
+              if (!safe) {
+                result.ok = false;
+                result.error =
+                    "rule instance stayed non-ground (program is not strongly "
+                    "range restricted): " +
+                    RuleToString(store, rule);
+                instantiate_ok = false;
+                return false;
+              }
+              obs::Count(obs::Counter::kGroundInstances);
+              comp_ground.push_back(std::move(instance));
+              return true;
+            });
+        if (!instantiate_ok) return result;
+      }
+    }
+
+    // Resolve literals on lower-group atoms against the settled model;
+    // still-undefined imports stay and get pinned by a loop rule. The
+    // resolved program mentions only this group's atoms plus those
+    // undefined imports, so the fixpoints below never revisit lower work.
+    GroundProgram resolved;
+    std::unordered_set<TermId> loop_atoms;
+    std::vector<TermId> loop_order;
+    for (const GroundRule& rule : comp_ground) {
+      GroundRule out;
+      out.head = rule.head;
+      bool deleted = false;
+      for (TermId a : rule.pos) {
+        if (is_member(store.PredName(a))) {
+          out.pos.push_back(a);
+          continue;
+        }
+        if (support_true.Contains(a)) continue;
+        if (!support_all.Contains(a)) {
+          deleted = true;
+          break;
+        }
+        out.pos.push_back(a);
+        if (loop_atoms.insert(a).second) loop_order.push_back(a);
+      }
+      if (!deleted) {
+        for (TermId a : rule.neg) {
+          if (is_member(store.PredName(a))) {
+            out.neg.push_back(a);
+            continue;
+          }
+          if (support_true.Contains(a)) {
+            deleted = true;
+            break;
+          }
+          if (!support_all.Contains(a)) continue;
+          out.neg.push_back(a);
+          if (loop_atoms.insert(a).second) loop_order.push_back(a);
+        }
+      }
+      if (!deleted) resolved.Add(std::move(out));
+    }
+    for (TermId a : loop_order) {
+      GroundRule loop;
+      loop.head = a;
+      loop.neg.push_back(a);
+      resolved.Add(std::move(loop));
+    }
+
+    WfsResult sub =
+        ComputeWfsScc(resolved, &result.stats, /*count_model_atoms=*/false);
+    if (sub.cancelled) {
+      result.cancelled = true;
+      result.truncated = true;
+      break;
+    }
+
+    // Publish this group's atoms; loop-encoded imports belong to lower
+    // groups and were published when those groups settled.
+    ComponentCacheEntry entry;
+    entry.signature = sig[c];
+    entry.envelope_size = comp_envelope;
+    const AtomTable& sub_atoms = sub.model.atoms();
+    for (uint32_t i = 0; i < sub_atoms.size(); ++i) {
+      TermId atom = sub_atoms.atom(i);
+      if (!is_member(store.PredName(atom))) continue;
+      TruthValue tv = sub.model.ValueAt(i);
+      if (tv == TruthValue::kTrue) {
+        model_true.push_back(atom);
+        support_true.Insert(store, atom);
+        support_all.Insert(store, atom);
+        entry.true_atoms.push_back(atom);
+      } else if (tv == TruthValue::kUndefined) {
+        model_undef.push_back(atom);
+        support_all.Insert(store, atom);
+        entry.undefined_atoms.push_back(atom);
+      }
+    }
+    for (const GroundRule& g : comp_ground) result.ground.Add(g);
+    if (cond.exact && cache != nullptr) {
+      entry.ground_rules = std::move(comp_ground);
+      cache->components[cache_key] = std::move(entry);
+    }
+  }
+
+  AtomTable table;
+  result.ground.CollectAtoms(&table);
+  obs::SetGauge(obs::Gauge::kAtomTableSize, table.size());
+  obs::SetGauge(obs::Gauge::kGroundRules, result.ground.size());
+  obs::SetGauge(obs::Gauge::kEnvelopeSize, result.envelope_size);
+  result.model = Interpretation(std::move(table));
+  const AtomTable& atoms = result.model.atoms();
+  for (uint32_t i = 0; i < atoms.size(); ++i) {
+    result.model.SetAt(i, TruthValue::kFalse);
+  }
+  for (TermId a : model_true) {
+    uint32_t idx = atoms.Find(a);
+    if (idx != UINT32_MAX) result.model.SetAt(idx, TruthValue::kTrue);
+  }
+  for (TermId a : model_undef) {
+    uint32_t idx = atoms.Find(a);
+    if (idx != UINT32_MAX) result.model.SetAt(idx, TruthValue::kUndefined);
+  }
+  obs::Count(obs::Counter::kWfsTrueAtoms, model_true.size());
+  obs::Count(obs::Counter::kWfsUndefinedAtoms, model_undef.size());
+  return result;
+}
+
+}  // namespace hilog

@@ -1,0 +1,136 @@
+#ifndef HILOG_EVAL_SCHEDULER_H_
+#define HILOG_EVAL_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/dependency.h"
+#include "src/eval/bottomup.h"
+#include "src/ground/ground_program.h"
+#include "src/lang/ast.h"
+#include "src/wfs/wfs.h"
+
+namespace hilog {
+
+/// Predicate-level SCC condensation of a program: the dependency graph of
+/// src/analysis/dependency.h, its strongly connected components, and the
+/// program's rules grouped by head-name component. Components are numbered
+/// in reverse topological order (DependencyGraph's Tarjan numbering), so
+/// walking ids upward visits every dependency before its dependents.
+struct ProgramCondensation {
+  DependencyGraph graph;
+  /// Node index -> component id.
+  std::vector<uint32_t> component_of;
+  uint32_t num_components = 0;
+  /// Rule indices grouped by the component of the rule's head name.
+  std::vector<std::vector<size_t>> rules_of;
+  /// Graph node indices grouped by component.
+  std::vector<std::vector<uint32_t>> members;
+  /// True when every predicate name (head and body) is ground. HiLog
+  /// variable names (winning(M)) make the name-level graph an
+  /// under-approximation of the real call structure, so a non-exact
+  /// condensation must not be used to split evaluation; the scheduler
+  /// falls back to a single monolithic component in that case.
+  bool exact = true;
+};
+
+ProgramCondensation CondenseProgram(const TermStore& store,
+                                    const Program& program);
+
+/// Work accounting for one scheduled evaluation (mirrors the sched.*
+/// counters, which accumulate the same quantities into the registry).
+struct SchedulerStats {
+  size_t components = 0;
+  size_t components_reused = 0;
+  size_t atom_sccs = 0;
+  size_t trivial_sccs = 0;
+  size_t cyclic_sccs = 0;
+  size_t largest_scc = 0;
+};
+
+/// Computes the well-founded model of `ground` component-at-a-time: builds
+/// the atom dependency graph, condenses it, and settles atom SCCs in
+/// dependency order. A trivial SCC (a singleton with no self-edge) is
+/// decided by inspecting its rules against already-settled atoms — no
+/// Gamma application at all, which is what turns the alternating
+/// fixpoint's O(n^2) on win-chains into O(n). A cyclic SCC becomes a mini
+/// ground program: literals on settled atoms are resolved away (true
+/// positive / false negative subgoals drop out; false positive / true
+/// negative subgoals delete the rule instance), still-undefined imported
+/// atoms are kept and pinned by a loop rule `u :- ~u`, and the mini
+/// program runs through ComputeWfsAlternating. By the splitting property
+/// of the well-founded semantics the reassembled model equals the
+/// monolithic one; scheduler_test checks that on random programs.
+///
+/// The result's atom table is built with GroundProgram::CollectAtoms, so
+/// it is index-identical to the table PreparedGround builds for the same
+/// program. With `count_model_atoms` false the wfs.true_atoms /
+/// wfs.undefined_atoms counters and the atom-table gauge are left to the
+/// caller (the program-level scheduler reports totals once).
+WfsResult ComputeWfsScc(const GroundProgram& ground,
+                        SchedulerStats* stats = nullptr,
+                        bool count_model_atoms = true);
+
+/// One settled predicate-level component, memoized for reuse across
+/// queries and incremental LoadMore: its restricted (unresolved) ground
+/// rules and its member-name atoms by truth value.
+struct ComponentCacheEntry {
+  uint64_t signature = 0;
+  std::vector<TermId> true_atoms;
+  std::vector<TermId> undefined_atoms;
+  std::vector<GroundRule> ground_rules;
+  size_t envelope_size = 0;
+};
+
+/// Engine-owned cache of settled components, keyed by the smallest member
+/// name. Valid across LoadMore because loading is append-only: rule
+/// indices and TermIds of already-loaded text never change, so an
+/// unchanged component (same members, same rules, same lower signatures)
+/// reproduces its signature exactly. Engine::Load clears it.
+struct SchedulerCache {
+  std::unordered_map<TermId, ComponentCacheEntry> components;
+  void Clear() { components.clear(); }
+  size_t size() const { return components.size(); }
+};
+
+/// Result of a component-at-a-time well-founded evaluation of a non-ground
+/// program (the scheduler's replacement for GroundWithRelevance followed
+/// by a monolithic WFS run).
+struct ComponentWfsResult {
+  bool ok = true;
+  std::string error;
+  bool truncated = false;
+  bool cancelled = false;
+  /// Union of the per-component restricted groundings, *unresolved* (lower
+  /// literals kept, no loop rules), in component order. Sound input for
+  /// stable-model enumeration: instances the resolver would delete have a
+  /// well-founded-false positive subgoal or well-founded-true negative
+  /// subgoal and can never fire in any candidate's Gamma check.
+  GroundProgram ground;
+  /// Well-founded model over `ground`'s atom table.
+  Interpretation model;
+  /// Sum of per-component envelope sizes.
+  size_t envelope_size = 0;
+  SchedulerStats stats;
+};
+
+/// Evaluates `program` component-at-a-time: condenses the predicate
+/// dependency graph, then for each component (in dependency order) grounds
+/// its rules against an envelope seeded only with the true-or-undefined
+/// atoms of referenced lower components — the restricted active domain —
+/// and settles it with ComputeWfsScc after resolving lower literals. When
+/// the condensation is not exact (HiLog variable predicate names) the
+/// whole program is one component and this degenerates to relevance
+/// grounding plus atom-level scheduling. With a cache, components whose
+/// signature is unchanged since a previous call are replayed from the
+/// cache without grounding or fixpoint work.
+ComponentWfsResult SolveWfsByComponents(TermStore& store,
+                                        const Program& program,
+                                        const BottomUpOptions& options,
+                                        SchedulerCache* cache = nullptr);
+
+}  // namespace hilog
+
+#endif  // HILOG_EVAL_SCHEDULER_H_

@@ -6,6 +6,7 @@
 
 #include "src/analysis/range_restriction.h"
 #include "src/analysis/stratification.h"
+#include "src/eval/scheduler.h"
 #include "src/lang/printer.h"
 
 namespace hilog {
@@ -62,18 +63,46 @@ StratifiedEvalResult EvaluateStratified(TermStore& store,
     }
   }
 
-  // Group rules by the level of their head predicate name.
-  std::map<int, std::vector<const Rule*>> strata;
-  for (const Rule& rule : program.rules) {
-    strata[levels[store.PredName(rule.head)]].push_back(&rule);
+  // `strata` keeps its historical meaning: the number of distinct head
+  // levels in the Apt-Blair-Walker assignment.
+  {
+    std::map<int, size_t> level_counts;
+    for (const Rule& rule : program.rules) {
+      ++level_counts[levels[store.PredName(rule.head)]];
+    }
+    result.strata = level_counts.size();
+  }
+
+  // Evaluation groups: one per predicate-SCC component, in the
+  // scheduler's dependency order — finer than strata (a stratum can hold
+  // many mutually independent components), and exactly the grouping the
+  // well-founded scheduler uses. When the condensation is not exact
+  // (non-ground positive body names), fall back to level grouping, whose
+  // blindness matches the syntactic level assignment already checked.
+  std::vector<std::vector<const Rule*>> groups;
+  ProgramCondensation cond = CondenseProgram(store, program);
+  if (cond.exact) {
+    groups.reserve(cond.num_components);
+    for (uint32_t c = 0; c < cond.num_components; ++c) {
+      if (cond.rules_of[c].empty()) continue;
+      groups.emplace_back();
+      for (size_t r : cond.rules_of[c]) {
+        groups.back().push_back(&program.rules[r]);
+      }
+    }
+  } else {
+    std::map<int, std::vector<const Rule*>> by_level;
+    for (const Rule& rule : program.rules) {
+      by_level[levels[store.PredName(rule.head)]].push_back(&rule);
+    }
+    for (auto& [level, rules] : by_level) groups.push_back(std::move(rules));
   }
 
   size_t derivations = 0;
-  for (const auto& [level, rules] : strata) {
-    ++result.strata;
-    // Iterate this stratum to fixpoint; negative subgoals consult the
-    // facts accumulated so far (complete for all lower levels, and
-    // stratification guarantees no same-level negation).
+  for (const std::vector<const Rule*>& rules : groups) {
+    // Iterate this component to fixpoint; negative subgoals consult the
+    // facts accumulated so far (complete for all lower components, and
+    // stratification guarantees no component-internal negation).
     bool changed = true;
     size_t rounds = 0;
     while (changed) {

@@ -31,6 +31,12 @@ const char* CounterName(Counter c) {
     case Counter::kGammaApplications: return "wfs.gamma_applications";
     case Counter::kWfsTrueAtoms: return "wfs.true_atoms";
     case Counter::kWfsUndefinedAtoms: return "wfs.undefined_atoms";
+    case Counter::kSchedComponents: return "sched.components";
+    case Counter::kSchedComponentsReused: return "sched.components_reused";
+    case Counter::kSchedAtomSccs: return "sched.atom_sccs";
+    case Counter::kSchedTrivialSccs: return "sched.trivial_sccs";
+    case Counter::kSchedCyclicSccs: return "sched.cyclic_sccs";
+    case Counter::kSchedGroundAtoms: return "sched.ground_atoms";
     case Counter::kStableCandidates: return "stable.candidates";
     case Counter::kStableModels: return "stable.models";
     case Counter::kMagicFactsDerived: return "magic.facts_derived";
@@ -57,6 +63,7 @@ const char* GaugeName(Gauge g) {
     case Gauge::kGroundRules: return "ground.rules";
     case Gauge::kAtomTableSize: return "wfs.atom_table_size";
     case Gauge::kStableBranchAtoms: return "stable.branch_atoms";
+    case Gauge::kSchedLargestScc: return "sched.largest_atom_scc";
     case Gauge::kCount: break;
   }
   return "?";

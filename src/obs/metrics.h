@@ -45,6 +45,13 @@ enum class Counter : uint16_t {
   kGammaApplications,  // GL-reduct least-model computations.
   kWfsTrueAtoms,       // Atoms true in computed well-founded models.
   kWfsUndefinedAtoms,  // Atoms undefined in computed well-founded models.
+  // SCC evaluation scheduler (src/eval/scheduler.*).
+  kSchedComponents,        // Predicate-level components evaluated.
+  kSchedComponentsReused,  // Components served from the engine cache.
+  kSchedAtomSccs,          // Atom-level SCCs settled (all programs).
+  kSchedTrivialSccs,       // Of those, acyclic singletons (no Gamma).
+  kSchedCyclicSccs,        // Of those, run as alternating mini fixpoints.
+  kSchedGroundAtoms,       // Atoms grounded across component programs.
   // Stable-model enumeration.
   kStableCandidates,  // Total-interpretation candidates tested.
   kStableModels,      // Candidates that passed the GL check.
@@ -72,6 +79,7 @@ enum class Gauge : uint16_t {
   kGroundRules,
   kAtomTableSize,
   kStableBranchAtoms,
+  kSchedLargestScc,
   kCount,
 };
 

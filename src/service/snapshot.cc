@@ -58,11 +58,27 @@ std::string SnapshotStore::Publish(std::string_view text, bool append,
 
 std::string EngineSession::Materialize(const ModelSnapshot& snapshot) {
   if (engine_ != nullptr && epoch_ == snapshot.epoch()) return "";
+  const std::string& next_text = snapshot.program_text();
+  if (engine_ != nullptr && next_text.size() > text_.size() &&
+      next_text.compare(0, text_.size(), text_) == 0) {
+    // Append-only publish (load_more): keep the warm engine — and with it
+    // the scheduler's settled-component cache — and parse only the new
+    // suffix. A failure falls through to the full rebuild below.
+    std::string error =
+        engine_->LoadMore(std::string_view(next_text).substr(text_.size()));
+    if (error.empty()) {
+      epoch_ = snapshot.epoch();
+      text_ = next_text;
+      ++incremental_;
+      return "";
+    }
+  }
   auto fresh = std::make_unique<Engine>(options_);
-  std::string error = fresh->Load(snapshot.program_text());
+  std::string error = fresh->Load(next_text);
   if (!error.empty()) return error;  // Unreachable: the publisher parsed it.
   engine_ = std::move(fresh);
   epoch_ = snapshot.epoch();
+  text_ = next_text;
   return "";
 }
 

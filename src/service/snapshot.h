@@ -97,6 +97,13 @@ class SnapshotStore {
 /// snapshots: `Materialize` is a no-op while the epoch is unchanged, so
 /// across the many queries of one epoch the session keeps its warmed
 /// term store and EDB caches ("keep a saturated model warm").
+///
+/// When a new epoch's source is a pure extension of the session's current
+/// text (the service's append-only load_more), the session keeps its warm
+/// engine and feeds it only the suffix via Engine::LoadMore. That
+/// preserves the engine's settled-component scheduler cache, so the next
+/// well-founded solve recomputes only the components the appended rules
+/// touch (src/eval/scheduler.h).
 class EngineSession {
  public:
   explicit EngineSession(EngineOptions options = EngineOptions())
@@ -110,11 +117,16 @@ class EngineSession {
   Engine& engine() { return *engine_; }
   bool materialized() const { return engine_ != nullptr; }
   uint64_t epoch() const { return epoch_; }
+  /// How many Materialize calls took the incremental LoadMore path
+  /// instead of a full rebuild (diagnostics and tests).
+  uint64_t incremental_materializations() const { return incremental_; }
 
  private:
   EngineOptions options_;
   std::unique_ptr<Engine> engine_;
   uint64_t epoch_ = 0;
+  std::string text_;  // Source currently loaded into engine_.
+  uint64_t incremental_ = 0;
 };
 
 }  // namespace hilog::service

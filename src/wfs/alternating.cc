@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/eval/cancel.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -75,15 +76,20 @@ std::vector<char> PreparedGround::GammaOperator(
   return derived;
 }
 
-WfsResult ComputeWfsAlternating(const GroundProgram& ground) {
+WfsResult ComputeWfsAlternating(const GroundProgram& ground,
+                                bool count_model_atoms) {
   PreparedGround prepared(ground);
   size_t n = prepared.num_atoms();
   std::vector<char> lower(n, 0);  // A_i: atoms known true.
   std::vector<char> upper(n, 1);  // B_i: atoms possibly true.
 
-  obs::SetGauge(obs::Gauge::kAtomTableSize, n);
+  if (count_model_atoms) obs::SetGauge(obs::Gauge::kAtomTableSize, n);
   WfsResult result;
   while (true) {
+    if (CancelRequested()) {
+      result.cancelled = true;
+      break;
+    }
     ++result.iterations;
     obs::Count(obs::Counter::kWfsRounds);
     std::vector<char> next_upper = prepared.GammaOperator(lower);
@@ -118,8 +124,10 @@ WfsResult ComputeWfsAlternating(const GroundProgram& ground) {
       result.model.SetAt(i, TruthValue::kFalse);
     }
   }
-  obs::Count(obs::Counter::kWfsTrueAtoms, true_atoms);
-  obs::Count(obs::Counter::kWfsUndefinedAtoms, undefined_atoms);
+  if (count_model_atoms) {
+    obs::Count(obs::Counter::kWfsTrueAtoms, true_atoms);
+    obs::Count(obs::Counter::kWfsUndefinedAtoms, undefined_atoms);
+  }
   return result;
 }
 

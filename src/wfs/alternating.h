@@ -37,7 +37,13 @@ class PreparedGround {
 /// Computes the well-founded model by the alternating fixpoint:
 ///   A_0 = {},  B_i = Gamma(A_i),  A_{i+1} = Gamma(B_i)
 /// increasing A-limit = true atoms; decreasing B-limit = non-false atoms.
-WfsResult ComputeWfsAlternating(const GroundProgram& ground);
+/// Polls the thread's CancelToken once per round (sets
+/// `WfsResult::cancelled`). With `count_model_atoms` false, the final
+/// kWfsTrueAtoms/kWfsUndefinedAtoms counters and the atom-table gauge are
+/// not emitted — the SCC scheduler runs many mini fixpoints and reports
+/// those totals once for the merged model instead.
+WfsResult ComputeWfsAlternating(const GroundProgram& ground,
+                                bool count_model_atoms = true);
 
 }  // namespace hilog
 

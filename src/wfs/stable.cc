@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/eval/cancel.h"
+#include "src/eval/scheduler.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/wfs/wfs.h"
@@ -62,17 +64,31 @@ bool IsTwoValuedFixpointOfW(const GroundProgram& ground,
 }
 
 StableModelsResult EnumerateStableModels(const GroundProgram& ground,
-                                         const StableOptions& options) {
+                                         const StableOptions& options,
+                                         const Interpretation* wfs) {
   StableModelsResult result;
   PreparedGround prepared(ground);
-  WfsResult wfs = ComputeWfsAlternating(ground);
-
-  std::vector<uint32_t> branch_atoms;
-  const AtomTable& table = wfs.model.atoms();
-  for (uint32_t i = 0; i < table.size(); ++i) {
-    if (wfs.model.ValueAt(i) == TruthValue::kUndefined) {
-      branch_atoms.push_back(i);
+  Interpretation computed;
+  if (wfs == nullptr) {
+    WfsResult scheduled = ComputeWfsScc(ground);
+    if (scheduled.cancelled) {
+      result.cancelled = true;
+      result.complete = false;
+      return result;
     }
+    computed = std::move(scheduled.model);
+    wfs = &computed;
+  }
+
+  // Branching and the base assignment both live on the prepared table;
+  // the supplied model is consulted per atom, so any table works.
+  const AtomTable& table = prepared.table();
+  std::vector<uint32_t> branch_atoms;
+  std::vector<char> base(table.size(), 0);
+  for (uint32_t i = 0; i < table.size(); ++i) {
+    TruthValue tv = wfs->Value(table.atom(i));
+    if (tv == TruthValue::kUndefined) branch_atoms.push_back(i);
+    base[i] = tv == TruthValue::kTrue ? 1 : 0;
   }
   obs::SetGauge(obs::Gauge::kStableBranchAtoms, branch_atoms.size());
   if (branch_atoms.size() > options.max_branch_atoms) {
@@ -80,30 +96,19 @@ StableModelsResult EnumerateStableModels(const GroundProgram& ground,
     return result;
   }
 
-  // Base assignment from the well-founded model (every stable model is a
-  // two-valued extension of it, per Van Gelder-Ross-Schlipf).
-  std::vector<char> base(table.size(), 0);
-  for (uint32_t i = 0; i < table.size(); ++i) {
-    base[i] = wfs.model.ValueAt(i) == TruthValue::kTrue ? 1 : 0;
-  }
-
   uint64_t combos = 1ull << branch_atoms.size();
   for (uint64_t mask = 0; mask < combos; ++mask) {
-    std::vector<char> candidate = base;
+    if (CancelRequested()) {
+      result.cancelled = true;
+      result.complete = false;
+      break;
+    }
+    std::vector<char> assumed = base;
     for (size_t b = 0; b < branch_atoms.size(); ++b) {
-      candidate[branch_atoms[b]] = (mask >> b) & 1 ? 1 : 0;
+      assumed[branch_atoms[b]] = (mask >> b) & 1 ? 1 : 0;
     }
     ++result.candidates_checked;
     obs::Count(obs::Counter::kStableCandidates);
-    // The candidate's stability must be checked against the prepared
-    // program's own table (same table as wfs.model's by construction).
-    std::vector<char> assumed(prepared.num_atoms(), 0);
-    for (uint32_t i = 0; i < table.size(); ++i) {
-      if (candidate[i]) {
-        uint32_t idx = prepared.table().Find(table.atom(i));
-        assumed[idx] = 1;
-      }
-    }
     std::vector<char> least = prepared.GammaOperator(assumed);
     if (least == assumed) {
       StableModel model;

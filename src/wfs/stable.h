@@ -21,6 +21,9 @@ struct StableModelsResult {
   bool complete = true;
   /// Number of total-interpretation candidates tested.
   size_t candidates_checked = 0;
+  /// Stopped early by the installed CancelToken (src/eval/cancel.h);
+  /// `complete` is false and the models found so far are kept.
+  bool cancelled = false;
 };
 
 struct StableOptions {
@@ -44,9 +47,15 @@ bool IsTwoValuedFixpointOfW(const GroundProgram& ground,
 
 /// Enumerates stable models. Atoms decided by the well-founded model are
 /// fixed (every stable model extends the well-founded model); the
-/// remaining undefined atoms are branched over exhaustively.
+/// remaining undefined atoms are branched over exhaustively. The
+/// enumeration polls the thread's CancelToken once per candidate.
+///
+/// `wfs` optionally supplies an already-computed well-founded model of
+/// `ground` (looked up per atom, so any table covering the program works);
+/// when null, one is computed here via the SCC scheduler.
 StableModelsResult EnumerateStableModels(const GroundProgram& ground,
-                                         const StableOptions& options);
+                                         const StableOptions& options,
+                                         const Interpretation* wfs = nullptr);
 
 }  // namespace hilog
 

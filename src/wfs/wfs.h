@@ -11,6 +11,10 @@ struct WfsResult {
   /// Number of applications of the outer operator (W_P iterations, or
   /// alternating-fixpoint Gamma pairs).
   size_t iterations = 0;
+  /// Stopped early by the installed CancelToken (src/eval/cancel.h); the
+  /// model only reflects the bounds reached so far and must not be used
+  /// as an answer.
+  bool cancelled = false;
 };
 
 /// Computes the well-founded partial model by literally iterating the

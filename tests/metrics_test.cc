@@ -213,18 +213,31 @@ TEST(EngineMetricsTest, WinChainExactWfsCounters) {
   EXPECT_EQ(m.value(obs::Counter::kGroundInstances), 16u);
   EXPECT_EQ(m.gauge(obs::Gauge::kProgramRules), 16u);
   EXPECT_EQ(m.gauge(obs::Gauge::kGroundRules), 16u);
-  // Alternating fixpoint on a chain of length 8 settles in 6 rounds,
-  // two Gamma applications per round.
-  EXPECT_EQ(m.value(obs::Counter::kWfsRounds), 6u);
-  EXPECT_EQ(m.value(obs::Counter::kGammaApplications), 12u);
+  // The SCC scheduler splits {m} below {w} and settles every atom-level
+  // SCC by rule inspection: the chain is acyclic, so no alternating
+  // fixpoint (and no Gamma application) runs at all.
+  EXPECT_EQ(m.value(obs::Counter::kWfsRounds), 0u);
+  EXPECT_EQ(m.value(obs::Counter::kGammaApplications), 0u);
+  EXPECT_EQ(m.value(obs::Counter::kSchedComponents), 2u);
+  EXPECT_EQ(m.value(obs::Counter::kSchedComponentsReused), 0u);
+  // Atom SCCs: 8 m-atoms in the m component, then w(n0..n8) in the w
+  // component (its m-subgoals are resolved before scheduling).
+  EXPECT_EQ(m.value(obs::Counter::kSchedAtomSccs), 17u);
+  EXPECT_EQ(m.value(obs::Counter::kSchedTrivialSccs), 17u);
+  EXPECT_EQ(m.value(obs::Counter::kSchedCyclicSccs), 0u);
+  EXPECT_EQ(m.value(obs::Counter::kSchedGroundAtoms), 17u);
+  EXPECT_EQ(m.gauge(obs::Gauge::kSchedLargestScc), 1u);
   // True atoms: 8 move facts + w(n1), w(n3), w(n5), w(n7).
   EXPECT_EQ(m.value(obs::Counter::kWfsTrueAtoms), 12u);
   EXPECT_EQ(m.value(obs::Counter::kWfsUndefinedAtoms), 0u);
   // 17 atoms: w(n0..n8) and the 8 move facts.
   EXPECT_EQ(m.gauge(obs::Gauge::kAtomTableSize), 17u);
-  // Semi-naive evaluation inside Gamma derives 16 facts over 2 rounds
-  // on the first (most productive) application.
-  EXPECT_EQ(m.value(obs::Counter::kBottomUpRounds), 2u);
+  // Component envelopes: m's 8 facts, then w seeded with those 8 plus
+  // its own 8 derived heads.
+  EXPECT_EQ(m.gauge(obs::Gauge::kEnvelopeSize), 24u);
+  // Semi-naive envelopes per component: one round for m's facts, two for
+  // w over the seeded m-atoms.
+  EXPECT_EQ(m.value(obs::Counter::kBottomUpRounds), 3u);
   EXPECT_EQ(m.value(obs::Counter::kBottomUpFacts), 16u);
   // The argument-discrimination index must be on the hot path: ground
   // body literals resolve by membership probe, skipping the per-name
@@ -307,7 +320,7 @@ TEST(EngineMetricsTest, DisabledMetricsYieldIdenticalAnswers) {
   EXPECT_EQ(plain.metrics().value(obs::Counter::kTermsInterned), 0u);
   EXPECT_EQ(plain.metrics().phase(obs::Phase::kSolveWfs).calls, 0u);
   // The instrumented twin recorded the same exact values as always.
-  EXPECT_EQ(instrumented.metrics().value(obs::Counter::kWfsRounds), 6u);
+  EXPECT_EQ(instrumented.metrics().value(obs::Counter::kSchedAtomSccs), 17u);
   ASSERT_NE(instrumented.trace(), nullptr);
   EXPECT_GT(instrumented.trace()->Snapshot().size(), 0u);
 }
