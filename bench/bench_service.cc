@@ -14,6 +14,7 @@
 #include "bench_main.h"
 
 #include "workloads.h"
+#include "src/obs/histogram.h"
 #include "src/service/executor.h"
 #include "src/service/snapshot.h"
 
@@ -114,6 +115,26 @@ void BM_SnapshotSwap(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_SnapshotSwap)->Arg(16)->Arg(64)->Arg(256);
+
+// Arg = values recorded per iteration. The recording hot path every
+// service request pays 4x (latency, queue wait, eval, serialize): three
+// relaxed atomic adds plus a bit scan. The LCG spreads values across
+// buckets so the bench doesn't ping a single cache line's bucket.
+void BM_HistogramRecord(benchmark::State& state) {
+  const int per_iter = static_cast<int>(state.range(0));
+  obs::Histogram histogram;
+  uint64_t lcg = 0x243f6a8885a308d3ull;
+  for (auto _ : state) {
+    for (int i = 0; i < per_iter; ++i) {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      histogram.Record(lcg >> 40);  // ~[0, 2^24): realistic ns latencies.
+    }
+  }
+  benchmark::DoNotOptimize(histogram.count());
+  state.SetItemsProcessed(state.iterations() * per_iter);
+}
+// ->Arg keeps the digit suffix run_all.sh's baseline filter requires.
+BENCHMARK(BM_HistogramRecord)->Arg(64);
 
 }  // namespace
 }  // namespace hilog

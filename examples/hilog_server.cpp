@@ -12,6 +12,13 @@
 //   --preload <file.hl>   publish this program before accepting clients
 //   --no-wfs              skip the WFS solve when publishing snapshots
 //   --trace <n>           per-worker trace ring capacity (default off)
+//   --slow-query-ms <n>   log a structured JSON line to stderr for any
+//                         request slower than n ms end to end (default off)
+//   --sample-interval-ms <n>  queue-depth/inflight gauge sampler period
+//                         (default 100; 0 disables)
+//   --warm-wfs            pre-solve WFS in each worker on epoch change
+//                         (warms the scheduler cache; puts component
+//                         spans in the triggering request's trace)
 //
 // Protocol: one JSON object per line in, one per line out — see
 // docs/service.md. Try it with:
@@ -75,6 +82,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--trace") == 0) {
       executor_options.engine.trace_capacity =
           static_cast<size_t>(std::atoi(take_value("--trace")));
+    } else if (std::strcmp(arg, "--slow-query-ms") == 0) {
+      executor_options.slow_query_ns =
+          std::strtoull(take_value("--slow-query-ms"), nullptr, 10) *
+          1'000'000ull;
+    } else if (std::strcmp(arg, "--sample-interval-ms") == 0) {
+      server_options.sample_interval_ms =
+          std::strtoull(take_value("--sample-interval-ms"), nullptr, 10);
+    } else if (std::strcmp(arg, "--warm-wfs") == 0) {
+      executor_options.warm_wfs = true;
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg);
       return 2;

@@ -166,6 +166,7 @@ void Engine::RefreshEdbCache() {
 Engine::QueryAnswer Engine::Query(std::string_view query_text) {
   obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
   obs::ScopedPhaseTimer timer(obs::Phase::kQuery);
+  obs::ScopedLatencyTimer latency(obs::Histo::kEngineQuery);
   obs::Count(obs::Counter::kQueries);
   QueryAnswer answer;
   ParseResult<TermId> parsed = ParseTerm(store_, query_text);

@@ -356,6 +356,10 @@ ComponentWfsResult SolveWfsByComponents(TermStore& store,
     obs::Count(obs::Counter::kSchedComponents);
     ++result.stats.components;
     obs::TraceInstant("sched.component", c);
+    // Spans the rest of this iteration: ground + resolve + atom-SCC solve
+    // for the component. RAII keeps the pair balanced across the
+    // truncation early-returns below.
+    obs::ScopedTraceSpan component_span("sched.component");
 
     Program comp_program;
     comp_program.rules.reserve(groups[c].size());

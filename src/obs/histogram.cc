@@ -1,0 +1,75 @@
+#include "src/obs/histogram.h"
+
+namespace hilog::obs {
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value <= 1) return 0;
+  // floor(log2(value)): position of the highest set bit.
+  size_t bit = 63;
+  while ((value & (1ull << bit)) == 0) --bit;
+  return bit < kBucketCount - 1 ? bit : kBucketCount - 1;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i >= kBucketCount - 1) return UINT64_MAX;
+  return (1ull << (i + 1)) - 1;
+}
+
+double Histogram::Percentile(double p) const {
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Self-consistent snapshot: total is the sum of the bucket reads, not
+  // count_, so a racing Record between the two cannot push the rank past
+  // the observed buckets.
+  std::array<uint64_t, kBucketCount> snap;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    snap[i] = bucket(i);
+    total += snap[i];
+  }
+  if (total == 0) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    if (snap[i] == 0) continue;
+    const uint64_t next = cumulative + snap[i];
+    if (static_cast<double>(next) >= rank) {
+      const uint64_t lower = i == 0 ? 0 : BucketUpperBound(i - 1) + 1;
+      if (i == kBucketCount - 1) return static_cast<double>(lower);
+      const uint64_t upper = BucketUpperBound(i);
+      double fraction =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(snap[i]);
+      if (fraction < 0) fraction = 0;
+      if (fraction > 1) fraction = 1;
+      return static_cast<double>(lower) +
+             fraction * static_cast<double>(upper - lower);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(BucketUpperBound(kBucketCount - 2) + 1);
+}
+
+void Histogram::MergeInto(Histogram* into) const {
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    const uint64_t n = bucket(i);
+    if (n != 0) into->buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  into->count_.fetch_add(count(), std::memory_order_relaxed);
+  into->sum_.fetch_add(sum(), std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::CopyFrom(const Histogram& other) {
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i].store(other.bucket(i), std::memory_order_relaxed);
+  }
+  count_.store(other.count(), std::memory_order_relaxed);
+  sum_.store(other.sum(), std::memory_order_relaxed);
+}
+
+}  // namespace hilog::obs

@@ -1,0 +1,92 @@
+#ifndef HILOG_OBS_HISTOGRAM_H_
+#define HILOG_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+
+namespace hilog::obs {
+
+/// Fixed-bucket log-scale histogram for latency-style values (nanoseconds
+/// by convention, but any uint64_t works).
+///
+/// Buckets are powers of two: bucket i holds values v with
+/// 2^i <= v < 2^(i+1) (bucket 0 additionally holds 0), i.e. the inclusive
+/// upper bound of bucket i is 2^(i+1) - 1. The last bucket is the
+/// overflow (+Inf) bucket. 48 buckets cover [0, 2^47) ns — about 39
+/// hours — which is more range than any request latency needs while
+/// keeping the bucket array small enough to live inline in a registry.
+///
+/// Unlike counters and gauges in `MetricsRegistry` (plain uint64_t,
+/// thread-confined, deterministic), recording into a histogram is
+/// **lock-free and thread-safe**: every bucket is a relaxed atomic, so
+/// the service executor records request latencies into the shared
+/// aggregate registry without taking the aggregate mutex. The price is
+/// that histograms hold wall-clock measurements and are therefore
+/// excluded from the exact-value assertions the counters support —
+/// only structural properties (count, bucket monotonicity) are
+/// deterministic.
+///
+/// Snapshot reads (count/sum/bucket/Percentile/MergeInto/copy) are
+/// relaxed loads: concurrent recorders may land between two bucket
+/// reads, so a snapshot is "some recent state", never torn per-bucket.
+class Histogram {
+ public:
+  static constexpr size_t kBucketCount = 48;
+
+  Histogram() = default;
+  Histogram(const Histogram& other) { CopyFrom(other); }
+  Histogram& operator=(const Histogram& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  /// Thread-safe, lock-free: relaxed atomic increments only.
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Bucket index for a value: 0 for {0, 1}, else floor(log2(v)), capped
+  /// at the overflow bucket.
+  static size_t BucketIndex(uint64_t value);
+
+  /// Inclusive upper bound of bucket i: 2^(i+1) - 1; UINT64_MAX for the
+  /// overflow bucket (rendered "+Inf" in Prometheus exposition).
+  static uint64_t BucketUpperBound(size_t i);
+
+  /// Approximate percentile (p in [0, 100]) by linear interpolation
+  /// inside the bucket holding the rank — the standard
+  /// histogram_quantile estimate, accurate to within one bucket (a
+  /// factor-of-two band on this log scale). Returns 0 when empty. For
+  /// the overflow bucket the lower bound is returned (no upper edge to
+  /// interpolate toward).
+  double Percentile(double p) const;
+
+  /// Adds this histogram's buckets/count/sum into `into` (atomic adds;
+  /// safe against concurrent recorders on either side). The source is
+  /// untouched — pair with Reset() for exactly-once accounting, like
+  /// MetricsRegistry::MergeInto.
+  void MergeInto(Histogram* into) const;
+
+  void Reset();
+
+ private:
+  void CopyFrom(const Histogram& other);
+
+  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace hilog::obs
+
+#endif  // HILOG_OBS_HISTOGRAM_H_

@@ -64,6 +64,8 @@ const char* GaugeName(Gauge g) {
     case Gauge::kAtomTableSize: return "wfs.atom_table_size";
     case Gauge::kStableBranchAtoms: return "stable.branch_atoms";
     case Gauge::kSchedLargestScc: return "sched.largest_atom_scc";
+    case Gauge::kServiceQueueDepth: return "service.queue_depth";
+    case Gauge::kServiceInflight: return "service.inflight";
     case Gauge::kCount: break;
   }
   return "?";
@@ -89,10 +91,23 @@ const char* PhaseName(Phase p) {
   return "?";
 }
 
+const char* HistoName(Histo h) {
+  switch (h) {
+    case Histo::kQueryLatency: return "query.latency_ns";
+    case Histo::kQueueWait: return "query.queue_wait_ns";
+    case Histo::kEval: return "query.eval_ns";
+    case Histo::kSerialize: return "query.serialize_ns";
+    case Histo::kEngineQuery: return "engine.query_ns";
+    case Histo::kCount: break;
+  }
+  return "?";
+}
+
 void MetricsRegistry::Reset() {
   counters_.fill(0);
   gauges_.fill(0);
   phases_.fill(PhaseStat{});
+  for (auto& h : histos_) h.Reset();
 }
 
 void MetricsRegistry::MergeInto(MetricsRegistry* into) const {
@@ -105,6 +120,9 @@ void MetricsRegistry::MergeInto(MetricsRegistry* into) const {
   for (size_t i = 0; i < phases_.size(); ++i) {
     into->phases_[i].calls += phases_[i].calls;
     into->phases_[i].total_ns += phases_[i].total_ns;
+  }
+  for (size_t i = 0; i < histos_.size(); ++i) {
+    histos_[i].MergeInto(&into->histos_[i]);
   }
 }
 
@@ -129,6 +147,25 @@ std::string MetricsRegistry::ToJson() const {
                   i ? "," : "", PhaseName(static_cast<Phase>(i)),
                   phases_[i].calls, phases_[i].total_ns);
     out += buf;
+  }
+  // Histograms last: tests slice the JSON at "phases" to assert the
+  // deterministic prefix, and histogram contents are wall-clock.
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < histos_.size(); ++i) {
+    const Histogram& h = histos_[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                  ",\"p50\":%.0f,\"p90\":%.0f,\"p99\":%.0f,\"buckets\":[",
+                  i ? "," : "", HistoName(static_cast<Histo>(i)), h.count(),
+                  h.sum(), h.Percentile(50), h.Percentile(90),
+                  h.Percentile(99));
+    out += buf;
+    for (size_t b = 0; b < Histogram::kBucketCount; ++b) {
+      std::snprintf(buf, sizeof(buf), "%s%" PRIu64, b ? "," : "",
+                    h.bucket(b));
+      out += buf;
+    }
+    out += "]}";
   }
   out += "}}";
   return out;
@@ -159,6 +196,92 @@ std::string MetricsRegistry::ToTable() const {
                   "  %-26s %6" PRIu64 " call(s) %12.3f ms\n",
                   PhaseName(static_cast<Phase>(i)), stat.calls,
                   static_cast<double>(stat.total_ns) / 1e6);
+    out += buf;
+  }
+  out += "histograms:\n";
+  for (size_t i = 0; i < histos_.size(); ++i) {
+    const Histogram& h = histos_[i];
+    if (h.count() == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "  %-26s %6" PRIu64 " sample(s) p50 %10.3f ms  p99 %10.3f"
+                  " ms\n",
+                  HistoName(static_cast<Histo>(i)), h.count(),
+                  h.Percentile(50) / 1e6, h.Percentile(99) / 1e6);
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map
+// '.' -> '_' and gain a "hilog_" prefix.
+std::string PromName(const char* dotted) {
+  std::string out = "hilog_";
+  for (const char* p = dotted; *p != '\0'; ++p) {
+    out += *p == '.' ? '_' : *p;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::string out;
+  char buf[160];
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    const std::string name =
+        PromName(CounterName(static_cast<Counter>(i))) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", name.c_str(),
+                  counters_[i]);
+    out += buf;
+  }
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    const std::string name = PromName(GaugeName(static_cast<Gauge>(i)));
+    out += "# TYPE " + name + " gauge\n";
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", name.c_str(),
+                  gauges_[i]);
+    out += buf;
+  }
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    const std::string base =
+        PromName(PhaseName(static_cast<Phase>(i)));
+    const std::string ns_name = "hilog_phase_" + base.substr(6) + "_ns_total";
+    const std::string calls_name =
+        "hilog_phase_" + base.substr(6) + "_calls_total";
+    out += "# TYPE " + ns_name + " counter\n";
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", ns_name.c_str(),
+                  phases_[i].total_ns);
+    out += buf;
+    out += "# TYPE " + calls_name + " counter\n";
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", calls_name.c_str(),
+                  phases_[i].calls);
+    out += buf;
+  }
+  for (size_t i = 0; i < histos_.size(); ++i) {
+    const Histogram& h = histos_[i];
+    const std::string name = PromName(HistoName(static_cast<Histo>(i)));
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < Histogram::kBucketCount - 1; ++b) {
+      cumulative += h.bucket(b);
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64
+                    "\n",
+                    name.c_str(), Histogram::BucketUpperBound(b), cumulative);
+      out += buf;
+    }
+    cumulative += h.bucket(Histogram::kBucketCount - 1);
+    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                  name.c_str(), cumulative);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_sum %" PRIu64 "\n", name.c_str(),
+                  h.sum());
+    out += buf;
+    // _count is the +Inf cumulative, not h.count(): a concurrent Record
+    // between the two reads must not break count == sum-of-buckets.
+    std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n", name.c_str(),
+                  cumulative);
     out += buf;
   }
   return out;

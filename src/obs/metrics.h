@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/obs/histogram.h"
+
 namespace hilog::obs {
 
 class TraceBuffer;
@@ -71,6 +73,10 @@ enum class Counter : uint16_t {
   kCount,
 };
 
+/// Gauges are instantaneous levels (sizes, depths). On MergeInto the
+/// aggregate keeps the MAXIMUM — the high-water mark — never the sum:
+/// adding two queue depths sampled at different instants would report a
+/// depth that never existed. Counters add; gauges max. See MergeInto.
 enum class Gauge : uint16_t {
   kProgramRules = 0,
   kTermStoreSize,
@@ -80,6 +86,9 @@ enum class Gauge : uint16_t {
   kAtomTableSize,
   kStableBranchAtoms,
   kSchedLargestScc,
+  // Service load levels, sampled by the server's background sampler.
+  kServiceQueueDepth,
+  kServiceInflight,
   kCount,
 };
 
@@ -100,9 +109,23 @@ enum class Phase : uint16_t {
   kCount,
 };
 
+/// Latency histograms (log2 buckets, nanoseconds). Unlike counters and
+/// gauges these may be recorded concurrently from multiple threads — see
+/// Histogram. The service executor records request latency components
+/// straight into the shared aggregate registry.
+enum class Histo : uint16_t {
+  kQueryLatency = 0,  // submit -> response serialized (whole request).
+  kQueueWait,         // submit -> worker dequeue.
+  kEval,              // engine solve time inside the worker.
+  kSerialize,         // answer rendering + response assembly.
+  kEngineQuery,       // Engine::Query wall time (any caller, not just svc).
+  kCount,
+};
+
 const char* CounterName(Counter c);
 const char* GaugeName(Gauge g);
 const char* PhaseName(Phase p);
+const char* HistoName(Histo h);
 
 struct PhaseStat {
   uint64_t calls = 0;
@@ -130,27 +153,51 @@ class MetricsRegistry {
     return phases_[static_cast<size_t>(p)];
   }
 
+  /// Thread-safe (lock-free relaxed atomics) — the one registry surface
+  /// that may be hit concurrently. See Histogram.
+  void RecordHisto(Histo h, uint64_t value) {
+    histos_[static_cast<size_t>(h)].Record(value);
+  }
+  const Histogram& histo(Histo h) const {
+    return histos_[static_cast<size_t>(h)];
+  }
+
   void Reset();
 
-  /// Accumulates this registry into `into`: counters and phase stats add,
-  /// gauges merge by maximum (they are sizes, so the aggregate keeps the
-  /// high-water mark across merged registries). Registries are not
-  /// thread-safe; callers serialize merges — the service layer merges each
-  /// worker's per-query registry into its aggregate under one mutex.
+  /// Accumulates this registry into `into`. The merge rule depends on the
+  /// metric kind:
+  ///   - counters and phase stats ADD (they are monotone totals);
+  ///   - gauges merge by MAXIMUM — gauges are instantaneous levels, so
+  ///     the aggregate keeps the high-water mark across merged
+  ///     registries, never a sum of levels sampled at different times;
+  ///   - histograms ADD bucket-wise (a distribution is a sum of samples).
+  /// Counters/gauges/phases are not thread-safe; callers serialize merges
+  /// — the service layer merges each worker's per-query registry into its
+  /// aggregate under one mutex. Histogram merging is atomic either way.
   void MergeInto(MetricsRegistry* into) const;
 
-  /// JSON object {"counters":{...},"gauges":{...},"phases":{...}} per
-  /// docs/observability.md. Zero-valued counters/gauges are included so
-  /// the schema is stable across runs.
+  /// JSON object {"counters":{...},"gauges":{...},"phases":{...},
+  /// "histograms":{...}} per docs/observability.md. Zero-valued
+  /// counters/gauges are included so the schema is stable across runs.
+  /// Histograms are emitted last: everything before the "phases" key is
+  /// deterministic for a fixed program, and tests slice there.
   std::string ToJson() const;
 
   /// Human-readable aligned table (the CLI's --stats output).
   std::string ToTable() const;
 
+  /// Prometheus text exposition format 0.0.4: counters as
+  /// `hilog_<name>_total`, gauges as `hilog_<name>`, phases as
+  /// `hilog_phase_<name>_ns_total` / `_calls_total`, histograms as
+  /// cumulative `hilog_<name>_bucket{le="..."}` series plus `_sum` and
+  /// `_count`. Metric names replace '.' with '_'.
+  std::string ToPrometheus() const;
+
  private:
   std::array<uint64_t, static_cast<size_t>(Counter::kCount)> counters_{};
   std::array<uint64_t, static_cast<size_t>(Gauge::kCount)> gauges_{};
   std::array<PhaseStat, static_cast<size_t>(Phase::kCount)> phases_{};
+  std::array<Histogram, static_cast<size_t>(Histo::kCount)> histos_{};
 };
 
 struct ObsContext {
@@ -212,6 +259,10 @@ inline void SetGauge(Gauge g, uint64_t v) {
   if (MetricsRegistry* m = CurrentMetrics()) m->Set(g, v);
 }
 
+inline void RecordLatency(Histo h, uint64_t ns) {
+  if (MetricsRegistry* m = CurrentMetrics()) m->RecordHisto(h, ns);
+}
+
 /// Nanoseconds from the steady clock (monotonic; epoch unspecified).
 uint64_t NowNs();
 
@@ -229,6 +280,28 @@ class ScopedPhaseTimer {
   Phase phase_;
   MetricsRegistry* metrics_;
   TraceBuffer* trace_;
+  uint64_t start_ns_ = 0;
+};
+
+/// RAII latency recorder: on destruction records elapsed wall time into
+/// the current registry's histogram. Snapshots the sink at construction,
+/// like ScopedPhaseTimer. No trace events — pair with ScopedTraceSpan
+/// when a span is wanted too.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histo histo)
+      : histo_(histo), metrics_(CurrentMetrics()) {
+    if (metrics_ != nullptr) start_ns_ = NowNs();
+  }
+  ~ScopedLatencyTimer() {
+    if (metrics_ != nullptr) metrics_->RecordHisto(histo_, NowNs() - start_ns_);
+  }
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histo histo_;
+  MetricsRegistry* metrics_;
   uint64_t start_ns_ = 0;
 };
 

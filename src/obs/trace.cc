@@ -94,6 +94,12 @@ std::string TraceBuffer::ToChromeJson() const {
                     ",\"s\":\"t\",\"args\":{\"value\":%" PRIu64 "}",
                     event.value);
       out += buf;
+    } else if (event.ph == 'X') {
+      // Complete spans carry their duration (value, ns) as Chrome's
+      // microsecond "dur" field.
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
+                    static_cast<double>(event.value) / 1e3);
+      out += buf;
     } else if (event.ph == 'C') {
       std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%" PRIu64 "}",
                     event.value);

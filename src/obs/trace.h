@@ -14,7 +14,7 @@ namespace hilog::obs {
 struct TraceEvent {
   const char* name = "";
   /// Chrome trace_event phase: 'B' begin, 'E' end, 'i' instant,
-  /// 'C' counter sample.
+  /// 'C' counter sample, 'X' complete span (value = duration ns).
   char ph = 'i';
   /// Logical thread lane (Chrome "tid"). 0 for a buffer confined to one
   /// thread; service workers label their per-query buffers so merged
@@ -41,6 +41,17 @@ class TraceBuffer {
   }
   void CounterSample(const char* name, uint64_t value) {
     Push({name, 'C', tid_, Stamp(), value});
+  }
+  /// Complete span ('X' event) from absolute steady-clock endpoints — the
+  /// service stamps request phases with NowNs() and emits them as spans
+  /// after the fact. ts is rebased into this buffer's epoch (clamped to
+  /// 0 for events that predate it); value holds the duration in ns.
+  void Span(const char* name, uint64_t begin_abs_ns, uint64_t end_abs_ns) {
+    const uint64_t ts =
+        begin_abs_ns > epoch_ns_ ? begin_abs_ns - epoch_ns_ : 0;
+    const uint64_t dur =
+        end_abs_ns > begin_abs_ns ? end_abs_ns - begin_abs_ns : 0;
+    Push({name, 'X', tid_, ts, dur});
   }
 
   size_t capacity() const { return capacity_; }
@@ -98,6 +109,27 @@ inline void TraceInstant(const char* name, uint64_t value = 0) {
 inline void TraceCounter(const char* name, uint64_t value) {
   if (TraceBuffer* t = CurrentTrace()) t->CounterSample(name, value);
 }
+
+/// RAII span against the thread-local trace buffer: Begin on entry, End
+/// on exit. Snapshots the sink at construction (like ScopedPhaseTimer)
+/// so nested context switches cannot unbalance the pair; no-op when no
+/// buffer is installed. `name` must outlive the buffer.
+class ScopedTraceSpan {
+ public:
+  explicit ScopedTraceSpan(const char* name)
+      : name_(name), trace_(CurrentTrace()) {
+    if (trace_ != nullptr) trace_->Begin(name_);
+  }
+  ~ScopedTraceSpan() {
+    if (trace_ != nullptr) trace_->End(name_);
+  }
+  ScopedTraceSpan(const ScopedTraceSpan&) = delete;
+  ScopedTraceSpan& operator=(const ScopedTraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  TraceBuffer* trace_;
+};
 
 }  // namespace hilog::obs
 

@@ -1,8 +1,37 @@
 #include "src/service/executor.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 
 namespace hilog::service {
+
+namespace {
+
+// Minimal JSON string escaper for the slow-query log line. Local on
+// purpose: wire.h's JsonQuote sits above the executor in the layering
+// (wire includes executor), so reaching for it here would be a cycle.
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
 
 const char* ServiceStatusName(ServiceStatus status) {
   switch (status) {
@@ -35,6 +64,7 @@ QueryExecutor::~QueryExecutor() { Shutdown(/*drain=*/true); }
 
 std::future<QueryResponse> QueryExecutor::Submit(QueryRequest request) {
   Task task;
+  task.query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
   task.submit_ns = obs::NowNs();
   const uint64_t deadline_ms = request.deadline_ms != 0
                                    ? request.deadline_ms
@@ -89,7 +119,7 @@ QueryResponse QueryExecutor::Execute(QueryRequest request) {
 void QueryExecutor::WorkerLoop(uint32_t worker_index) {
   EngineOptions engine_options = options_.engine;
   engine_options.trace_tid = worker_index;
-  EngineSession session(std::move(engine_options));
+  EngineSession session(std::move(engine_options), options_.warm_wfs);
   while (true) {
     Task task;
     {
@@ -113,9 +143,15 @@ void QueryExecutor::WorkerLoop(uint32_t worker_index) {
 }
 
 void QueryExecutor::RunTask(EngineSession* session, Task task) {
-  const uint64_t start_ns = obs::NowNs();
+  RequestContext ctx;
+  ctx.query_id = task.query_id;
+  ctx.deadline_ns = task.deadline_ns;
+  ctx.submit_ns = task.submit_ns;
+  ctx.dequeue_ns = obs::NowNs();
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+
   QueryResponse response;
-  response.queue_ns = start_ns - task.submit_ns;
+  response.queue_ns = ctx.queue_wait_ns();
 
   std::shared_ptr<const ModelSnapshot> snapshot = snapshots_->Current();
   response.epoch = snapshot->epoch();
@@ -127,15 +163,18 @@ void QueryExecutor::RunTask(EngineSession* session, Task task) {
                           ? ServiceStatus::kTimeout
                           : ServiceStatus::kCancelled;
     response.error = CancelReasonMessage(pre);
+    ctx.solve_done_ns = obs::NowNs();
   } else {
-    std::string error = session->Materialize(*snapshot);
+    std::string error = session->Materialize(*snapshot, &ctx);
     if (!error.empty()) {
       response.status = ServiceStatus::kError;
       response.error = "snapshot materialization failed: " + error;
+      ctx.solve_done_ns = obs::NowNs();
     } else {
       Engine& engine = session->engine();
       ScopedCancelToken cancel_scope(task.token.get());
       Engine::QueryAnswer answer = engine.Query(task.request.query);
+      ctx.solve_done_ns = obs::NowNs();
       if (answer.ok) {
         response.status = ServiceStatus::kOk;
         response.answers.reserve(answer.answers.size());
@@ -159,7 +198,32 @@ void QueryExecutor::RunTask(EngineSession* session, Task task) {
       }
     }
   }
-  response.eval_ns = obs::NowNs() - start_ns;
+  ctx.serialize_done_ns = obs::NowNs();
+  // Wire-visible timings keep their original meaning: eval_ns is
+  // dequeue -> response assembled (incl. materialization + rendering).
+  response.eval_ns = ctx.serialize_done_ns - ctx.dequeue_ns;
+
+  // Request latency components go straight into the aggregate's lock-free
+  // histograms — no mutex on this path.
+  agg_metrics_.RecordHisto(obs::Histo::kQueryLatency, ctx.total_ns());
+  agg_metrics_.RecordHisto(obs::Histo::kQueueWait, ctx.queue_wait_ns());
+  agg_metrics_.RecordHisto(obs::Histo::kEval, ctx.eval_ns());
+  agg_metrics_.RecordHisto(obs::Histo::kSerialize, ctx.serialize_ns());
+
+  if (session->materialized() && session->engine().trace() != nullptr) {
+    // The request's span tree, in the worker's lane: the whole request,
+    // its queue wait, and the serialize tail. The engine's own phase
+    // spans (query/magic_rewrite, plus sched.component via warm_wfs)
+    // already sit in the ring between dequeue and solve_done.
+    obs::TraceBuffer* ring = session->engine().trace();
+    ring->Span("request", ctx.submit_ns, ctx.serialize_done_ns);
+    ring->Span("queue_wait", ctx.submit_ns, ctx.dequeue_ns);
+    ring->Span("serialize", ctx.solve_done_ns, ctx.serialize_done_ns);
+    ring->Instant("query.id", ctx.query_id);
+  }
+
+  const bool slow = options_.slow_query_ns != 0 &&
+                    ctx.total_ns() > options_.slow_query_ns;
 
   {
     std::lock_guard<std::mutex> lock(agg_mu_);
@@ -170,6 +234,7 @@ void QueryExecutor::RunTask(EngineSession* session, Task task) {
       case ServiceStatus::kCancelled: ++stats_.cancelled; break;
       default: ++stats_.errors; break;
     }
+    if (slow) ++stats_.slow;
     stats_.queue_wait_ns += response.queue_ns;
     stats_.eval_ns += response.eval_ns;
     if (session->materialized()) {
@@ -185,6 +250,32 @@ void QueryExecutor::RunTask(EngineSession* session, Task task) {
   if (session->materialized() && session->engine().trace() != nullptr) {
     // Clear outside agg_mu_: the ring is worker-confined.
     session->engine().trace()->Clear();
+  }
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+
+  if (slow) {
+    char buf[256];
+    std::string line = "{\"event\":\"slow_query\",";
+    std::snprintf(buf, sizeof(buf),
+                  "\"query_id\":%" PRIu64 ",\"epoch\":%" PRIu64
+                  ",\"status\":\"%s\",\"rebuilt\":%s,\"q\":\"",
+                  ctx.query_id, response.epoch,
+                  ServiceStatusName(response.status),
+                  ctx.rebuilt ? "true" : "false");
+    line += buf;
+    AppendJsonEscaped(&line, task.request.query);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"queue_ns\":%" PRIu64 ",\"eval_ns\":%" PRIu64
+                  ",\"serialize_ns\":%" PRIu64 ",\"total_ns\":%" PRIu64
+                  ",\"threshold_ns\":%" PRIu64 "}",
+                  ctx.queue_wait_ns(), ctx.eval_ns(), ctx.serialize_ns(),
+                  ctx.total_ns(), options_.slow_query_ns);
+    line += buf;
+    if (options_.slow_query_sink) {
+      options_.slow_query_sink(line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
   }
 
   task.promise.set_value(std::move(response));
@@ -234,6 +325,28 @@ std::string QueryExecutor::AggregatedTraceJson() const {
   std::lock_guard<std::mutex> lock(agg_mu_);
   if (agg_trace_ == nullptr) return "{\"traceEvents\":[]}";
   return agg_trace_->ToChromeJson();
+}
+
+size_t QueryExecutor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+bool QueryExecutor::stopping() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return stopping_;
+}
+
+void QueryExecutor::SampleLoadGauges() {
+  const uint64_t depth = queue_depth();
+  const uint64_t busy = inflight();
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  agg_metrics_.Set(obs::Gauge::kServiceQueueDepth, depth);
+  agg_metrics_.Set(obs::Gauge::kServiceInflight, busy);
+  if (agg_trace_ != nullptr) {
+    agg_trace_->CounterSample("service.queue_depth", depth);
+    agg_trace_->CounterSample("service.inflight", busy);
+  }
 }
 
 }  // namespace hilog::service

@@ -1,9 +1,11 @@
 #ifndef HILOG_SERVICE_EXECUTOR_H_
 #define HILOG_SERVICE_EXECUTOR_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -14,6 +16,7 @@
 #include "src/eval/cancel.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/service/request_context.h"
 #include "src/service/snapshot.h"
 
 namespace hilog::service {
@@ -68,6 +71,7 @@ struct ServiceStats {
   uint64_t cancelled = 0;
   uint64_t shed = 0;        // kOverloaded at submission.
   uint64_t rejected = 0;    // kShutdown at submission or drain-abandon.
+  uint64_t slow = 0;        // Exceeded options.slow_query_ns end to end.
   uint64_t queue_wait_ns = 0;
   uint64_t eval_ns = 0;
   uint64_t max_queue_depth = 0;
@@ -80,6 +84,18 @@ struct ExecutorOptions {
   size_t queue_capacity = 64;
   /// Applied when a request carries no deadline; 0 = unbounded.
   uint64_t default_deadline_ms = 0;
+  /// Slow-query budget end to end (submit -> response serialized);
+  /// 0 disables. A request over budget emits one structured JSON log
+  /// line through `slow_query_sink` and bumps stats().slow.
+  uint64_t slow_query_ns = 0;
+  /// Receives slow-query log lines (no trailing newline). Defaults to
+  /// stderr; tests install a capturing sink. Called outside all executor
+  /// locks, possibly from several workers at once — must be thread-safe.
+  std::function<void(const std::string&)> slow_query_sink;
+  /// Run a well-founded solve after every epoch-change materialization
+  /// (see EngineSession): warms the scheduler's component cache and puts
+  /// per-component spans into the triggering request's trace lane.
+  bool warm_wfs = false;
   /// Per-worker-session engine configuration. trace_capacity > 0 gives
   /// each worker a trace ring merged into the aggregate (lane = worker).
   EngineOptions engine;
@@ -124,11 +140,27 @@ class QueryExecutor {
   size_t threads() const { return workers_.size(); }
   const ExecutorOptions& options() const { return options_; }
 
+  /// Instantaneous load levels (for statusz and the server's sampler).
+  size_t queue_depth() const;
+  size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  /// True once Shutdown began: new submissions are rejected (healthz
+  /// reports not-ready while queued work drains).
+  bool stopping() const;
+
+  /// Records the current queue depth and inflight count into the
+  /// aggregate registry's service gauges (high-water on merge) and, when
+  /// tracing, as counter samples in the aggregate trace. The LineServer's
+  /// background sampler calls this periodically.
+  void SampleLoadGauges();
+
  private:
   struct Task {
     QueryRequest request;
     std::promise<QueryResponse> promise;
     std::shared_ptr<CancelToken> token;  // Never null once enqueued.
+    uint64_t query_id = 0;
     uint64_t submit_ns = 0;
     uint64_t deadline_ns = 0;  // Absolute steady-clock; 0 = none.
   };
@@ -148,6 +180,9 @@ class QueryExecutor {
   ServiceStats stats_;                  // Guarded by agg_mu_.
   obs::MetricsRegistry agg_metrics_;    // Guarded by agg_mu_.
   std::unique_ptr<obs::TraceBuffer> agg_trace_;  // Guarded by agg_mu_.
+
+  std::atomic<uint64_t> next_query_id_{1};
+  std::atomic<size_t> inflight_{0};
 
   std::vector<std::thread> workers_;
   std::once_flag shutdown_once_;

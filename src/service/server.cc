@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace hilog::service {
@@ -44,7 +45,9 @@ LineServer::LineServer(std::shared_ptr<SnapshotStore> snapshots,
                        ServerOptions options)
     : snapshots_(std::move(snapshots)),
       executor_(std::move(executor)),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      start_ns_(obs::NowNs()) {}  // Re-stamped by Start(); this keeps
+                                  // uptime sane for Dispatch-only tests.
 
 LineServer::~LineServer() { Stop(); }
 
@@ -105,12 +108,26 @@ std::string LineServer::Start() {
     }
   }
   if (tcp_fd_ < 0 && unix_fd_ < 0) return "no listener configured";
+  start_ns_ = obs::NowNs();
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     accepting_ = true;
   }
   acceptor_ = std::thread([this] { AcceptLoop(); });
+  if (options_.sample_interval_ms > 0) {
+    sampler_ = std::thread([this] { SamplerLoop(); });
+  }
   return "";
+}
+
+void LineServer::SamplerLoop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stopping()) {
+    executor_->SampleLoadGauges();
+    stop_cv_.wait_for(lock,
+                      std::chrono::milliseconds(options_.sample_interval_ms),
+                      [this] { return stopping(); });
+  }
 }
 
 void LineServer::AcceptLoop() {
@@ -205,6 +222,9 @@ std::string LineServer::Dispatch(const WireRequest& request) {
   }
   if (request.op == "wfs") return HandleWfs(request);
   if (request.op == "stats") return HandleStats(request);
+  if (request.op == "metrics") return HandleMetrics(request);
+  if (request.op == "healthz") return HandleHealthz(request);
+  if (request.op == "statusz") return HandleStatusz(request);
   if (request.op == "ping") {
     std::string out = "{\"status\":\"ok\"";
     if (!request.id.empty()) out += ",\"id\":" + JsonQuote(request.id);
@@ -268,9 +288,122 @@ std::string LineServer::HandleStats(const WireRequest& request) {
   out += ",\"cancelled\":" + std::to_string(stats.cancelled);
   out += ",\"shed\":" + std::to_string(stats.shed);
   out += ",\"rejected\":" + std::to_string(stats.rejected);
+  out += ",\"slow\":" + std::to_string(stats.slow);
   out += ",\"max_queue_depth\":" + std::to_string(stats.max_queue_depth);
   out += ",\"queue_wait_ns\":" + std::to_string(stats.queue_wait_ns);
-  out += ",\"eval_ns\":" + std::to_string(stats.eval_ns) + "}";
+  out += ",\"eval_ns\":" + std::to_string(stats.eval_ns);
+  // Same registry schema as `hilog_cli --stats-json`: counters, gauges,
+  // phases, histograms — one shared shape for both surfaces.
+  out += ",\"metrics\":" + executor_->AggregatedMetrics().ToJson() + "}";
+  return out;
+}
+
+namespace {
+
+/// One Prometheus series with a TYPE header, e.g.
+/// "# TYPE hilog_service_submitted counter\nhilog_service_submitted 3\n".
+void PromLine(std::string* out, const char* name, const char* type,
+              uint64_t value) {
+  *out += "# TYPE ";
+  *out += name;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+  *out += name;
+  *out += ' ';
+  *out += std::to_string(value);
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string LineServer::HandleMetrics(const WireRequest& request) {
+  // Service-level section first, then the full aggregated registry
+  // (counters, gauges, phases, latency histograms with cumulative
+  // buckets). The exposition is multi-line text, so it travels inside
+  // the single-line JSON response as an escaped "body" string — scrapers
+  // unwrap it (see docs/observability.md for a worked example).
+  const ServiceStats stats = executor_->stats();
+  std::string body;
+  PromLine(&body, "hilog_service_submitted_total", "counter",
+           stats.submitted);
+  PromLine(&body, "hilog_service_completed_total", "counter",
+           stats.completed);
+  PromLine(&body, "hilog_service_ok_total", "counter", stats.ok);
+  PromLine(&body, "hilog_service_errors_total", "counter", stats.errors);
+  PromLine(&body, "hilog_service_timeouts_total", "counter", stats.timeouts);
+  PromLine(&body, "hilog_service_cancelled_total", "counter",
+           stats.cancelled);
+  PromLine(&body, "hilog_service_shed_total", "counter", stats.shed);
+  PromLine(&body, "hilog_service_rejected_total", "counter", stats.rejected);
+  PromLine(&body, "hilog_service_slow_total", "counter", stats.slow);
+  PromLine(&body, "hilog_service_uptime_seconds", "gauge",
+           (obs::NowNs() - start_ns_) / 1'000'000'000ull);
+  PromLine(&body, "hilog_service_epoch", "gauge", snapshots_->epoch());
+  PromLine(&body, "hilog_service_threads", "gauge", executor_->threads());
+  PromLine(&body, "hilog_service_queue_depth", "gauge",
+           executor_->queue_depth());
+  PromLine(&body, "hilog_service_inflight", "gauge", executor_->inflight());
+  PromLine(&body, "hilog_service_max_queue_depth", "gauge",
+           stats.max_queue_depth);
+  body += executor_->AggregatedMetrics().ToPrometheus();
+
+  std::string out = "{\"status\":\"ok\"";
+  if (!request.id.empty()) out += ",\"id\":" + JsonQuote(request.id);
+  out += ",\"content_type\":\"text/plain; version=0.0.4\"";
+  out += ",\"body\":" + JsonQuote(body) + "}";
+  return out;
+}
+
+std::string LineServer::HandleHealthz(const WireRequest& request) {
+  // Not-ready as soon as a drain begins anywhere in the stack: either
+  // the server took a shutdown op or the executor stopped accepting.
+  const bool ready = !stopping() && !executor_->stopping();
+  std::string out = ready ? "{\"status\":\"ok\",\"ready\":true"
+                          : "{\"status\":\"unavailable\",\"ready\":false";
+  if (!request.id.empty()) out += ",\"id\":" + JsonQuote(request.id);
+  out += ",\"epoch\":" + std::to_string(snapshots_->epoch()) + "}";
+  return out;
+}
+
+std::string LineServer::HandleStatusz(const WireRequest& request) {
+  const ServiceStats stats = executor_->stats();
+  const obs::MetricsRegistry metrics = executor_->AggregatedMetrics();
+  const obs::Histogram& latency =
+      metrics.histo(obs::Histo::kQueryLatency);
+  std::shared_ptr<const ModelSnapshot> snapshot = snapshots_->Current();
+  std::string out = "{\"status\":\"ok\"";
+  if (!request.id.empty()) out += ",\"id\":" + JsonQuote(request.id);
+  out += ",\"uptime_ns\":" + std::to_string(obs::NowNs() - start_ns_);
+  out += ",\"epoch\":" + std::to_string(snapshot->epoch());
+  out += ",\"rules\":" + std::to_string(snapshot->rules());
+  out += ",\"has_wfs\":";
+  out += snapshot->has_wfs() ? "true" : "false";
+  out += ",\"threads\":" + std::to_string(executor_->threads());
+  out += ",\"queue_capacity\":" +
+         std::to_string(executor_->options().queue_capacity);
+  out += ",\"queue_depth\":" + std::to_string(executor_->queue_depth());
+  out += ",\"inflight\":" + std::to_string(executor_->inflight());
+  out += ",\"draining\":";
+  out += (stopping() || executor_->stopping()) ? "true" : "false";
+  out += ",\"submitted\":" + std::to_string(stats.submitted);
+  out += ",\"completed\":" + std::to_string(stats.completed);
+  out += ",\"ok\":" + std::to_string(stats.ok);
+  out += ",\"errors\":" + std::to_string(stats.errors);
+  out += ",\"timeouts\":" + std::to_string(stats.timeouts);
+  out += ",\"cancelled\":" + std::to_string(stats.cancelled);
+  out += ",\"shed\":" + std::to_string(stats.shed);
+  out += ",\"rejected\":" + std::to_string(stats.rejected);
+  out += ",\"slow\":" + std::to_string(stats.slow);
+  out += ",\"max_queue_depth\":" + std::to_string(stats.max_queue_depth);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                ",\"latency\":{\"count\":%llu,\"p50_ns\":%.0f,"
+                "\"p90_ns\":%.0f,\"p99_ns\":%.0f}}",
+                static_cast<unsigned long long>(latency.count()),
+                latency.Percentile(50), latency.Percentile(90),
+                latency.Percentile(99));
+  out += buf;
   return out;
 }
 
@@ -315,6 +448,7 @@ void LineServer::Stop() {
       ::close(connection->fd);
     }
     if (acceptor_.joinable()) acceptor_.join();
+    if (sampler_.joinable()) sampler_.join();
     CloseListeners();
   });
 }

@@ -27,6 +27,11 @@ struct ServerOptions {
   /// "wfs" op answers from a warm model.
   bool solve_wfs = true;
   int listen_backlog = 64;
+  /// Background sampler period: every interval the server records the
+  /// executor's queue depth and inflight count into the aggregate
+  /// registry's service gauges (and the aggregate trace as counter
+  /// samples when tracing). 0 disables the sampler.
+  uint64_t sample_interval_ms = 100;
 };
 
 /// Newline-delimited JSON server over the query service: one request
@@ -81,9 +86,14 @@ class LineServer {
   void ServeConnection(int fd);
   void CloseListeners();
 
+  void SamplerLoop();
+
   std::string HandleLoad(const WireRequest& request, bool append);
   std::string HandleWfs(const WireRequest& request);
   std::string HandleStats(const WireRequest& request);
+  std::string HandleMetrics(const WireRequest& request);
+  std::string HandleHealthz(const WireRequest& request);
+  std::string HandleStatusz(const WireRequest& request);
 
   std::shared_ptr<SnapshotStore> snapshots_;
   std::shared_ptr<QueryExecutor> executor_;
@@ -92,6 +102,7 @@ class LineServer {
   int tcp_fd_ = -1;
   int unix_fd_ = -1;
   int port_ = -1;
+  uint64_t start_ns_ = 0;  // Stamped by Start(); basis for uptime.
 
   std::atomic<bool> stop_requested_{false};
   std::mutex stop_mu_;
@@ -102,6 +113,7 @@ class LineServer {
   bool accepting_ = false;  // Guarded by conn_mu_.
 
   std::thread acceptor_;
+  std::thread sampler_;
   std::once_flag stopped_once_;
 };
 

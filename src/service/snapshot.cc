@@ -56,9 +56,12 @@ std::string SnapshotStore::Publish(std::string_view text, bool append,
   return "";
 }
 
-std::string EngineSession::Materialize(const ModelSnapshot& snapshot) {
+std::string EngineSession::Materialize(const ModelSnapshot& snapshot,
+                                       RequestContext* ctx) {
   if (engine_ != nullptr && epoch_ == snapshot.epoch()) return "";
+  if (ctx != nullptr) ctx->rebuilt = true;
   const std::string& next_text = snapshot.program_text();
+  bool materialized = false;
   if (engine_ != nullptr && next_text.size() > text_.size() &&
       next_text.compare(0, text_.size(), text_) == 0) {
     // Append-only publish (load_more): keep the warm engine — and with it
@@ -67,18 +70,26 @@ std::string EngineSession::Materialize(const ModelSnapshot& snapshot) {
     std::string error =
         engine_->LoadMore(std::string_view(next_text).substr(text_.size()));
     if (error.empty()) {
-      epoch_ = snapshot.epoch();
-      text_ = next_text;
       ++incremental_;
-      return "";
+      materialized = true;
     }
   }
-  auto fresh = std::make_unique<Engine>(options_);
-  std::string error = fresh->Load(next_text);
-  if (!error.empty()) return error;  // Unreachable: the publisher parsed it.
-  engine_ = std::move(fresh);
+  if (!materialized) {
+    auto fresh = std::make_unique<Engine>(options_);
+    std::string error = fresh->Load(next_text);
+    if (!error.empty()) return error;  // Unreachable: publisher parsed it.
+    engine_ = std::move(fresh);
+  }
   epoch_ = snapshot.epoch();
   text_ = next_text;
+  if (warm_wfs_ && engine_->program().size() > 0) {
+    // Pre-settle the scheduler cache for the new epoch. The solve runs
+    // under this engine's obs sinks, so its component spans land in the
+    // worker's trace ring (attributed to the triggering request) and its
+    // counters in the worker registry. An unsolvable program surfaces on
+    // the query itself, not here.
+    engine_->SolveWellFounded();
+  }
   return "";
 }
 

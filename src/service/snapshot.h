@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "src/core/engine.h"
+#include "src/service/request_context.h"
 
 namespace hilog::service {
 
@@ -106,12 +107,21 @@ class SnapshotStore {
 /// touch (src/eval/scheduler.h).
 class EngineSession {
  public:
-  explicit EngineSession(EngineOptions options = EngineOptions())
-      : options_(std::move(options)) {}
+  /// `warm_wfs` makes every epoch change run a well-founded solve right
+  /// after materializing: it pre-settles the scheduler's component cache
+  /// (so the epoch's first real query doesn't pay for it) and — because
+  /// the solve runs under the worker engine's own obs sinks — lands the
+  /// per-component spans in the worker's trace ring, attributing
+  /// snapshot-warm-up cost to the request that triggered it.
+  explicit EngineSession(EngineOptions options = EngineOptions(),
+                         bool warm_wfs = false)
+      : options_(std::move(options)), warm_wfs_(warm_wfs) {}
 
   /// Ensures the private engine holds exactly `snapshot`'s program.
-  /// Returns "" on success (including the fast same-epoch path).
-  std::string Materialize(const ModelSnapshot& snapshot);
+  /// Returns "" on success (including the fast same-epoch path). When
+  /// `ctx` is given, stamps ctx->rebuilt on the epoch-change paths.
+  std::string Materialize(const ModelSnapshot& snapshot,
+                          RequestContext* ctx = nullptr);
 
   /// Valid after the first successful Materialize.
   Engine& engine() { return *engine_; }
@@ -123,6 +133,7 @@ class EngineSession {
 
  private:
   EngineOptions options_;
+  bool warm_wfs_ = false;
   std::unique_ptr<Engine> engine_;
   uint64_t epoch_ = 0;
   std::string text_;  // Source currently loaded into engine_.

@@ -379,7 +379,8 @@ bool ParseWireRequest(std::string_view line, WireRequest* out,
   }
   if (out->op != "query" && out->op != "load" && out->op != "load_more" &&
       out->op != "wfs" && out->op != "stats" && out->op != "ping" &&
-      out->op != "shutdown") {
+      out->op != "shutdown" && out->op != "metrics" &&
+      out->op != "healthz" && out->op != "statusz") {
     *error = "unknown op \"" + out->op + "\"";
     return false;
   }

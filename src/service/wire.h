@@ -55,6 +55,7 @@ std::string JsonQuote(std::string_view s);
 /// fields stay at their defaults.
 struct WireRequest {
   std::string op;        // query|load|load_more|wfs|stats|ping|shutdown
+                         // |metrics|healthz|statusz (admin surface)
   std::string q;         // op=query: the atom text.
   std::string program;   // op=load/load_more: rules text.
   uint64_t deadline_ms = 0;

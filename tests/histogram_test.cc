@@ -1,0 +1,213 @@
+#include "src/obs/histogram.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+
+namespace hilog::obs {
+namespace {
+
+TEST(HistogramTest, BucketIndexBoundaries) {
+  // Bucket 0 holds {0, 1}; bucket i holds [2^i, 2^(i+1)).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 9u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 10u);
+  // Everything at/above 2^47 lands in the overflow bucket.
+  EXPECT_EQ(Histogram::BucketIndex(1ull << 47), Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kBucketCount - 1);
+}
+
+TEST(HistogramTest, BucketUpperBoundsAreInclusivePowersOfTwo) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 7u);
+  EXPECT_EQ(Histogram::BucketUpperBound(9), 1023u);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBucketCount - 1),
+            UINT64_MAX);
+  // Every value indexes into a bucket whose bound covers it.
+  for (uint64_t v : {0ull, 1ull, 5ull, 100ull, 123456789ull}) {
+    EXPECT_LE(v, Histogram::BucketUpperBound(Histogram::BucketIndex(v)));
+  }
+}
+
+TEST(HistogramTest, RecordAccumulatesCountAndSum) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  h.Record(0);
+  h.Record(5);
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1005u);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(0)), 1u);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(5)), 1u);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(1000)), 1u);
+}
+
+TEST(HistogramTest, PercentileStaysInsideTheSampleBucket) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(1000);  // Bucket [512, 1023].
+  const double p50 = h.Percentile(50);
+  const double p99 = h.Percentile(99);
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LE(p50, 1023.0);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1023.0);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(HistogramTest, PercentileSeparatesTwoModes) {
+  Histogram h;
+  // 90 fast samples around 100ns, 10 slow ones around 1ms: p50 must sit
+  // in the fast band, p99 in the slow one.
+  for (int i = 0; i < 90; ++i) h.Record(100);
+  for (int i = 0; i < 10; ++i) h.Record(1'000'000);
+  EXPECT_LE(h.Percentile(50), 127.0);  // Bucket of 100 is [64, 127].
+  EXPECT_GE(h.Percentile(99), 524288.0);  // Bucket of 1e6 starts at 2^19.
+}
+
+TEST(HistogramTest, PercentileOfEmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, MergeIntoAddsBucketwise) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(10);
+  b.Record(10);
+  b.Record(100000);
+  a.MergeInto(&b);
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_EQ(b.sum(), 100030u);
+  EXPECT_EQ(b.bucket(Histogram::BucketIndex(10)), 3u);
+  EXPECT_EQ(b.bucket(Histogram::BucketIndex(100000)), 1u);
+  // The source is untouched.
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(42)), 0u);
+}
+
+TEST(HistogramTest, CopyIsDeep) {
+  Histogram a;
+  a.Record(7);
+  Histogram b = a;
+  a.Record(7);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(b.bucket(Histogram::BucketIndex(7)), 1u);
+}
+
+TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      // Distinct value ranges per thread exercise different buckets.
+      const uint64_t base = 1ull << (t + 2);
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(base + static_cast<uint64_t>(i % 3));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    bucket_total += h.bucket(i);
+  }
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(HistogramRegistryTest, RecordHistoAndMergeFlowThroughRegistry) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.RecordHisto(Histo::kQueryLatency, 1000);
+  a.RecordHisto(Histo::kQueryLatency, 2000);
+  b.RecordHisto(Histo::kQueryLatency, 3000);
+  a.MergeInto(&b);
+  EXPECT_EQ(b.histo(Histo::kQueryLatency).count(), 3u);
+  EXPECT_EQ(b.histo(Histo::kQueryLatency).sum(), 6000u);
+  b.Reset();
+  EXPECT_EQ(b.histo(Histo::kQueryLatency).count(), 0u);
+}
+
+TEST(HistogramRegistryTest, ToJsonEmitsHistogramsAfterPhases) {
+  MetricsRegistry m;
+  m.RecordHisto(Histo::kQueryLatency, 1000);
+  const std::string json = m.ToJson();
+  const size_t phases = json.find("\"phases\"");
+  const size_t histograms = json.find("\"histograms\"");
+  ASSERT_NE(phases, std::string::npos);
+  ASSERT_NE(histograms, std::string::npos);
+  EXPECT_LT(phases, histograms);
+  EXPECT_NE(json.find("\"query.latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
+}
+
+TEST(HistogramRegistryTest, PrometheusBucketsAreCumulativeAndConsistent) {
+  MetricsRegistry m;
+  m.RecordHisto(Histo::kQueryLatency, 100);
+  m.RecordHisto(Histo::kQueryLatency, 1000);
+  m.RecordHisto(Histo::kQueryLatency, 1'000'000);
+  const std::string text = m.ToPrometheus();
+  EXPECT_NE(text.find("# TYPE hilog_query_latency_ns histogram"),
+            std::string::npos);
+  // Walk the latency series: cumulative buckets never decrease and the
+  // +Inf bucket equals _count.
+  uint64_t previous = 0;
+  uint64_t inf_value = 0;
+  size_t buckets_seen = 0;
+  size_t pos = 0;
+  while ((pos = text.find("hilog_query_latency_ns_bucket{le=\"", pos)) !=
+         std::string::npos) {
+    const size_t close = text.find("\"} ", pos);
+    ASSERT_NE(close, std::string::npos);
+    const std::string le =
+        text.substr(pos + 34, close - (pos + 34));
+    const uint64_t value = std::stoull(text.substr(close + 3));
+    EXPECT_GE(value, previous) << "non-monotone cumulative bucket";
+    previous = value;
+    if (le == "+Inf") inf_value = value;
+    ++buckets_seen;
+    pos = close;
+  }
+  EXPECT_EQ(buckets_seen, Histogram::kBucketCount);
+  EXPECT_EQ(inf_value, 3u);
+  const size_t count_pos = text.find("hilog_query_latency_ns_count ");
+  ASSERT_NE(count_pos, std::string::npos);
+  EXPECT_EQ(std::stoull(text.substr(count_pos + 29)), 3u);
+}
+
+TEST(HistogramRegistryTest, ScopedLatencyTimerRecordsIntoContext) {
+  MetricsRegistry m;
+  {
+    ScopedObsContext ctx(&m);
+    ScopedLatencyTimer timer(Histo::kEngineQuery);
+  }
+  EXPECT_EQ(m.histo(Histo::kEngineQuery).count(), 1u);
+}
+
+}  // namespace
+}  // namespace hilog::obs

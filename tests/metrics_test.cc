@@ -95,6 +95,23 @@ TEST(MetricsRegistryTest, MergeIntoTwiceDoublesOnlyWithoutReset) {
   EXPECT_EQ(aggregate.value(obs::Counter::kQueries), 2u);
 }
 
+TEST(MetricsRegistryTest, MergeIntoAddsHistogramsBucketwise) {
+  obs::MetricsRegistry worker;
+  obs::MetricsRegistry aggregate;
+  aggregate.RecordHisto(obs::Histo::kQueryLatency, 100);
+  worker.RecordHisto(obs::Histo::kQueryLatency, 100);
+  worker.RecordHisto(obs::Histo::kQueueWait, 50);
+  worker.MergeInto(&aggregate);
+  EXPECT_EQ(aggregate.histo(obs::Histo::kQueryLatency).count(), 2u);
+  EXPECT_EQ(aggregate.histo(obs::Histo::kQueryLatency).sum(), 200u);
+  EXPECT_EQ(aggregate.histo(obs::Histo::kQueueWait).count(), 1u);
+  // Unlike gauges (max) and counters (add), a histogram merge is a
+  // bucket-wise add — a distribution is a sum of samples.
+  EXPECT_EQ(aggregate.histo(obs::Histo::kQueryLatency)
+                .bucket(obs::Histogram::BucketIndex(100)),
+            2u);
+}
+
 TEST(ObsContextTest, CountIsNoOpWithoutContext) {
   // No context installed: must not crash and must not touch any registry.
   obs::Count(obs::Counter::kUnifyCalls);

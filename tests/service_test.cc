@@ -14,6 +14,7 @@
 #include <cstring>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -734,6 +735,209 @@ TEST(LineServerTest, ShutdownOpStopsServer) {
   EXPECT_NE(got.find("\"stopping\":true"), std::string::npos);
   fixture.server->Wait();  // Returns because the op requested stop.
   EXPECT_TRUE(fixture.server->stopping());
+}
+
+// ---- Admin surface (metrics / healthz / statusz / slow-query) ----------
+
+TEST(AdminOpsTest, MetricsExpositionParsesAndHasLatencyHistogram) {
+  ServerFixture fixture(WinChainSlice(0, 4));
+  WireRequest query;
+  query.op = "query";
+  query.q = "w(n0)";
+  fixture.server->Dispatch(query);  // One sample for the latency histogram.
+
+  WireRequest metrics;
+  metrics.op = "metrics";
+  metrics.id = "m1";
+  std::string line = fixture.server->Dispatch(metrics);
+
+  service::JsonValue value;
+  std::string error;
+  ASSERT_TRUE(service::ParseJson(line, &value, &error)) << error << "\n"
+                                                        << line;
+  EXPECT_EQ(value.GetString("status"), "ok");
+  EXPECT_EQ(value.GetString("id"), "m1");
+  EXPECT_EQ(value.GetString("content_type"), "text/plain; version=0.0.4");
+  const std::string body = value.GetString("body");
+  ASSERT_FALSE(body.empty());
+
+  // Service section and registry section are both present.
+  EXPECT_NE(body.find("# TYPE hilog_service_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("hilog_service_epoch 1"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE hilog_engine_queries_total counter"),
+            std::string::npos);
+  ASSERT_NE(body.find("# TYPE hilog_query_latency_ns histogram"),
+            std::string::npos);
+
+  // The latency histogram's cumulative buckets are monotone and end in a
+  // +Inf bucket equal to _count, with at least the one sample above —
+  // which makes p50/p99 derivable from the buckets alone.
+  uint64_t previous = 0;
+  uint64_t inf_value = 0;
+  size_t pos = 0;
+  const std::string prefix = "hilog_query_latency_ns_bucket{le=\"";
+  while ((pos = body.find(prefix, pos)) != std::string::npos) {
+    const size_t close = body.find("\"} ", pos);
+    ASSERT_NE(close, std::string::npos);
+    const std::string le =
+        body.substr(pos + prefix.size(), close - pos - prefix.size());
+    const uint64_t cumulative = std::stoull(body.substr(close + 3));
+    EXPECT_GE(cumulative, previous) << "non-monotone bucket le=" << le;
+    previous = cumulative;
+    if (le == "+Inf") inf_value = cumulative;
+    pos = close;
+  }
+  EXPECT_GE(inf_value, 1u);
+  const size_t count_pos = body.find("hilog_query_latency_ns_count ");
+  ASSERT_NE(count_pos, std::string::npos);
+  EXPECT_EQ(std::stoull(body.substr(count_pos + 29)), inf_value);
+}
+
+TEST(AdminOpsTest, HealthzReadyThenNotReadyDuringDrain) {
+  ServerFixture fixture(WinChainSlice(0, 2));
+  WireRequest healthz;
+  healthz.op = "healthz";
+  std::string ready = fixture.server->Dispatch(healthz);
+  EXPECT_NE(ready.find("\"status\":\"ok\""), std::string::npos) << ready;
+  EXPECT_NE(ready.find("\"ready\":true"), std::string::npos) << ready;
+
+  // A draining executor flips readiness even before the server stops.
+  fixture.executor->Shutdown(/*drain=*/true);
+  std::string draining = fixture.server->Dispatch(healthz);
+  EXPECT_NE(draining.find("\"status\":\"unavailable\""), std::string::npos)
+      << draining;
+  EXPECT_NE(draining.find("\"ready\":false"), std::string::npos) << draining;
+}
+
+TEST(AdminOpsTest, StatuszReportsSnapshotAndLoadState) {
+  ServerFixture fixture(WinChainSlice(0, 3));
+  WireRequest query;
+  query.op = "query";
+  query.q = "w(n0)";
+  fixture.server->Dispatch(query);
+
+  WireRequest statusz;
+  statusz.op = "statusz";
+  std::string line = fixture.server->Dispatch(statusz);
+  service::JsonValue value;
+  std::string error;
+  ASSERT_TRUE(service::ParseJson(line, &value, &error)) << error << "\n"
+                                                        << line;
+  EXPECT_EQ(value.GetString("status"), "ok");
+  EXPECT_EQ(value.GetUint("epoch"), 1u);
+  EXPECT_EQ(value.GetUint("rules"), 6u);  // 2 rules per chain position.
+  EXPECT_EQ(value.GetUint("threads"), 4u);
+  EXPECT_EQ(value.GetUint("queue_capacity"), 256u);
+  EXPECT_EQ(value.GetUint("submitted"), 1u);
+  EXPECT_EQ(value.GetUint("ok"), 1u);
+  EXPECT_EQ(value.GetBool("has_wfs"), true);
+  EXPECT_EQ(value.GetBool("draining"), false);
+  const service::JsonValue* latency = value.Get("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->GetUint("count"), 1u);
+}
+
+TEST(AdminOpsTest, SlowQueryLogFiresAtThresholdOnly) {
+  auto snapshots = std::make_shared<SnapshotStore>();
+  ASSERT_EQ(snapshots->Publish(WinChainSlice(0, 4), false, false), "");
+
+  std::mutex mu;
+  std::vector<std::string> lines;
+  ExecutorOptions options;
+  options.threads = 1;
+  options.slow_query_ns = 1;  // Every real query exceeds 1ns.
+  options.slow_query_sink = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  };
+  {
+    QueryExecutor executor(snapshots, options);
+    ASSERT_EQ(executor.Execute({"w(n0)", 0, {}}).status, ServiceStatus::kOk);
+    executor.Shutdown();
+    EXPECT_EQ(executor.stats().slow, 1u);
+  }
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  service::JsonValue value;
+  std::string error;
+  ASSERT_TRUE(service::ParseJson(line, &value, &error)) << error << "\n"
+                                                        << line;
+  EXPECT_EQ(value.GetString("event"), "slow_query");
+  EXPECT_EQ(value.GetString("status"), "ok");
+  EXPECT_EQ(value.GetString("q"), "w(n0)");
+  EXPECT_EQ(value.GetUint("query_id"), 1u);
+  EXPECT_EQ(value.GetUint("threshold_ns"), 1u);
+  EXPECT_GT(value.GetUint("total_ns"), 0u);
+  EXPECT_EQ(value.GetBool("rebuilt"), true);  // First query of the epoch.
+
+  // A generous budget never fires.
+  options.slow_query_ns = 60ull * 1'000'000'000;
+  lines.clear();
+  {
+    QueryExecutor executor(snapshots, options);
+    ASSERT_EQ(executor.Execute({"w(n0)", 0, {}}).status, ServiceStatus::kOk);
+    executor.Shutdown();
+    EXPECT_EQ(executor.stats().slow, 0u);
+  }
+  EXPECT_TRUE(lines.empty());
+}
+
+TEST(AdminOpsTest, StatsOpSharesRegistrySchemaWithCli) {
+  ServerFixture fixture(WinChainSlice(0, 2));
+  WireRequest query;
+  query.op = "query";
+  query.q = "w(n0)";
+  fixture.server->Dispatch(query);
+
+  WireRequest stats;
+  stats.op = "stats";
+  std::string line = fixture.server->Dispatch(stats);
+  service::JsonValue value;
+  std::string error;
+  ASSERT_TRUE(service::ParseJson(line, &value, &error)) << error << "\n"
+                                                        << line;
+  EXPECT_EQ(value.GetUint("slow"), 0u);
+  // The embedded registry mirrors Engine::metrics().ToJson(): the shape
+  // hilog_cli --stats-json prints.
+  const service::JsonValue* metrics = value.Get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->IsObject());
+  EXPECT_NE(metrics->Get("counters"), nullptr);
+  EXPECT_NE(metrics->Get("gauges"), nullptr);
+  EXPECT_NE(metrics->Get("phases"), nullptr);
+  EXPECT_NE(metrics->Get("histograms"), nullptr);
+  const service::JsonValue* counters = metrics->Get("counters");
+  EXPECT_EQ(counters->GetUint("engine.queries"), 1u);
+}
+
+TEST(AdminOpsTest, TraceExportHasRequestAndComponentSpans) {
+  auto snapshots = std::make_shared<SnapshotStore>();
+  ASSERT_EQ(snapshots->Publish(WinChainSlice(0, 4), false, false), "");
+  ExecutorOptions options;
+  options.threads = 1;
+  options.engine.trace_capacity = 4096;
+  options.warm_wfs = true;  // Epoch-change WFS solve in the worker lane.
+  QueryExecutor executor(snapshots, options);
+  ASSERT_EQ(executor.Execute({"w(n0)", 0, {}}).status, ServiceStatus::kOk);
+  std::string trace = executor.AggregatedTraceJson();
+  executor.Shutdown();
+  // The per-request span tree: whole request + queue wait + serialize
+  // tail, plus at least one scheduler-component child from the warm
+  // solve — all in the Chrome export.
+  EXPECT_NE(trace.find("\"name\":\"request\",\"ph\":\"X\""),
+            std::string::npos)
+      << trace;
+  EXPECT_NE(trace.find("\"name\":\"queue_wait\",\"ph\":\"X\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"serialize\",\"ph\":\"X\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"sched.component\",\"ph\":\"B\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"sched.component\",\"ph\":\"E\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"query.id\""), std::string::npos);
 }
 
 TEST(LineServerTest, DeadlineOverWireTimesOut) {

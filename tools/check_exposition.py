@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Validates a hilog_server {"op":"metrics"} scrape.
+
+Usage:
+    check_exposition.py <metrics.jsonl>
+
+The input file holds the server's response line(s); the last line that
+parses as JSON with a "body" field is taken as the scrape (hilog_cli
+--client echoes responses one per line). The body must be well-formed
+Prometheus text exposition (format 0.0.4):
+
+  - every non-comment line matches  name[{labels}] value
+  - every series is preceded by a  # TYPE  header
+  - histogram cumulative buckets are monotone non-decreasing and end in
+    an le="+Inf" bucket equal to the series' _count
+  - at least one histogram has count > 0 (the scrape followed a query)
+
+On success prints the derived p50/p99 of hilog_query_latency_ns and
+exits 0; any violation exits 1 with a diagnostic.
+"""
+
+import json
+import re
+import sys
+
+SERIES_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})?\s+[0-9.+eE-]+(\s+[0-9]+)?$')
+TYPE_RE = re.compile(
+    r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$')
+BUCKET_RE = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)_bucket\{le="([^"]+)"\}\s+(\d+)$')
+VALUE_RE = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)\s+(\d+)$')
+
+
+def fail(message):
+    print(f"check_exposition: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def extract_body(path):
+    body = None
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(obj, dict) and "body" in obj:
+                if obj.get("status") != "ok":
+                    fail(f"metrics response status={obj.get('status')!r}")
+                body = obj["body"]
+    if body is None:
+        fail("no response line with a \"body\" field found")
+    return body
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    body = extract_body(sys.argv[1])
+
+    typed = {}         # series base name -> declared type
+    buckets = {}       # histogram name -> list of (le, cumulative)
+    counts = {}        # histogram name -> _count value
+    sums = {}          # histogram name -> _sum value
+
+    for lineno, line in enumerate(body.splitlines(), start=1):
+        if not line:
+            fail(f"line {lineno}: empty line inside exposition")
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if not m and line.startswith("# TYPE"):
+                fail(f"line {lineno}: malformed TYPE header: {line!r}")
+            if m:
+                typed[m.group(1)] = m.group(2)
+            continue
+        if not SERIES_RE.match(line):
+            fail(f"line {lineno}: malformed series line: {line!r}")
+        m = BUCKET_RE.match(line)
+        if m:
+            buckets.setdefault(m.group(1), []).append(
+                (m.group(2), int(m.group(3))))
+            continue
+        m = VALUE_RE.match(line)
+        if m:
+            name, value = m.group(1), int(m.group(2))
+            if name.endswith("_count"):
+                counts[name[:-6]] = value
+            elif name.endswith("_sum"):
+                sums[name[:-4]] = value
+
+    if not typed:
+        fail("no TYPE headers found")
+    histograms = [n for n, t in typed.items() if t == "histogram"]
+    if not histograms:
+        fail("no histogram series declared")
+
+    for name in histograms:
+        series = buckets.get(name)
+        if not series:
+            fail(f"histogram {name} has a TYPE header but no buckets")
+        previous = -1
+        for le, cumulative in series:
+            if cumulative < previous:
+                fail(f"histogram {name}: bucket le={le} decreases "
+                     f"({cumulative} < {previous})")
+            previous = cumulative
+        if series[-1][0] != "+Inf":
+            fail(f"histogram {name}: last bucket is le={series[-1][0]}, "
+                 "not +Inf")
+        if name not in counts:
+            fail(f"histogram {name}: missing _count")
+        if name not in sums:
+            fail(f"histogram {name}: missing _sum")
+        if counts[name] != series[-1][1]:
+            fail(f"histogram {name}: _count {counts[name]} != +Inf bucket "
+                 f"{series[-1][1]}")
+
+    populated = [n for n in histograms if counts.get(n, 0) > 0]
+    if not populated:
+        fail("every histogram is empty — did the scrape follow a query?")
+
+    def percentile(series, count, p):
+        # Same rank-walk the C++ side uses: linear interpolation inside
+        # the bucket holding the rank.
+        rank = p / 100.0 * count
+        previous_le = 0
+        previous_cumulative = 0
+        for le, cumulative in series:
+            if cumulative >= rank and cumulative > previous_cumulative:
+                if le == "+Inf":
+                    return float(previous_le + 1)
+                lower = previous_le + 1 if previous_cumulative or previous_le else 0
+                width = cumulative - previous_cumulative
+                fraction = (rank - previous_cumulative) / width
+                return lower + fraction * (int(le) - lower)
+            if cumulative > previous_cumulative:
+                previous_le = int(le) if le != "+Inf" else previous_le
+                previous_cumulative = cumulative
+            elif le != "+Inf":
+                previous_le = int(le)
+        return 0.0
+
+    latency = "hilog_query_latency_ns"
+    if latency in counts and counts[latency] > 0:
+        series = buckets[latency]
+        p50 = percentile(series, counts[latency], 50)
+        p99 = percentile(series, counts[latency], 99)
+        print(f"check_exposition: OK — {len(typed)} series, "
+              f"{len(populated)} populated histogram(s); "
+              f"{latency}: count={counts[latency]} "
+              f"p50≈{p50:.0f}ns p99≈{p99:.0f}ns")
+    else:
+        print(f"check_exposition: OK — {len(typed)} series, "
+              f"{len(populated)} populated histogram(s)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
