@@ -74,6 +74,24 @@ void BM_WeaklyPerfect_DeepChain(benchmark::State& state) {
 }
 BENCHMARK(BM_WeaklyPerfect_DeepChain)->Range(8, 256);
 
+void BM_StratifiedParallel_Wide(benchmark::State& state) {
+  // The parallel stratified evaluator on a wide three-layer program:
+  // each wave is `width` independent predicate groups fanned across the
+  // worker pool. Axis 0 is the width, axis 1 the eval-thread count.
+  const int width = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  TermStore store;
+  auto parsed = ParseProgram(store, bench::LayeredProgram(width));
+  BottomUpOptions options;
+  options.eval_threads = static_cast<size_t>(threads);
+  for (auto _ : state) {
+    StratifiedEvalResult r = EvaluateStratified(store, *parsed, options);
+    benchmark::DoNotOptimize(r.facts.size());
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_StratifiedParallel_Wide)->ArgsProduct({{32, 128}, {1, 2, 4}});
+
 void BM_WfsOnDeepChainReference(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   TermStore store;

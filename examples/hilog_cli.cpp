@@ -338,6 +338,7 @@ int main(int argc, char** argv) {
   std::string program_path;
   std::string client_addr;
   uint64_t client_deadline_ms = 0;
+  size_t eval_threads = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     auto take_value = [&](const char* flag) -> const char* {
@@ -360,6 +361,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--deadline-ms") == 0) {
       client_deadline_ms =
           std::strtoull(take_value("--deadline-ms"), nullptr, 10);
+    } else if (std::strcmp(arg, "--eval-threads") == 0) {
+      // Worker-pool concurrency for the SCC scheduler's component waves;
+      // 1 (the default) keeps evaluation fully sequential. Answers are
+      // byte-identical at every setting.
+      eval_threads = std::strtoull(take_value("--eval-threads"), nullptr, 10);
     } else if (arg[0] == '-' && arg[1] != '\0') {
       std::fprintf(stderr, "unknown option %s\n", arg);
       return 2;
@@ -376,6 +382,7 @@ int main(int argc, char** argv) {
   const bool batch = observing && !program_path.empty();
 
   hilog::EngineOptions options;
+  options.bottomup.eval_threads = eval_threads;
   if (!trace_json_path.empty()) options.trace_capacity = 1 << 16;
   hilog::Engine engine(options);
 

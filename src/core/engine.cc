@@ -12,6 +12,17 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   }
 }
 
+std::unique_ptr<Engine> Engine::Fork() const {
+  auto fork = std::make_unique<Engine>(options_);
+  fork->store_.CopyFrom(store_);
+  fork->program_ = program_;
+  fork->edb_names_cache_ = edb_names_cache_;
+  fork->edb_facts_cache_ = edb_facts_cache_;
+  fork->edb_cache_valid_ = edb_cache_valid_;
+  fork->scheduler_cache_ = scheduler_cache_;
+  return fork;
+}
+
 std::string Engine::Load(std::string_view text) {
   program_ = Program();
   scheduler_cache_.Clear();

@@ -1,9 +1,12 @@
 #include "src/eval/scheduler.h"
 
 #include <algorithm>
+#include <memory>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "src/eval/cancel.h"
+#include "src/eval/worker_pool.h"
 #include "src/lang/printer.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -43,6 +46,23 @@ ProgramCondensation CondenseProgram(const TermStore& store,
     cond.rules_of[cond.component_of[cond.graph.Find(head_name)]].push_back(r);
   }
   return cond;
+}
+
+std::vector<uint32_t> CondensationDepths(const ProgramCondensation& cond) {
+  std::vector<uint32_t> depth(cond.num_components, 0);
+  // Component ids are reverse-topological (every edge points into the
+  // same or a lower-numbered component), so walking ids upward sees each
+  // referenced component's final depth before it is needed.
+  for (uint32_t c = 0; c < cond.num_components; ++c) {
+    for (uint32_t v : cond.members[c]) {
+      for (const DependencyGraph::Edge& e : cond.graph.OutEdges(v)) {
+        uint32_t lower = cond.component_of[e.to];
+        if (lower == c) continue;
+        depth[c] = std::max(depth[c], depth[lower] + 1);
+      }
+    }
+  }
+  return depth;
 }
 
 WfsResult ComputeWfsScc(const GroundProgram& ground, SchedulerStats* stats,
@@ -228,6 +248,249 @@ WfsResult ComputeWfsScc(const GroundProgram& ground, SchedulerStats* stats,
   return result;
 }
 
+namespace {
+
+/// Per-component work order, prepared on the calling thread before a
+/// wave is dispatched. Everything a batch solver reads is immutable for
+/// the duration of the wave.
+struct ComponentPlan {
+  size_t id = 0;
+  std::vector<size_t> rules;          // Indices into program.rules.
+  std::vector<TermId> member_names;   // Empty only on the non-exact path.
+  std::vector<TermId> lower_names;    // First-reference order.
+  uint64_t signature = 0;
+  TermId cache_key = kNoTerm;
+};
+
+/// Output of solving one batch of same-depth components. When the batch
+/// ran on a worker, `clone` holds its private term store and every id in
+/// the per-component vectors below `base_size` is shared with the main
+/// store while ids at or above it must be re-interned (RemapClone).
+struct BatchResult {
+  bool ok = true;
+  std::string error;
+  bool truncated = false;
+  bool cancelled = false;
+  std::unique_ptr<TermStore> clone;
+  size_t base_size = 0;
+  struct PerComponent {
+    std::vector<GroundRule> ground;
+    std::vector<TermId> true_atoms;
+    std::vector<TermId> undefined_atoms;
+    size_t envelope_size = 0;
+  };
+  std::vector<PerComponent> comps;  // Parallel to the batch's plan list.
+  SchedulerStats stats;
+  obs::MetricsRegistry metrics;            // Worker-local sink (parallel).
+  std::unique_ptr<obs::TraceBuffer> trace;  // Worker-local lane (parallel).
+};
+
+/// Trace ring per parallel batch; merged into the caller's buffer after
+/// the wave joins, so per-batch spans survive without contending on the
+/// shared ring during the solve.
+constexpr size_t kWorkerTraceCapacity = 1024;
+
+/// Grounds, resolves, and settles one batch of same-depth components
+/// against `store` (the caller's store, or a worker's private clone).
+/// Components at equal depth share no dependency edges, so one grounding
+/// call over the concatenated rules and one atom-SCC pass over the union
+/// resolution produce, for each component, exactly the ground instances
+/// and truth values a solo run would have — the batch only amortizes the
+/// per-component passes. `support_true`/`support_all` are read-only here
+/// (Contains/WithName), which is what makes concurrent batches safe.
+void SolveBatch(TermStore& store, const Program& program,
+                const BottomUpOptions& options, bool exact,
+                const std::vector<const ComponentPlan*>& comps,
+                const FactBase& support_true, const FactBase& support_all,
+                BatchResult* out) {
+  out->comps.resize(comps.size());
+  obs::Count(obs::Counter::kSchedComponents, comps.size());
+  out->stats.components += comps.size();
+  // Spans ground + resolve + atom-SCC solve for the whole batch (one
+  // span per batch keeps the win-chain trace shape of the sequential
+  // scheduler, where every batch is a single component).
+  obs::ScopedTraceSpan batch_span("sched.component");
+
+  std::unordered_map<TermId, size_t> member_of;
+  for (size_t j = 0; j < comps.size(); ++j) {
+    obs::TraceInstant("sched.component", comps[j]->id);
+    for (TermId name : comps[j]->member_names) member_of.emplace(name, j);
+  }
+  // Batch index of the component owning `name`, or SIZE_MAX for a lower
+  // (already settled) name. The non-exact path has a single monolithic
+  // component that owns every name.
+  auto member_index = [&](TermId name) -> size_t {
+    if (!exact) return 0;
+    auto it = member_of.find(name);
+    return it == member_of.end() ? SIZE_MAX : it->second;
+  };
+
+  Program batch_program;
+  std::vector<size_t> comp_of_rule;
+  for (size_t j = 0; j < comps.size(); ++j) {
+    for (size_t r : comps[j]->rules) {
+      batch_program.rules.push_back(program.rules[r]);
+      comp_of_rule.push_back(j);
+    }
+  }
+
+  // Restricted active domain: the union of the batch's settled lower
+  // references (names deduped across components — an atom's name is
+  // unique, so the seed set stays duplicate-free).
+  std::vector<TermId> seeds;
+  {
+    std::unordered_set<TermId> seen;
+    for (const ComponentPlan* plan : comps) {
+      for (TermId name : plan->lower_names) {
+        if (!seen.insert(name).second) continue;
+        const std::vector<TermId>& with = support_all.WithName(name);
+        seeds.insert(seeds.end(), with.begin(), with.end());
+      }
+    }
+  }
+
+  {
+    obs::ScopedPhaseTimer ground_timer(obs::Phase::kGround);
+    BottomUpResult envelope = LeastModelOfPositiveProjectionSeeded(
+        store, batch_program, options, seeds);
+    out->truncated |= envelope.truncated;
+    if (!envelope.unsafe_rules.empty()) {
+      out->ok = false;
+      out->error =
+          "rule is not safe for relevance grounding (head not bound by "
+          "positive body): " +
+          RuleToString(store, batch_program.rules[envelope.unsafe_rules[0]]);
+      return;
+    }
+    if (envelope.cancelled) {
+      out->cancelled = true;
+      return;
+    }
+
+    // Per-component envelope accounting, matching what a solo run would
+    // report: the component's own seeds plus the envelope facts bearing
+    // its member names (derived facts are always member-named).
+    if (exact) {
+      for (size_t j = 0; j < comps.size(); ++j) {
+        size_t env = 0;
+        for (TermId name : comps[j]->lower_names) {
+          env += support_all.WithName(name).size();
+        }
+        for (TermId name : comps[j]->member_names) {
+          env += envelope.facts.WithName(name).size();
+        }
+        out->comps[j].envelope_size = env;
+      }
+    } else {
+      out->comps[0].envelope_size = envelope.facts.size();
+    }
+
+    for (size_t r = 0; r < batch_program.rules.size(); ++r) {
+      const Rule& rule = batch_program.rules[r];
+      std::vector<GroundRule>& sink = out->comps[comp_of_rule[r]].ground;
+      bool instantiate_ok = true;
+      ForEachPositiveMatch(
+          store, rule, envelope.facts, [&](const Substitution& theta) {
+            GroundRule instance;
+            instance.head = theta.Apply(store, rule.head);
+            bool safe = store.IsGround(instance.head);
+            for (const Literal& lit : rule.body) {
+              TermId atom = theta.Apply(store, lit.atom);
+              if (!store.IsGround(atom)) safe = false;
+              (lit.positive() ? instance.pos : instance.neg).push_back(atom);
+            }
+            if (!safe) {
+              out->ok = false;
+              out->error =
+                  "rule instance stayed non-ground (program is not strongly "
+                  "range restricted): " +
+                  RuleToString(store, rule);
+              instantiate_ok = false;
+              return false;
+            }
+            obs::Count(obs::Counter::kGroundInstances);
+            sink.push_back(std::move(instance));
+            return true;
+          });
+      if (!instantiate_ok) return;
+    }
+  }
+
+  // Resolve literals on lower-component atoms against the settled model;
+  // still-undefined imports stay and get pinned by a loop rule. Atoms of
+  // batchmates never appear in a component's rules (no same-depth
+  // edges), so the union resolution decomposes into the solo ones.
+  GroundProgram resolved;
+  std::unordered_set<TermId> loop_atoms;
+  std::vector<TermId> loop_order;
+  for (size_t j = 0; j < comps.size(); ++j) {
+    for (const GroundRule& rule : out->comps[j].ground) {
+      GroundRule res;
+      res.head = rule.head;
+      bool deleted = false;
+      for (TermId a : rule.pos) {
+        if (member_index(store.PredName(a)) != SIZE_MAX) {
+          res.pos.push_back(a);
+          continue;
+        }
+        if (support_true.Contains(a)) continue;
+        if (!support_all.Contains(a)) {
+          deleted = true;
+          break;
+        }
+        res.pos.push_back(a);
+        if (loop_atoms.insert(a).second) loop_order.push_back(a);
+      }
+      if (!deleted) {
+        for (TermId a : rule.neg) {
+          if (member_index(store.PredName(a)) != SIZE_MAX) {
+            res.neg.push_back(a);
+            continue;
+          }
+          if (support_true.Contains(a)) {
+            deleted = true;
+            break;
+          }
+          if (!support_all.Contains(a)) continue;
+          res.neg.push_back(a);
+          if (loop_atoms.insert(a).second) loop_order.push_back(a);
+        }
+      }
+      if (!deleted) resolved.Add(std::move(res));
+    }
+  }
+  for (TermId a : loop_order) {
+    GroundRule loop;
+    loop.head = a;
+    loop.neg.push_back(a);
+    resolved.Add(std::move(loop));
+  }
+
+  WfsResult sub =
+      ComputeWfsScc(resolved, &out->stats, /*count_model_atoms=*/false);
+  if (sub.cancelled) {
+    out->cancelled = true;
+    return;
+  }
+
+  // Split the settled atoms back out per component; loop-encoded imports
+  // belong to lower components and were published when those settled.
+  const AtomTable& sub_atoms = sub.model.atoms();
+  for (uint32_t i = 0; i < sub_atoms.size(); ++i) {
+    TermId atom = sub_atoms.atom(i);
+    size_t j = member_index(store.PredName(atom));
+    if (j == SIZE_MAX) continue;
+    TruthValue tv = sub.model.ValueAt(i);
+    if (tv == TruthValue::kTrue) {
+      out->comps[j].true_atoms.push_back(atom);
+    } else if (tv == TruthValue::kUndefined) {
+      out->comps[j].undefined_atoms.push_back(atom);
+    }
+  }
+}
+
+}  // namespace
+
 ComponentWfsResult SolveWfsByComponents(TermStore& store,
                                         const Program& program,
                                         const BottomUpOptions& options,
@@ -252,60 +515,40 @@ ComponentWfsResult SolveWfsByComponents(TermStore& store,
 
   ProgramCondensation cond = CondenseProgram(store, program);
 
-  // Component groups in dependency order. A non-exact condensation (some
-  // predicate name non-ground) cannot split evaluation soundly, so the
-  // whole program becomes one monolithic group; atom-level scheduling in
-  // ComputeWfsScc still applies.
-  std::vector<std::vector<size_t>> groups;
-  std::vector<std::vector<TermId>> group_names;
+  // Component plans in dependency order, with cache signatures (member
+  // names, rule indices, and the signatures of referenced lower groups —
+  // LoadMore appends, so an unchanged component reproduces its signature
+  // exactly). A non-exact condensation (some predicate name non-ground)
+  // cannot split evaluation soundly, so the whole program becomes one
+  // monolithic plan; atom-level scheduling in ComputeWfsScc still
+  // applies.
+  std::vector<ComponentPlan> plans;
+  std::vector<uint32_t> depth;
   if (cond.exact) {
-    groups = cond.rules_of;
-    group_names.resize(cond.num_components);
+    std::vector<uint64_t> sig(cond.num_components, 0);
+    depth = CondensationDepths(cond);
+    plans.resize(cond.num_components);
     for (uint32_t c = 0; c < cond.num_components; ++c) {
+      ComponentPlan& plan = plans[c];
+      plan.id = c;
+      plan.rules = cond.rules_of[c];
       for (uint32_t v : cond.members[c]) {
-        group_names[c].push_back(cond.graph.node(v));
+        plan.member_names.push_back(cond.graph.node(v));
       }
-    }
-  } else {
-    groups.emplace_back();
-    for (size_t r = 0; r < program.rules.size(); ++r) groups[0].push_back(r);
-    group_names.emplace_back();
-  }
-
-  // Per-group cache signature: member names, rule indices, and the
-  // signatures of referenced lower groups. LoadMore appends, so an
-  // unchanged component reproduces its signature exactly.
-  std::vector<uint64_t> sig(groups.size(), 0);
-
-  FactBase support_true;  // True atoms of settled groups.
-  FactBase support_all;   // True-or-undefined atoms of settled groups.
-  std::vector<TermId> model_true, model_undef;
-
-  for (size_t c = 0; c < groups.size(); ++c) {
-    if (CancelRequested()) {
-      result.cancelled = true;
-      result.truncated = true;
-      break;
-    }
-    std::unordered_set<TermId> member_names(group_names[c].begin(),
-                                            group_names[c].end());
-    auto is_member = [&](TermId name) {
-      return !cond.exact || member_names.count(name) > 0;
-    };
-
-    // Lower names this group's bodies reference, in first-reference order
-    // (deterministic seeding), plus the lower groups they belong to.
-    std::vector<TermId> lower_names;
-    std::vector<uint32_t> lower_groups;
-    if (cond.exact) {
+      std::unordered_set<TermId> member_names(plan.member_names.begin(),
+                                              plan.member_names.end());
+      // Lower names this component's bodies reference, in first-reference
+      // order (deterministic seeding), plus the lower groups they belong
+      // to (signature inputs).
       std::unordered_set<TermId> name_seen;
       std::unordered_set<uint32_t> group_seen;
-      for (size_t r : groups[c]) {
+      std::vector<uint32_t> lower_groups;
+      for (size_t r : plan.rules) {
         for (const Literal& lit : program.rules[r].body) {
           if (lit.atom == kNoTerm) continue;
           TermId name = store.PredName(lit.atom);
           if (member_names.count(name) > 0) continue;
-          if (name_seen.insert(name).second) lower_names.push_back(name);
+          if (name_seen.insert(name).second) plan.lower_names.push_back(name);
           uint32_t node = cond.graph.Find(name);
           if (node != UINT32_MAX &&
               group_seen.insert(cond.component_of[node]).second) {
@@ -315,27 +558,158 @@ ComponentWfsResult SolveWfsByComponents(TermStore& store,
       }
       std::sort(lower_groups.begin(), lower_groups.end());
 
-      std::vector<TermId> sorted_names = group_names[c];
+      std::vector<TermId> sorted_names = plan.member_names;
       std::sort(sorted_names.begin(), sorted_names.end());
       uint64_t h = kSigSeed;
       for (TermId name : sorted_names) h = Mix(h, name);
       h = Mix(h, 0xFFFFFFFFull);
-      for (size_t r : groups[c]) h = Mix(h, r);
+      for (size_t r : plan.rules) h = Mix(h, r);
       h = Mix(h, 0xFFFFFFFEull);
       for (uint32_t g : lower_groups) h = Mix(h, sig[g]);
       sig[c] = h;
+      plan.signature = h;
+      if (!plan.rules.empty()) {
+        plan.cache_key = *std::min_element(plan.member_names.begin(),
+                                           plan.member_names.end());
+      }
+    }
+  } else {
+    plans.resize(1);
+    for (size_t r = 0; r < program.rules.size(); ++r) {
+      plans[0].rules.push_back(r);
+    }
+    depth.assign(1, 0);
+  }
+
+  // Waves: all components with rules at one topological depth. A name
+  // with no rules has only false atoms; nothing to schedule for it.
+  uint32_t num_waves = 0;
+  for (size_t c = 0; c < plans.size(); ++c) {
+    if (!plans[c].rules.empty()) num_waves = std::max(num_waves, depth[c] + 1);
+  }
+  std::vector<std::vector<size_t>> waves(num_waves);
+  for (size_t c = 0; c < plans.size(); ++c) {
+    if (!plans[c].rules.empty()) waves[depth[c]].push_back(c);
+  }
+
+  FactBase support_true;  // True atoms of settled components.
+  FactBase support_all;   // True-or-undefined atoms of settled components.
+  std::vector<TermId> model_true, model_undef;
+  const size_t threads = std::max<size_t>(options.eval_threads, 1);
+  size_t max_wave_width = 0;
+  bool stop = false;
+
+  for (const std::vector<size_t>& wave : waves) {
+    if (wave.empty()) continue;
+    if (stop || CancelRequested()) {
+      result.cancelled = true;
+      result.truncated = true;
+      break;
     }
 
-    // A name with no rules has only false atoms; nothing to do.
-    if (groups[c].empty()) continue;
+    // Cache lookups first; replayed components skip solving but are
+    // published in the id-ordered pass below, so the ground-rule and
+    // model order is independent of which components were warm.
+    std::vector<const ComponentCacheEntry*> replay(wave.size(), nullptr);
+    std::vector<size_t> to_solve;
+    for (size_t i = 0; i < wave.size(); ++i) {
+      const ComponentPlan& plan = plans[wave[i]];
+      if (cond.exact && cache != nullptr && plan.cache_key != kNoTerm) {
+        auto it = cache->components.find(plan.cache_key);
+        if (it != cache->components.end() &&
+            it->second.signature == plan.signature) {
+          replay[i] = &it->second;
+          continue;
+        }
+      }
+      to_solve.push_back(i);
+    }
 
-    TermId cache_key = kNoTerm;
-    if (cond.exact && cache != nullptr) {
-      cache_key =
-          *std::min_element(group_names[c].begin(), group_names[c].end());
-      auto it = cache->components.find(cache_key);
-      if (it != cache->components.end() && it->second.signature == sig[c]) {
-        const ComponentCacheEntry& entry = it->second;
+    // Contiguous batches in component-id order: every thread count
+    // publishes identical results, only the batch shapes change.
+    const size_t nbatches =
+        to_solve.empty() ? 0 : std::min(to_solve.size(), threads);
+    std::vector<std::vector<const ComponentPlan*>> batch_plans(nbatches);
+    std::vector<size_t> batch_of(wave.size(), SIZE_MAX);
+    std::vector<size_t> index_in_batch(wave.size(), SIZE_MAX);
+    for (size_t k = 0; k < to_solve.size(); ++k) {
+      const size_t b = k * nbatches / to_solve.size();
+      batch_of[to_solve[k]] = b;
+      index_in_batch[to_solve[k]] = batch_plans[b].size();
+      batch_plans[b].push_back(&plans[wave[to_solve[k]]]);
+    }
+
+    std::vector<BatchResult> batches(nbatches);
+    const bool parallel = threads > 1 && nbatches > 1;
+    if (!parallel) {
+      // Sequential: the wave is (at most) one batch solved in place on
+      // the caller's store — same-depth batching with zero clone cost.
+      for (size_t b = 0; b < nbatches; ++b) {
+        SolveBatch(store, program, options, cond.exact, batch_plans[b],
+                   support_true, support_all, &batches[b]);
+      }
+    } else {
+      CancelToken* token = CurrentCancelToken();
+      obs::TraceBuffer* parent_trace = obs::CurrentTrace();
+      for (size_t b = 0; b < nbatches; ++b) {
+        batches[b].clone = std::make_unique<TermStore>();
+        batches[b].clone->CopyFrom(store);
+        batches[b].base_size = store.size();
+        if (parent_trace != nullptr) {
+          batches[b].trace = std::make_unique<obs::TraceBuffer>(
+              kWorkerTraceCapacity, /*tid=*/static_cast<uint32_t>(b + 1));
+        }
+      }
+      WorkerPool::Shared(threads).ParallelFor(nbatches, [&](size_t b) {
+        obs::ScopedObsContext obs_ctx(&batches[b].metrics,
+                                      batches[b].trace.get());
+        ScopedCancelToken cancel_ctx(token);
+        SolveBatch(*batches[b].clone, program, options, cond.exact,
+                   batch_plans[b], support_true, support_all, &batches[b]);
+      });
+      // Fold the worker-local sinks into the caller's, in batch order
+      // (counters/phases add, gauges keep the high-water mark, trace
+      // lanes are rebased per batch).
+      for (BatchResult& batch : batches) {
+        if (obs::MetricsRegistry* metrics = obs::CurrentMetrics()) {
+          batch.metrics.MergeInto(metrics);
+        }
+        if (parent_trace != nullptr && batch.trace != nullptr) {
+          batch.trace->MergeInto(parent_trace);
+        }
+        obs::Count(obs::Counter::kSchedParallelWorkerMerges);
+        ++result.stats.worker_merges;
+      }
+    }
+
+    for (const BatchResult& batch : batches) {
+      result.stats.components += batch.stats.components;
+      result.stats.atom_sccs += batch.stats.atom_sccs;
+      result.stats.trivial_sccs += batch.stats.trivial_sccs;
+      result.stats.cyclic_sccs += batch.stats.cyclic_sccs;
+      result.stats.largest_scc =
+          std::max(result.stats.largest_scc, batch.stats.largest_scc);
+    }
+    if (!to_solve.empty()) {
+      obs::Count(obs::Counter::kSchedParallelWaves);
+      ++result.stats.waves;
+      max_wave_width = std::max(max_wave_width, to_solve.size());
+      size_t batched = 0;
+      for (const std::vector<const ComponentPlan*>& bp : batch_plans) {
+        if (bp.size() > 1) batched += bp.size();
+      }
+      if (batched > 0) {
+        obs::Count(obs::Counter::kSchedParallelBatchedComponents, batched);
+        result.stats.batched_components += batched;
+      }
+    }
+
+    // Publish in component-id order, replayed and solved alike.
+    std::vector<std::vector<TermId>> remap(nbatches);
+    for (size_t i = 0; i < wave.size(); ++i) {
+      const ComponentPlan& plan = plans[wave[i]];
+      if (replay[i] != nullptr) {
+        const ComponentCacheEntry& entry = *replay[i];
         for (const GroundRule& g : entry.ground_rules) result.ground.Add(g);
         for (TermId a : entry.true_atoms) {
           support_true.Insert(store, a);
@@ -351,163 +725,61 @@ ComponentWfsResult SolveWfsByComponents(TermStore& store,
         ++result.stats.components_reused;
         continue;
       }
-    }
-
-    obs::Count(obs::Counter::kSchedComponents);
-    ++result.stats.components;
-    obs::TraceInstant("sched.component", c);
-    // Spans the rest of this iteration: ground + resolve + atom-SCC solve
-    // for the component. RAII keeps the pair balanced across the
-    // truncation early-returns below.
-    obs::ScopedTraceSpan component_span("sched.component");
-
-    Program comp_program;
-    comp_program.rules.reserve(groups[c].size());
-    for (size_t r : groups[c]) comp_program.rules.push_back(program.rules[r]);
-
-    // Restricted active domain: seed the envelope with the settled lower
-    // atoms this group actually references, not the whole lower model.
-    std::vector<TermId> seeds;
-    for (TermId name : lower_names) {
-      const std::vector<TermId>& with = support_all.WithName(name);
-      seeds.insert(seeds.end(), with.begin(), with.end());
-    }
-
-    std::vector<GroundRule> comp_ground;
-    size_t comp_envelope = 0;
-    {
-      obs::ScopedPhaseTimer ground_timer(obs::Phase::kGround);
-      BottomUpResult envelope =
-          LeastModelOfPositiveProjectionSeeded(store, comp_program, options,
-                                               seeds);
-      result.truncated |= envelope.truncated;
-      comp_envelope = envelope.facts.size();
-      result.envelope_size += comp_envelope;
-      if (!envelope.unsafe_rules.empty()) {
+      const size_t b = batch_of[i];
+      BatchResult& batch = batches[b];
+      result.truncated |= batch.truncated;
+      if (!batch.ok) {
         result.ok = false;
-        result.error =
-            "rule is not safe for relevance grounding (head not bound by "
-            "positive body): " +
-            RuleToString(store, comp_program.rules[envelope.unsafe_rules[0]]);
+        result.error = batch.error;
         return result;
       }
-      if (envelope.cancelled) {
+      if (batch.cancelled) {
         result.cancelled = true;
+        result.truncated = true;
+        stop = true;
         break;
       }
-
-      for (const Rule& rule : comp_program.rules) {
-        bool instantiate_ok = true;
-        ForEachPositiveMatch(
-            store, rule, envelope.facts, [&](const Substitution& theta) {
-              GroundRule instance;
-              instance.head = theta.Apply(store, rule.head);
-              bool safe = store.IsGround(instance.head);
-              for (const Literal& lit : rule.body) {
-                TermId atom = theta.Apply(store, lit.atom);
-                if (!store.IsGround(atom)) safe = false;
-                (lit.positive() ? instance.pos : instance.neg).push_back(atom);
-              }
-              if (!safe) {
-                result.ok = false;
-                result.error =
-                    "rule instance stayed non-ground (program is not strongly "
-                    "range restricted): " +
-                    RuleToString(store, rule);
-                instantiate_ok = false;
-                return false;
-              }
-              obs::Count(obs::Counter::kGroundInstances);
-              comp_ground.push_back(std::move(instance));
-              return true;
-            });
-        if (!instantiate_ok) return result;
+      BatchResult::PerComponent& pc = batch.comps[index_in_batch[i]];
+      if (batch.clone != nullptr && remap[b].empty()) {
+        remap[b] = ReinternSuffix(store, *batch.clone, batch.base_size);
       }
-    }
-
-    // Resolve literals on lower-group atoms against the settled model;
-    // still-undefined imports stay and get pinned by a loop rule. The
-    // resolved program mentions only this group's atoms plus those
-    // undefined imports, so the fixpoints below never revisit lower work.
-    GroundProgram resolved;
-    std::unordered_set<TermId> loop_atoms;
-    std::vector<TermId> loop_order;
-    for (const GroundRule& rule : comp_ground) {
-      GroundRule out;
-      out.head = rule.head;
-      bool deleted = false;
-      for (TermId a : rule.pos) {
-        if (is_member(store.PredName(a))) {
-          out.pos.push_back(a);
-          continue;
-        }
-        if (support_true.Contains(a)) continue;
-        if (!support_all.Contains(a)) {
-          deleted = true;
-          break;
-        }
-        out.pos.push_back(a);
-        if (loop_atoms.insert(a).second) loop_order.push_back(a);
-      }
-      if (!deleted) {
-        for (TermId a : rule.neg) {
-          if (is_member(store.PredName(a))) {
-            out.neg.push_back(a);
-            continue;
-          }
-          if (support_true.Contains(a)) {
-            deleted = true;
-            break;
-          }
-          if (!support_all.Contains(a)) continue;
-          out.neg.push_back(a);
-          if (loop_atoms.insert(a).second) loop_order.push_back(a);
-        }
-      }
-      if (!deleted) resolved.Add(std::move(out));
-    }
-    for (TermId a : loop_order) {
-      GroundRule loop;
-      loop.head = a;
-      loop.neg.push_back(a);
-      resolved.Add(std::move(loop));
-    }
-
-    WfsResult sub =
-        ComputeWfsScc(resolved, &result.stats, /*count_model_atoms=*/false);
-    if (sub.cancelled) {
-      result.cancelled = true;
-      result.truncated = true;
-      break;
-    }
-
-    // Publish this group's atoms; loop-encoded imports belong to lower
-    // groups and were published when those groups settled.
-    ComponentCacheEntry entry;
-    entry.signature = sig[c];
-    entry.envelope_size = comp_envelope;
-    const AtomTable& sub_atoms = sub.model.atoms();
-    for (uint32_t i = 0; i < sub_atoms.size(); ++i) {
-      TermId atom = sub_atoms.atom(i);
-      if (!is_member(store.PredName(atom))) continue;
-      TruthValue tv = sub.model.ValueAt(i);
-      if (tv == TruthValue::kTrue) {
+      auto map = [&](TermId t) {
+        return batch.clone == nullptr ? t : remap[b][t];
+      };
+      ComponentCacheEntry entry;
+      entry.signature = plan.signature;
+      entry.envelope_size = pc.envelope_size;
+      result.envelope_size += pc.envelope_size;
+      for (TermId a : pc.true_atoms) {
+        TermId atom = map(a);
         model_true.push_back(atom);
         support_true.Insert(store, atom);
         support_all.Insert(store, atom);
         entry.true_atoms.push_back(atom);
-      } else if (tv == TruthValue::kUndefined) {
+      }
+      for (TermId a : pc.undefined_atoms) {
+        TermId atom = map(a);
         model_undef.push_back(atom);
         support_all.Insert(store, atom);
         entry.undefined_atoms.push_back(atom);
       }
-    }
-    for (const GroundRule& g : comp_ground) result.ground.Add(g);
-    if (cond.exact && cache != nullptr) {
-      entry.ground_rules = std::move(comp_ground);
-      cache->components[cache_key] = std::move(entry);
+      if (batch.clone != nullptr) {
+        for (GroundRule& g : pc.ground) {
+          g.head = map(g.head);
+          for (TermId& a : g.pos) a = map(a);
+          for (TermId& a : g.neg) a = map(a);
+        }
+      }
+      for (const GroundRule& g : pc.ground) result.ground.Add(g);
+      if (cond.exact && cache != nullptr && plan.cache_key != kNoTerm) {
+        entry.ground_rules = std::move(pc.ground);
+        cache->components[plan.cache_key] = std::move(entry);
+      }
     }
   }
+
+  result.stats.max_wave_width = max_wave_width;
+  obs::SetGauge(obs::Gauge::kSchedParallelMaxWaveWidth, max_wave_width);
 
   AtomTable table;
   result.ground.CollectAtoms(&table);

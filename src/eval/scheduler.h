@@ -39,6 +39,16 @@ struct ProgramCondensation {
 ProgramCondensation CondenseProgram(const TermStore& store,
                                     const Program& program);
 
+/// Topological depth of every component of a condensation: a component
+/// with no references to other components has depth 0; otherwise its
+/// depth is 1 + the maximum depth of the components it references. Two
+/// components at the same depth share no dependency edges (an edge would
+/// force the dependent strictly deeper), so by the splitting property of
+/// the well-founded semantics they are independently solvable — the
+/// scheduler batches each depth into one *wave* and fans a wave's batches
+/// across the worker pool (src/eval/worker_pool.h).
+std::vector<uint32_t> CondensationDepths(const ProgramCondensation& cond);
+
 /// Work accounting for one scheduled evaluation (mirrors the sched.*
 /// counters, which accumulate the same quantities into the registry).
 struct SchedulerStats {
@@ -48,6 +58,12 @@ struct SchedulerStats {
   size_t trivial_sccs = 0;
   size_t cyclic_sccs = 0;
   size_t largest_scc = 0;
+  // Wave execution (the sched.parallel.* metrics; docs/performance.md).
+  // Deterministic for a fixed program and eval_threads setting.
+  size_t waves = 0;               // Waves that solved >= 1 component.
+  size_t max_wave_width = 0;      // Most components solved in one wave.
+  size_t batched_components = 0;  // Components sharing a multi-comp batch.
+  size_t worker_merges = 0;       // Batches solved on a cloned store.
 };
 
 /// Computes the well-founded model of `ground` component-at-a-time: builds
@@ -126,6 +142,15 @@ struct ComponentWfsResult {
 /// grounding plus atom-level scheduling. With a cache, components whose
 /// signature is unchanged since a previous call are replayed from the
 /// cache without grounding or fixpoint work.
+///
+/// Components at the same topological depth (CondensationDepths) are
+/// solved as one *wave*: they are batched together — one grounding call
+/// and one atom-SCC pass per batch instead of per component — and, when
+/// `options.eval_threads` > 1, the wave's batches run concurrently on
+/// the shared WorkerPool, each against a private clone of the term store
+/// whose new terms are re-interned into `store` afterwards. Results are
+/// published in component-id order regardless of batch shape, so models
+/// and answers are byte-identical at every thread count.
 ComponentWfsResult SolveWfsByComponents(TermStore& store,
                                         const Program& program,
                                         const BottomUpOptions& options,

@@ -2,14 +2,73 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <unordered_map>
 
 #include "src/analysis/range_restriction.h"
 #include "src/analysis/stratification.h"
+#include "src/eval/cancel.h"
 #include "src/eval/scheduler.h"
+#include "src/eval/worker_pool.h"
 #include "src/lang/printer.h"
+#include "src/obs/metrics.h"
 
 namespace hilog {
+
+namespace {
+
+/// Iterates one component's rules to fixpoint against `facts` (lower
+/// components complete; stratification guarantees no component-internal
+/// negation). New facts are appended to `facts` and, when `derived` is
+/// non-null, recorded there in derivation order — that list is what a
+/// parallel worker publishes back. Returns false with `*error` set when
+/// a budget trips; `*derivations` accumulates across calls (the global
+/// fact budget).
+bool RunComponentFixpoint(TermStore& store,
+                          const std::vector<const Rule*>& rules,
+                          const BottomUpOptions& options, FactBase* facts,
+                          size_t* derivations, std::vector<TermId>* derived,
+                          std::string* error) {
+  bool changed = true;
+  size_t rounds = 0;
+  while (changed) {
+    if (++rounds > options.max_rounds) {
+      *error = "stratum iteration exceeded the round budget";
+      return false;
+    }
+    changed = false;
+    for (const Rule* rule : rules) {
+      bool budget_hit = false;
+      ForEachPositiveMatch(
+          store, *rule, *facts, [&](const Substitution& theta) {
+            for (const Literal& lit : rule->body) {
+              if (!lit.negative()) continue;
+              TermId atom = theta.Apply(store, lit.atom);
+              if (!store.IsGround(atom)) return true;  // Unbound: skip.
+              if (facts->Contains(atom)) return true;  // Blocked.
+            }
+            TermId head = theta.Apply(store, rule->head);
+            if (!store.IsGround(head)) return true;
+            if (facts->Insert(store, head)) {
+              changed = true;
+              if (derived != nullptr) derived->push_back(head);
+              if (++*derivations > options.max_facts) {
+                budget_hit = true;
+                return false;
+              }
+            }
+            return true;
+          });
+      if (budget_hit) {
+        *error = "fact budget exhausted";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 StratifiedEvalResult EvaluateStratified(TermStore& store,
                                         const Program& program,
@@ -78,10 +137,13 @@ StratifiedEvalResult EvaluateStratified(TermStore& store,
   // many mutually independent components), and exactly the grouping the
   // well-founded scheduler uses. When the condensation is not exact
   // (non-ground positive body names), fall back to level grouping, whose
-  // blindness matches the syntactic level assignment already checked.
+  // blindness matches the syntactic level assignment already checked;
+  // levels are totally ordered, so each level is its own wave.
   std::vector<std::vector<const Rule*>> groups;
+  std::vector<uint32_t> group_depth;
   ProgramCondensation cond = CondenseProgram(store, program);
   if (cond.exact) {
+    std::vector<uint32_t> depth = CondensationDepths(cond);
     groups.reserve(cond.num_components);
     for (uint32_t c = 0; c < cond.num_components; ++c) {
       if (cond.rules_of[c].empty()) continue;
@@ -89,56 +151,129 @@ StratifiedEvalResult EvaluateStratified(TermStore& store,
       for (size_t r : cond.rules_of[c]) {
         groups.back().push_back(&program.rules[r]);
       }
+      group_depth.push_back(depth[c]);
     }
   } else {
     std::map<int, std::vector<const Rule*>> by_level;
     for (const Rule& rule : program.rules) {
       by_level[levels[store.PredName(rule.head)]].push_back(&rule);
     }
-    for (auto& [level, rules] : by_level) groups.push_back(std::move(rules));
+    for (auto& [level, rules] : by_level) {
+      groups.push_back(std::move(rules));
+      group_depth.push_back(static_cast<uint32_t>(group_depth.size()));
+    }
   }
 
+  // Waves of same-depth groups. Groups at one depth share no dependency
+  // edges (an edge forces the dependent strictly deeper), so a wave's
+  // groups neither feed nor block each other — each one's fixpoint over
+  // the settled lower facts is exactly its sequential fixpoint, which is
+  // what lets waves fan out across the worker pool while the merged fact
+  // order (group order within the wave, derivation order within a group)
+  // stays byte-identical to the sequential evaluation.
+  uint32_t num_waves = 0;
+  for (uint32_t d : group_depth) num_waves = std::max(num_waves, d + 1);
+  std::vector<std::vector<size_t>> waves(num_waves);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    waves[group_depth[g]].push_back(g);
+  }
+
+  const size_t threads = std::max<size_t>(options.eval_threads, 1);
   size_t derivations = 0;
-  for (const std::vector<const Rule*>& rules : groups) {
-    // Iterate this component to fixpoint; negative subgoals consult the
-    // facts accumulated so far (complete for all lower components, and
-    // stratification guarantees no component-internal negation).
-    bool changed = true;
-    size_t rounds = 0;
-    while (changed) {
-      if (++rounds > options.max_rounds) {
-        result.error = "stratum iteration exceeded the round budget";
-        return result;
-      }
-      changed = false;
-      for (const Rule* rule : rules) {
-        bool budget_hit = false;
-        ForEachPositiveMatch(
-            store, *rule, result.facts, [&](const Substitution& theta) {
-              for (const Literal& lit : rule->body) {
-                if (!lit.negative()) continue;
-                TermId atom = theta.Apply(store, lit.atom);
-                if (!store.IsGround(atom)) return true;  // Unbound: skip.
-                if (result.facts.Contains(atom)) return true;  // Blocked.
-              }
-              TermId head = theta.Apply(store, rule->head);
-              if (!store.IsGround(head)) return true;
-              if (result.facts.Insert(store, head)) {
-                changed = true;
-                if (++derivations > options.max_facts) {
-                  budget_hit = true;
-                  return false;
-                }
-              }
-              return true;
-            });
-        if (budget_hit) {
-          result.error = "fact budget exhausted";
+  size_t max_wave_width = 0;
+  for (const std::vector<size_t>& wave : waves) {
+    if (wave.empty()) continue;
+    obs::Count(obs::Counter::kSchedParallelWaves);
+    max_wave_width = std::max(max_wave_width, wave.size());
+
+    if (threads <= 1 || wave.size() <= 1) {
+      for (size_t g : wave) {
+        if (!RunComponentFixpoint(store, groups[g], options, &result.facts,
+                                  &derivations, /*derived=*/nullptr,
+                                  &result.error)) {
           return result;
         }
       }
+      continue;
+    }
+
+    // Contiguous batches in group order; each batch runs its groups
+    // sequentially on a private store + fact-base copy. The batch's new
+    // facts are recorded per group and re-interned into `store` in group
+    // order afterwards, so every thread count publishes identically.
+    const size_t nbatches = std::min(wave.size(), threads);
+    struct Batch {
+      std::vector<size_t> group_ids;
+      std::unique_ptr<TermStore> clone;
+      size_t base_size = 0;
+      FactBase facts;
+      std::vector<std::vector<TermId>> derived;  // Parallel to group_ids.
+      size_t derivations = 0;
+      std::string error;
+      bool ok = true;
+      obs::MetricsRegistry metrics;
+    };
+    std::vector<Batch> batches(nbatches);
+    for (size_t k = 0; k < wave.size(); ++k) {
+      batches[k * nbatches / wave.size()].group_ids.push_back(wave[k]);
+    }
+    // The budget a worker can see locally: what is left of the global
+    // fact budget at wave start. A worker that exceeds it alone would
+    // exceed it sequentially too; the merge below re-checks the true
+    // cumulative count in group order.
+    BottomUpOptions batch_options = options;
+    batch_options.max_facts =
+        options.max_facts > derivations ? options.max_facts - derivations : 0;
+    for (Batch& batch : batches) {
+      batch.clone = std::make_unique<TermStore>();
+      batch.clone->CopyFrom(store);
+      batch.base_size = store.size();
+      batch.facts = result.facts;
+      batch.derived.resize(batch.group_ids.size());
+      if (batch.group_ids.size() > 1) {
+        obs::Count(obs::Counter::kSchedParallelBatchedComponents,
+                   batch.group_ids.size());
+      }
+    }
+    CancelToken* token = CurrentCancelToken();
+    WorkerPool::Shared(threads).ParallelFor(nbatches, [&](size_t b) {
+      Batch& batch = batches[b];
+      obs::ScopedObsContext obs_ctx(&batch.metrics);
+      ScopedCancelToken cancel_ctx(token);
+      for (size_t i = 0; i < batch.group_ids.size(); ++i) {
+        if (!RunComponentFixpoint(*batch.clone, groups[batch.group_ids[i]],
+                                  batch_options, &batch.facts,
+                                  &batch.derivations, &batch.derived[i],
+                                  &batch.error)) {
+          batch.ok = false;
+          return;
+        }
+      }
+    });
+
+    for (Batch& batch : batches) {
+      if (obs::MetricsRegistry* metrics = obs::CurrentMetrics()) {
+        batch.metrics.MergeInto(metrics);
+      }
+      obs::Count(obs::Counter::kSchedParallelWorkerMerges);
+      std::vector<TermId> remap =
+          ReinternSuffix(store, *batch.clone, batch.base_size);
+      for (const std::vector<TermId>& derived : batch.derived) {
+        for (TermId fact : derived) {
+          result.facts.Insert(store, remap[fact]);
+          if (++derivations > options.max_facts) {
+            result.error = "fact budget exhausted";
+            return result;
+          }
+        }
+      }
+      if (!batch.ok) {
+        result.error = batch.error;
+        return result;
+      }
     }
   }
+  obs::SetGauge(obs::Gauge::kSchedParallelMaxWaveWidth, max_wave_width);
   result.ok = true;
   return result;
 }

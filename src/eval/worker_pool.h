@@ -1,0 +1,78 @@
+#ifndef HILOG_EVAL_WORKER_POOL_H_
+#define HILOG_EVAL_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hilog {
+
+/// A small fork-join work pool for the evaluation layer.
+///
+/// `ParallelFor(n, fn)` runs fn(0..n-1), claiming indices dynamically
+/// across the pool's worker threads *and* the calling thread, and returns
+/// only when every index has finished. The calling thread always
+/// participates, so a ParallelFor makes progress even when every pool
+/// worker is busy with someone else's job — which also means concurrent
+/// ParallelFor calls from different threads (several engine sessions
+/// solving at once) can share one pool without deadlock: jobs queue and
+/// drain, and each caller can finish its own job alone in the worst case.
+///
+/// `fn` must not throw. Nested ParallelFor from inside `fn` is not
+/// supported (the scheduler never nests: component batches are the only
+/// parallel unit).
+class WorkerPool {
+ public:
+  /// A pool with `workers` background threads (0 is valid: ParallelFor
+  /// then degenerates to a sequential loop on the caller).
+  explicit WorkerPool(size_t workers);
+
+  /// Joins all workers. Callers must not have ParallelFor in flight.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs fn(i) for every i in [0, n); returns when all have completed.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Background worker threads (concurrency is workers() + the caller).
+  size_t workers() const { return threads_.size(); }
+
+  /// The process-wide shared pool, grown (never shrunk) so that it can
+  /// offer `concurrency` total lanes (concurrency - 1 workers plus the
+  /// calling thread). A function-local static, so it is constructed on
+  /// first use and joined at exit — no leaked threads under LSan.
+  static WorkerPool& Shared(size_t concurrency);
+
+ private:
+  struct Job {
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t next = 0;      // Next unclaimed index; guarded by pool mu_.
+    size_t finished = 0;  // Completed indices; guarded by pool mu_.
+    std::condition_variable done_cv;
+  };
+
+  void EnsureWorkers(size_t workers);
+  void WorkerLoop();
+  /// Claims one index of `job` (pool lock held by caller via `lock`);
+  /// returns false when the job has no unclaimed indices left.
+  bool RunOneIndex(std::unique_lock<std::mutex>& lock,
+                   const std::shared_ptr<Job>& job);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;  // Jobs with unclaimed indices.
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+}  // namespace hilog
+
+#endif  // HILOG_EVAL_WORKER_POOL_H_

@@ -37,6 +37,11 @@ const char* CounterName(Counter c) {
     case Counter::kSchedTrivialSccs: return "sched.trivial_sccs";
     case Counter::kSchedCyclicSccs: return "sched.cyclic_sccs";
     case Counter::kSchedGroundAtoms: return "sched.ground_atoms";
+    case Counter::kSchedParallelWaves: return "sched.parallel.waves";
+    case Counter::kSchedParallelBatchedComponents:
+      return "sched.parallel.batched_components";
+    case Counter::kSchedParallelWorkerMerges:
+      return "sched.parallel.worker_merges";
     case Counter::kStableCandidates: return "stable.candidates";
     case Counter::kStableModels: return "stable.models";
     case Counter::kMagicFactsDerived: return "magic.facts_derived";
@@ -64,6 +69,8 @@ const char* GaugeName(Gauge g) {
     case Gauge::kAtomTableSize: return "wfs.atom_table_size";
     case Gauge::kStableBranchAtoms: return "stable.branch_atoms";
     case Gauge::kSchedLargestScc: return "sched.largest_atom_scc";
+    case Gauge::kSchedParallelMaxWaveWidth:
+      return "sched.parallel.max_wave_width";
     case Gauge::kServiceQueueDepth: return "service.queue_depth";
     case Gauge::kServiceInflight: return "service.inflight";
     case Gauge::kCount: break;

@@ -54,6 +54,12 @@ enum class Counter : uint16_t {
   kSchedTrivialSccs,       // Of those, acyclic singletons (no Gamma).
   kSchedCyclicSccs,        // Of those, run as alternating mini fixpoints.
   kSchedGroundAtoms,       // Atoms grounded across component programs.
+  // Parallel wave execution inside the scheduler. Deterministic for a
+  // fixed program *and* a fixed BottomUpOptions::eval_threads setting
+  // (batch shapes depend on the thread count, results never do).
+  kSchedParallelWaves,              // Depth waves that solved >= 1 batch.
+  kSchedParallelBatchedComponents,  // Components solved sharing a batch.
+  kSchedParallelWorkerMerges,       // Worker-store batches merged back.
   // Stable-model enumeration.
   kStableCandidates,  // Total-interpretation candidates tested.
   kStableModels,      // Candidates that passed the GL check.
@@ -86,6 +92,7 @@ enum class Gauge : uint16_t {
   kAtomTableSize,
   kStableBranchAtoms,
   kSchedLargestScc,
+  kSchedParallelMaxWaveWidth,  // Widest wave (components solved) seen.
   // Service load levels, sampled by the server's background sampler.
   kServiceQueueDepth,
   kServiceInflight,

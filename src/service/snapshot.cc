@@ -4,16 +4,36 @@ namespace hilog::service {
 
 std::shared_ptr<const ModelSnapshot> SnapshotStore::Build(
     uint64_t epoch, std::string text, bool solve_wfs,
-    const EngineOptions& options, std::string* error) {
+    const EngineOptions& options, const ModelSnapshot* previous,
+    std::string* error) {
   // shared_ptr<ModelSnapshot> first (the constructor is private to the
   // store's friendship), then decay to const on return.
   std::shared_ptr<ModelSnapshot> snapshot(new ModelSnapshot());
   snapshot->epoch_ = epoch;
-  snapshot->prototype_ = std::make_unique<Engine>(options);
-  std::string load_error = snapshot->prototype_->Load(text);
-  if (!load_error.empty()) {
-    *error = load_error;
-    return nullptr;
+  if (previous != nullptr && previous->prototype_ != nullptr &&
+      !previous->program_text_.empty() &&
+      text.size() > previous->program_text_.size() &&
+      text.compare(0, previous->program_text_.size(),
+                   previous->program_text_) == 0) {
+    // Append-only publish: fork the previous prototype — term store,
+    // program, and settled-component cache — and parse only the suffix.
+    // A suffix parse error falls through to the full build below, which
+    // reports the error against the complete source.
+    std::unique_ptr<Engine> fork = previous->prototype_->Fork();
+    std::string load_error = fork->LoadMore(
+        std::string_view(text).substr(previous->program_text_.size()));
+    if (load_error.empty()) {
+      snapshot->prototype_ = std::move(fork);
+      snapshot->seeded_ = true;
+    }
+  }
+  if (snapshot->prototype_ == nullptr) {
+    snapshot->prototype_ = std::make_unique<Engine>(options);
+    std::string load_error = snapshot->prototype_->Load(text);
+    if (!load_error.empty()) {
+      *error = load_error;
+      return nullptr;
+    }
   }
   snapshot->program_text_ = std::move(text);
   if (solve_wfs && snapshot->prototype_->program().size() > 0) {
@@ -31,23 +51,24 @@ SnapshotStore::SnapshotStore(EngineOptions engine_options)
     : engine_options_(std::move(engine_options)) {
   std::string error;
   current_.store(Build(/*epoch=*/0, "", /*solve_wfs=*/false, engine_options_,
-                       &error),
+                       /*previous=*/nullptr, &error),
                  std::memory_order_release);
 }
 
 std::string SnapshotStore::Publish(std::string_view text, bool append,
                                    bool solve_wfs) {
   std::lock_guard<std::mutex> lock(publish_mu_);
+  std::shared_ptr<const ModelSnapshot> previous = Current();
   std::string source;
   if (append) {
-    source = Current()->program_text();
+    source = previous->program_text();
     if (!source.empty() && source.back() != '\n') source.push_back('\n');
   }
   source.append(text);
   std::string error;
   std::shared_ptr<const ModelSnapshot> next =
       Build(next_epoch_, std::move(source), solve_wfs, engine_options_,
-            &error);
+            previous.get(), &error);
   if (next == nullptr) return error;
   ++next_epoch_;
   // The swap: in-flight readers keep the previous snapshot alive through

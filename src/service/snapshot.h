@@ -43,6 +43,12 @@ class ModelSnapshot {
   bool has_wfs() const { return has_wfs_; }
   const Engine::WfsAnswer& wfs() const { return wfs_; }
 
+  /// True when this snapshot's prototype was forked from the previous
+  /// snapshot (append-only publish): the fork inherits the previous
+  /// prototype's settled-component cache, so the publish-time solve
+  /// recomputed only the components the appended rules touch.
+  bool seeded() const { return seeded_; }
+
  private:
   friend class SnapshotStore;
   ModelSnapshot() = default;
@@ -51,6 +57,7 @@ class ModelSnapshot {
   std::string program_text_;
   std::unique_ptr<Engine> prototype_;
   bool has_wfs_ = false;
+  bool seeded_ = false;
   Engine::WfsAnswer wfs_;
 };
 
@@ -83,10 +90,15 @@ class SnapshotStore {
 
  private:
   /// Builds a snapshot off to the side; returns nullptr + error on
-  /// failure (only the store can reach ModelSnapshot's internals).
+  /// failure (only the store can reach ModelSnapshot's internals). When
+  /// `previous` is given and `text` extends its source, the new
+  /// prototype is previous->prototype().Fork() fed only the suffix, so
+  /// the settled-component cache carries across epochs and the
+  /// publish-time WFS solve replays unchanged components.
   static std::shared_ptr<const ModelSnapshot> Build(
       uint64_t epoch, std::string text, bool solve_wfs,
-      const EngineOptions& options, std::string* error);
+      const EngineOptions& options, const ModelSnapshot* previous,
+      std::string* error);
 
   EngineOptions engine_options_;
   std::mutex publish_mu_;

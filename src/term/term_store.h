@@ -42,6 +42,15 @@ class TermStore {
   TermStore(const TermStore&) = delete;
   TermStore& operator=(const TermStore&) = delete;
 
+  /// Replaces this store's contents with a deep copy of `other`. Every
+  /// TermId valid in `other` denotes the identical term in the copy, and
+  /// new interning in the copy continues from `other.size()` upward —
+  /// which is what lets the parallel scheduler solve on a per-worker
+  /// clone and re-intern only the clone's new suffix back into the
+  /// original (src/eval/scheduler.cc). The copy shares nothing with
+  /// `other`; `other` is read-only during the call.
+  void CopyFrom(const TermStore& other);
+
   /// Interns the symbol named `name`. In HiLog a symbol may be used as a
   /// constant, a function name, or a predicate name interchangeably.
   TermId MakeSymbol(std::string_view name);
@@ -143,6 +152,16 @@ class TermStore {
   std::unordered_multimap<uint64_t, TermId> apply_index_;
   uint64_t fresh_counter_ = 0;
 };
+
+/// Re-interns the suffix of `clone` (ids >= `base`) into `into` and
+/// returns a remap table: remap[id in clone] = id in `into`. The clone
+/// must have been produced by CopyFrom(into-at-size-base) — ids below
+/// `base` map to themselves. Interning appends, so every sub-term of a
+/// new apply has a smaller id and is already remapped when the apply is
+/// processed; one forward pass suffices. This is how the parallel
+/// evaluators publish worker-store results back into the shared store.
+std::vector<TermId> ReinternSuffix(TermStore& into, const TermStore& clone,
+                                   size_t base);
 
 }  // namespace hilog
 

@@ -244,6 +244,13 @@ TEST(EngineMetricsTest, WinChainExactWfsCounters) {
   EXPECT_EQ(m.value(obs::Counter::kSchedCyclicSccs), 0u);
   EXPECT_EQ(m.value(obs::Counter::kSchedGroundAtoms), 17u);
   EXPECT_EQ(m.gauge(obs::Gauge::kSchedLargestScc), 1u);
+  // Wave execution: {m} at depth 0, {w} at depth 1 — two waves of width
+  // one, so nothing is batched and (at the default eval_threads=1)
+  // nothing runs on a worker-store clone.
+  EXPECT_EQ(m.value(obs::Counter::kSchedParallelWaves), 2u);
+  EXPECT_EQ(m.value(obs::Counter::kSchedParallelBatchedComponents), 0u);
+  EXPECT_EQ(m.value(obs::Counter::kSchedParallelWorkerMerges), 0u);
+  EXPECT_EQ(m.gauge(obs::Gauge::kSchedParallelMaxWaveWidth), 1u);
   // True atoms: 8 move facts + w(n1), w(n3), w(n5), w(n7).
   EXPECT_EQ(m.value(obs::Counter::kWfsTrueAtoms), 12u);
   EXPECT_EQ(m.value(obs::Counter::kWfsUndefinedAtoms), 0u);
@@ -262,6 +269,65 @@ TEST(EngineMetricsTest, WinChainExactWfsCounters) {
   EXPECT_GT(m.value(obs::Counter::kIndexProbes), 0u);
   EXPECT_GT(m.value(obs::Counter::kCandidatesPruned), 0u);
   EXPECT_GT(m.value(obs::Counter::kUnificationsAvoided), 0u);
+}
+
+// A layered program with `width` mutually independent chains: every
+// chain contributes one component per layer, so each topological depth
+// is a wave of `width` components — the shape the parallel scheduler
+// batches and fans out.
+std::string LayeredChains(int width, int depth) {
+  std::string text;
+  for (int c = 0; c < width; ++c) {
+    std::string chain = std::to_string(c);
+    text += "p" + chain + "_0(a). p" + chain + "_0(b).\n";
+    for (int l = 1; l < depth; ++l) {
+      text += "p" + chain + "_" + std::to_string(l) + "(X) :- p" + chain +
+              "_" + std::to_string(l - 1) + "(X).\n";
+    }
+  }
+  return text;
+}
+
+// Satellite: the wave counters are exact and deterministic for a fixed
+// (program, eval_threads) pair, and the model is identical at every
+// thread count.
+TEST(EngineMetricsTest, ParallelWaveCountersAreExact) {
+  const std::string text = LayeredChains(/*width=*/6, /*depth=*/4);
+
+  EngineOptions parallel_options;
+  parallel_options.bottomup.eval_threads = 3;
+  Engine sequential;
+  Engine parallel(parallel_options);
+  ASSERT_EQ(sequential.Load(text), "");
+  ASSERT_EQ(parallel.Load(text), "");
+  Engine::WfsAnswer a = sequential.SolveWellFounded();
+  Engine::WfsAnswer b = parallel.SolveWellFounded();
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.ground_rules, b.ground_rules);
+
+  // 4 depths x 6 chains: 4 waves of width 6. Sequentially each wave is
+  // one 6-component batch on the caller's store (no worker merges); at 3
+  // threads each wave splits into 3 two-component clone batches.
+  const obs::MetricsRegistry& ms = sequential.metrics();
+  EXPECT_EQ(ms.value(obs::Counter::kSchedParallelWaves), 4u);
+  EXPECT_EQ(ms.value(obs::Counter::kSchedParallelBatchedComponents), 24u);
+  EXPECT_EQ(ms.value(obs::Counter::kSchedParallelWorkerMerges), 0u);
+  EXPECT_EQ(ms.gauge(obs::Gauge::kSchedParallelMaxWaveWidth), 6u);
+
+  const obs::MetricsRegistry& mp = parallel.metrics();
+  EXPECT_EQ(mp.value(obs::Counter::kSchedParallelWaves), 4u);
+  EXPECT_EQ(mp.value(obs::Counter::kSchedParallelBatchedComponents), 24u);
+  EXPECT_EQ(mp.value(obs::Counter::kSchedParallelWorkerMerges), 12u);
+  EXPECT_EQ(mp.gauge(obs::Gauge::kSchedParallelMaxWaveWidth), 6u);
+
+  // Same components and atoms regardless of thread count.
+  EXPECT_EQ(ms.value(obs::Counter::kSchedComponents),
+            mp.value(obs::Counter::kSchedComponents));
+  EXPECT_EQ(ms.value(obs::Counter::kWfsTrueAtoms),
+            mp.value(obs::Counter::kWfsTrueAtoms));
+  EXPECT_EQ(ms.gauge(obs::Gauge::kAtomTableSize),
+            mp.gauge(obs::Gauge::kAtomTableSize));
 }
 
 TEST(EngineMetricsTest, WinChainExactMagicQueryCounters) {

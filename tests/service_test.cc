@@ -218,6 +218,56 @@ TEST(SnapshotStoreTest, PublishReplacesAndAppendExtends) {
   EXPECT_EQ(first->rules(), 8u);
 }
 
+// Satellite: an append publish seeds the new snapshot's prototype from
+// the previous one — the fork inherits the settled-component cache, so
+// the publish-time solve replays the untouched components instead of
+// recomputing them, and the model still matches a cold build exactly.
+TEST(SnapshotStoreTest, AppendPublishSeedsPrototypeFromPrevious) {
+  SnapshotStore store;
+  ASSERT_EQ(store.Publish(WinChainSlice(0, 6), /*append=*/false,
+                          /*solve_wfs=*/true),
+            "");
+  auto first = store.Current();
+  EXPECT_FALSE(first->seeded());  // Nothing published before it.
+  EXPECT_EQ(
+      first->prototype().metrics().value(obs::Counter::kSchedComponentsReused),
+      0u);
+
+  // Append rules for an unrelated predicate: the chain's components are
+  // untouched, so their signatures — and cache entries — survive.
+  ASSERT_EQ(store.Publish("edge(a,b). edge(b,c).\n"
+                          "reach(X,Y) :- edge(X,Y).\n"
+                          "reach(X,Z) :- reach(X,Y), edge(Y,Z).\n",
+                          /*append=*/true,
+                          /*solve_wfs=*/true),
+            "");
+  auto second = store.Current();
+  EXPECT_TRUE(second->seeded());
+  ASSERT_TRUE(second->has_wfs());
+  EXPECT_TRUE(second->wfs().ok);
+  // The forked prototype replayed the first snapshot's settled
+  // components from the inherited cache.
+  EXPECT_GT(
+      second->prototype().metrics().value(
+          obs::Counter::kSchedComponentsReused),
+      0u);
+
+  // Seeding must not change the model: a cold engine over the full text
+  // agrees atom for atom.
+  Engine cold;
+  ASSERT_EQ(cold.Load(second->program_text()), "");
+  Engine::WfsAnswer reference = cold.SolveWellFounded();
+  ASSERT_TRUE(reference.ok);
+  EXPECT_EQ(second->wfs().model.TrueAtoms().size(),
+            reference.model.TrueAtoms().size());
+
+  // A replacing publish starts from scratch.
+  ASSERT_EQ(store.Publish(WinChainSlice(0, 3), /*append=*/false,
+                          /*solve_wfs=*/true),
+            "");
+  EXPECT_FALSE(store.Current()->seeded());
+}
+
 TEST(SnapshotStoreTest, PublishErrorLeavesCurrentUnchanged) {
   SnapshotStore store;
   ASSERT_EQ(store.Publish(WinChainSlice(0, 2), false, false), "");
