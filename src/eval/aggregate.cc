@@ -30,7 +30,11 @@ bool EvaluateAggregate(TermStore& store, const Literal& lit,
   };
   // Group key: the instantiated group variables, in order.
   std::map<std::vector<TermId>, Accumulator> groups;
-  for (TermId fact : snapshot.Candidates(store, pattern)) {
+  // The snapshot is immutable for the whole round: frozen batch probe,
+  // zero-copy span where no argument discriminates.
+  std::vector<TermId> scratch;
+  for (TermId fact :
+       snapshot.CandidatesBatch(store, pattern, &scratch, /*frozen=*/true)) {
     Substitution match = subst;
     if (!MatchInto(store, pattern, fact, &match)) continue;
     TermId value_term = match.Apply(store, lit.value);
@@ -172,9 +176,11 @@ void EvalBody(const Rule& rule, size_t index, const Substitution& subst,
   switch (lit.kind) {
     case Literal::Kind::kPositive: {
       TermId pattern = subst.Apply(state.store, lit.atom);
-      // Copy: the bucket may grow while we derive heads below.
-      std::vector<TermId> candidates =
-          state.current->Candidates(state.store, pattern);
+      // Snapshot (non-frozen probe): the bucket may grow while we derive
+      // heads below.
+      std::vector<TermId> candidates;
+      state.current->CandidatesBatch(state.store, pattern, &candidates,
+                                     /*frozen=*/false);
       for (TermId fact : candidates) {
         Substitution extended = subst;
         if (MatchInto(state.store, pattern, fact, &extended)) {

@@ -12,22 +12,39 @@
 namespace hilog {
 namespace {
 
+// Per-join-depth reusable candidate buffers for the batch probes: one
+// scratch vector per body position, hoisted across rules and semi-naive
+// rounds so steady-state probing is allocation-free.
+using JoinScratch = std::vector<std::vector<TermId>>;
+
 // Recursively matches positive body literals [index..] against facts,
 // with literal `delta_pos` (if != SIZE_MAX) restricted to `delta`.
 // Backtracking uses the substitution's undo trail: matching binds only
 // fresh variables, so truncating to the mark restores the binding set
 // without rebuilding it per candidate.
-bool MatchBody(TermStore& store, const std::vector<TermId>& body_atoms,
+//
+// Candidates come from the columnar batch probe: the stored relation's
+// key column hashes as the build side, each substituted pattern as one
+// streamed probe. The delta side is frozen for the whole round (rounds
+// insert into `facts` and next_delta only), so its probes never copy;
+// `facts` is frozen only when the caller's callback provably does not
+// insert into it (`facts_frozen`). Non-frozen probes snapshot into
+// scratch[index], which deeper recursion levels never touch.
+bool MatchBody(TermStore& store, const std::vector<JoinStep>& steps,
                size_t index, size_t delta_pos, const FactBase* delta,
-               const FactBase& facts, Substitution* subst,
+               const FactBase& facts, bool facts_frozen, JoinScratch* scratch,
+               Substitution* subst,
                const std::function<bool(const Substitution&)>& fn) {
-  if (index == body_atoms.size()) return fn(*subst);
-  TermId pattern = subst->Apply(store, body_atoms[index]);
-  const FactBase& source =
-      (index == delta_pos && delta != nullptr) ? *delta : facts;
+  if (index == steps.size()) return fn(*subst);
+  const JoinStep& step = steps[index];
+  TermId pattern = subst->Apply(store, step.atom);
+  const bool is_delta = index == delta_pos && delta != nullptr;
+  const FactBase& source = is_delta ? *delta : facts;
+  const bool frozen = is_delta || facts_frozen;
   const size_t baseline = source.NameBucketSize(store, pattern);
-  // Snapshot: the callback may insert facts, growing the index under us.
-  const std::vector<TermId> candidates = source.Candidates(store, pattern);
+  std::span<const TermId> candidates = source.CandidatesBatch(
+      store, pattern, &(*scratch)[index], frozen,
+      step.name_ground_at_probe ? &step.keys : nullptr);
   if (baseline > candidates.size()) {
     obs::Count(obs::Counter::kUnificationsAvoided,
                baseline - candidates.size());
@@ -35,8 +52,8 @@ bool MatchBody(TermStore& store, const std::vector<TermId>& body_atoms,
   const size_t mark = subst->Mark();
   for (TermId fact : candidates) {
     if (MatchInto(store, pattern, fact, subst)) {
-      if (!MatchBody(store, body_atoms, index + 1, delta_pos, delta, facts,
-                     subst, fn)) {
+      if (!MatchBody(store, steps, index + 1, delta_pos, delta, facts,
+                     facts_frozen, scratch, subst, fn)) {
         subst->UndoTo(mark);
         return false;
       }
@@ -55,12 +72,12 @@ std::vector<TermId> PositiveAtoms(const Rule& rule) {
 }
 
 // Plans the join through the shared greedy planner (src/eval/plan.h),
-// estimating each atom's relation by its FactBase name bucket. The delta
-// literal, if any, is pinned first.
-std::vector<TermId> PlanJoin(const TermStore& store,
-                             const std::vector<TermId>& atoms,
-                             const FactBase& facts, size_t delta_pos) {
-  std::vector<size_t> order = PlanJoinOrder(
+// estimating each atom's relation by its FactBase name bucket, and
+// derives the static columnar probe keys per step. The delta literal, if
+// any, is pinned first.
+JoinPlan PlanJoin(const TermStore& store, const std::vector<TermId>& atoms,
+                  const FactBase& facts, size_t delta_pos) {
+  return PlanBatchJoin(
       store, atoms,
       [&](TermId atom) {
         TermId name = store.PredName(atom);
@@ -68,21 +85,24 @@ std::vector<TermId> PlanJoin(const TermStore& store,
                                     : facts.size();
       },
       delta_pos);
-  std::vector<TermId> ordered;
-  ordered.reserve(atoms.size());
-  for (size_t i : order) ordered.push_back(atoms[i]);
-  return ordered;
+}
+
+void EnsureScratch(JoinScratch* scratch, size_t depths) {
+  if (scratch->size() < depths) scratch->resize(depths);
 }
 
 }  // namespace
 
 bool ForEachPositiveMatch(TermStore& store, const Rule& rule,
                           const FactBase& facts,
-                          const std::function<bool(const Substitution&)>& fn) {
-  std::vector<TermId> atoms =
-      PlanJoin(store, PositiveAtoms(rule), facts, SIZE_MAX);
+                          const std::function<bool(const Substitution&)>& fn,
+                          bool frozen_facts) {
+  JoinPlan plan = PlanJoin(store, PositiveAtoms(rule), facts, SIZE_MAX);
+  JoinScratch scratch;
+  EnsureScratch(&scratch, plan.steps.size());
   Substitution subst;
-  return MatchBody(store, atoms, 0, SIZE_MAX, nullptr, facts, &subst, fn);
+  return MatchBody(store, plan.steps, 0, SIZE_MAX, nullptr, facts,
+                   frozen_facts, &scratch, &subst, fn);
 }
 
 BottomUpResult LeastModelOfPositiveProjection(TermStore& store,
@@ -117,6 +137,11 @@ BottomUpResult LeastModelOfPositiveProjectionSeeded(
     }
   }
 
+  // The next-round delta and the join scratch buffers live outside the
+  // round loop: Clear() keeps hash-map buckets and vector capacity, so
+  // steady-state rounds reallocate neither.
+  FactBase next_delta;
+  JoinScratch scratch;
   while (!delta.empty()) {
     ++result.rounds;
     obs::Count(obs::Counter::kBottomUpRounds);
@@ -130,7 +155,6 @@ BottomUpResult LeastModelOfPositiveProjectionSeeded(
       result.truncated = true;
       break;
     }
-    FactBase next_delta;
     bool budget_hit = false;
     for (size_t r = 0; r < program.rules.size() && !budget_hit; ++r) {
       const Rule& rule = program.rules[r];
@@ -138,10 +162,11 @@ BottomUpResult LeastModelOfPositiveProjectionSeeded(
       if (atoms.empty()) continue;
       for (size_t dpos = 0; dpos < atoms.size() && !budget_hit; ++dpos) {
         // The plan pins the delta literal first.
-        std::vector<TermId> planned = PlanJoin(store, atoms, result.facts,
-                                               dpos);
+        JoinPlan plan = PlanJoin(store, atoms, result.facts, dpos);
+        EnsureScratch(&scratch, plan.steps.size());
         Substitution subst;
-        MatchBody(store, planned, 0, 0, &delta, result.facts, &subst,
+        MatchBody(store, plan.steps, 0, 0, &delta, result.facts,
+                  /*facts_frozen=*/false, &scratch, &subst,
                   [&](const Substitution& theta) {
                     if (CancelRequested()) {
                       result.cancelled = true;
@@ -169,7 +194,10 @@ BottomUpResult LeastModelOfPositiveProjectionSeeded(
       result.truncated = true;
       break;
     }
-    delta = std::move(next_delta);
+    // Swap instead of move: the emptied old delta becomes next round's
+    // next_delta, reusing its cleared hash maps and buckets.
+    std::swap(delta, next_delta);
+    next_delta.Clear();
   }
 
   result.unsafe_rules.assign(unsafe.begin(), unsafe.end());

@@ -72,9 +72,16 @@ BottomUpResult LeastModelOfPositiveProjectionSeeded(
 /// Returns false if `fn` ever returns false (early exit). Literals are
 /// joined in planner order, not textual order; the set of enumerated
 /// substitutions is unaffected, only the enumeration sequence.
+///
+/// `frozen_facts` declares that `fn` never inserts into `facts` while the
+/// enumeration runs (the grounders and the scheduler only collect ground
+/// rules); the join then takes zero-copy candidate spans over the base's
+/// internal buckets. Callers whose callback feeds derived facts straight
+/// back into `facts` (the stratified fixpoint) must leave it false.
 bool ForEachPositiveMatch(TermStore& store, const Rule& rule,
                           const FactBase& facts,
-                          const std::function<bool(const Substitution&)>& fn);
+                          const std::function<bool(const Substitution&)>& fn,
+                          bool frozen_facts = false);
 
 }  // namespace hilog
 

@@ -1,6 +1,7 @@
 #include "src/eval/fact_base.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/obs/metrics.h"
 
@@ -15,6 +16,11 @@ constexpr size_t kSmallBucket = 4;
 // intersected with the second most selective one before being returned.
 constexpr size_t kIntersectThreshold = 16;
 
+// Upper bound on simultaneous probe keys for one pattern: kMaxIndexedArgs
+// top-level keys plus kMaxIndexedSubArgs sub-keys under each.
+constexpr size_t kMaxProbeKeys =
+    FactBase::kMaxIndexedArgs * (1 + FactBase::kMaxIndexedSubArgs);
+
 // splitmix64 finalizer: a bijection on 64-bit values, so distinct seeds
 // stay distinct.
 uint64_t Mix(uint64_t h) {
@@ -26,9 +32,9 @@ uint64_t Mix(uint64_t h) {
   return h;
 }
 
-}  // namespace
+std::atomic<bool> g_batch_joins_enabled{true};
 
-namespace {
+}  // namespace
 
 // Exact fingerprint of a ground term: terms are hash-consed, so TermId
 // equality is term equality and the id alone discriminates perfectly.
@@ -44,15 +50,6 @@ uint64_t ShapeFingerprint(TermId name, size_t arity) {
   uint64_t h = Mix((uint64_t{name} << 20) ^ (uint64_t{arity} << 1));
   return h == 0 ? 1 : h;
 }
-
-// Argument paths: a top-level position i, or sub-position j inside the
-// compound argument at position i (one nesting level).
-uint32_t TopPath(size_t i) { return static_cast<uint32_t>(i) << 4; }
-uint32_t SubPath(size_t i, size_t j) {
-  return (static_cast<uint32_t>(i) << 4) | static_cast<uint32_t>(j + 1);
-}
-
-}  // namespace
 
 uint64_t ArgFingerprint(const TermStore& store, TermId t) {
   // A ground pattern argument matches only the identical fact argument:
@@ -74,13 +71,24 @@ uint64_t ArgFingerprint(const TermStore& store, TermId t) {
 
 const std::vector<TermId> FactBase::kEmpty;
 
+void FactBase::SetBatchJoinsEnabled(bool enabled) {
+  g_batch_joins_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool FactBase::BatchJoinsEnabled() {
+  return g_batch_joins_enabled.load(std::memory_order_relaxed);
+}
+
 bool FactBase::Insert(const TermStore& store, TermId atom) {
   auto [it, inserted] = facts_.insert(atom);
   if (!inserted) return false;
   ordered_.push_back(atom);
   by_name_[store.PredName(atom)].push_back(atom);
   // Keep the argument index current only once a probe has built it; until
-  // then inserts stay a single bucket push (see EnsureArgIndex).
+  // then inserts stay a single bucket push (see EnsureArgIndex). Key
+  // columns follow the same discipline with their own per-column
+  // watermark: they catch up to the bucket on the next probe that wants
+  // them, so an insert never pays for columns nobody queries.
   if (arg_index_active_) {
     IndexArgsOf(store, atom, store.PredName(atom));
     ++indexed_upto_;
@@ -99,15 +107,15 @@ void FactBase::IndexArgsOf(const TermStore& store, TermId atom,
     // one level of sub-arguments so patterns whose bindings sit inside
     // a compound argument (u3(e,X,Y) and friends) discriminate too.
     TermId arg = args[pos];
-    by_arg_[ArgKey{name, TopPath(pos), ExactFingerprint(arg)}].push_back(
+    by_arg_[ArgKey{name, ColTopPath(pos), ExactFingerprint(arg)}].push_back(
         atom);
     if (store.IsApply(arg)) {
       uint64_t shape =
           ShapeFingerprint(store.apply_name(arg), store.arity(arg));
-      by_arg_[ArgKey{name, TopPath(pos), shape}].push_back(atom);
+      by_arg_[ArgKey{name, ColTopPath(pos), shape}].push_back(atom);
       auto sub = store.apply_args(arg);
       for (size_t j = 0; j < sub.size() && j < kMaxIndexedSubArgs; ++j) {
-        by_arg_[ArgKey{name, SubPath(pos, j), ExactFingerprint(sub[j])}]
+        by_arg_[ArgKey{name, ColSubPath(pos, j), ExactFingerprint(sub[j])}]
             .push_back(atom);
       }
     }
@@ -188,21 +196,21 @@ std::vector<TermId> FactBase::Candidates(const TermStore& store,
        ++pos) {
     TermId arg = args[pos];
     if (store.IsGround(arg)) {
-      probe(TopPath(pos), ExactFingerprint(arg));
+      probe(ColTopPath(pos), ExactFingerprint(arg));
       continue;
     }
     if (store.kind(arg) != TermKind::kApply ||
         !store.IsGround(store.apply_name(arg))) {
       continue;  // A variable (or variable-named application): no probe.
     }
-    probe(TopPath(pos),
+    probe(ColTopPath(pos),
           ShapeFingerprint(store.apply_name(arg), store.arity(arg)));
     // The compound argument is partially bound: its ground sub-arguments
     // still discriminate (facts index one sub-level under exact keys).
     auto sub = store.apply_args(arg);
     for (size_t j = 0; j < sub.size() && j < kMaxIndexedSubArgs && !missed;
          ++j) {
-      if (store.IsGround(sub[j])) probe(SubPath(pos, j),
+      if (store.IsGround(sub[j])) probe(ColSubPath(pos, j),
                                         ExactFingerprint(sub[j]));
     }
   }
@@ -236,6 +244,276 @@ std::vector<TermId> FactBase::Candidates(const TermStore& store,
   return out;
 }
 
+// --- Columnar key columns -------------------------------------------------
+
+void FactBase::KeyColumn::Rehash(size_t slots) {
+  slot_fp.assign(slots, 0);
+  slot_group.assign(slots, 0);
+  slot_mask = slots - 1;
+  // Re-seat every existing group under its fingerprint. Group fingerprints
+  // are recovered from the first row of each group.
+  for (uint32_t g = 0; g < groups.size(); ++g) {
+    uint64_t fp = fps[groups[g].front()];
+    size_t h = static_cast<size_t>(fp) & slot_mask;
+    while (slot_fp[h] != 0) h = (h + 1) & slot_mask;
+    slot_fp[h] = fp;
+    slot_group[h] = g;
+  }
+}
+
+void FactBase::KeyColumn::AddToGroup(uint64_t fp, uint32_t row) {
+  if (slot_fp.empty()) Rehash(16);
+  // Keep load under ~70% counted on distinct keys.
+  if ((groups.size() + 1) * 10 > slot_fp.size() * 7) {
+    Rehash(slot_fp.size() * 2);
+  }
+  size_t h = static_cast<size_t>(fp) & slot_mask;
+  while (slot_fp[h] != 0 && slot_fp[h] != fp) h = (h + 1) & slot_mask;
+  if (slot_fp[h] == 0) {
+    slot_fp[h] = fp;
+    slot_group[h] = static_cast<uint32_t>(groups.size());
+    groups.emplace_back();
+  }
+  groups[slot_group[h]].push_back(row);
+}
+
+const std::vector<uint32_t>* FactBase::KeyColumn::Find(uint64_t fp) const {
+  if (slot_fp.empty()) return nullptr;
+  size_t h = static_cast<size_t>(fp) & slot_mask;
+  while (slot_fp[h] != 0) {
+    if (slot_fp[h] == fp) return &groups[slot_group[h]];
+    h = (h + 1) & slot_mask;
+  }
+  return nullptr;
+}
+
+void FactBase::KeyColumn::ExtendTo(const TermStore& store,
+                                   const std::vector<TermId>& bucket) {
+  if (rows == bucket.size()) return;
+  obs::Count(obs::Counter::kColRows, bucket.size() - rows);
+  const size_t top = ColPathTop(path);
+  const uint32_t sub = ColPathSub(path);
+  // First build sizes the arrays once; later catch-ups ride push_back's
+  // geometric growth (an exact reserve per catch-up would reallocate the
+  // whole column on every probe of a growing bucket — quadratic).
+  if (rows == 0) {
+    ids.reserve(bucket.size());
+    fps.reserve(bucket.size());
+  }
+  for (; rows < bucket.size(); ++rows) {
+    TermId key_id = kNoTerm;
+    uint64_t fp = 0;
+    TermId atom = bucket[rows];
+    // Rows that lack the path (symbol atoms in an apply bucket, short
+    // arities, symbol arguments under a shape or sub-path key) keep
+    // fingerprint 0 and join no group: a probe can never select them,
+    // which is exactly the legacy index's behaviour.
+    if (store.IsApply(atom)) {
+      auto args = store.apply_args(atom);
+      if (top < args.size()) {
+        TermId arg = args[top];
+        if (sub == 0) {
+          if (!shape) {
+            key_id = arg;
+            fp = ExactFingerprint(arg);
+          } else if (store.IsApply(arg)) {
+            key_id = store.apply_name(arg);
+            fp = ShapeFingerprint(store.apply_name(arg), store.arity(arg));
+          }
+        } else if (store.IsApply(arg)) {
+          auto subargs = store.apply_args(arg);
+          size_t j = sub - 1;
+          if (j < subargs.size()) {
+            key_id = subargs[j];
+            fp = ExactFingerprint(subargs[j]);
+          }
+        }
+      }
+    }
+    ids.push_back(key_id);
+    fps.push_back(fp);
+    if (fp != 0) AddToGroup(fp, static_cast<uint32_t>(rows));
+  }
+}
+
+FactBase::KeyColumn& FactBase::EnsureColumn(const TermStore& store,
+                                            TermId name,
+                                            const std::vector<TermId>& bucket,
+                                            uint32_t path, bool shape) const {
+  ColumnTable& table = columnar_[name];
+  for (KeyColumn& col : table.cols) {
+    if (col.path == path && col.shape == shape) {
+      col.ExtendTo(store, bucket);
+      return col;
+    }
+  }
+  KeyColumn& col = table.cols.emplace_back();
+  col.path = path;
+  col.shape = shape;
+  col.ExtendTo(store, bucket);
+  return col;
+}
+
+std::span<const TermId> FactBase::CandidatesBatch(
+    const TermStore& store, TermId literal_atom, std::vector<TermId>* scratch,
+    bool frozen, const std::vector<ColumnProbeKey>* static_keys) const {
+  if (!BatchJoinsEnabled()) {
+    *scratch = Candidates(store, literal_atom);
+    return *scratch;
+  }
+  TermId name = store.PredName(literal_atom);
+  // A variable predicate name can match any fact: full scan, exactly the
+  // semantics HiLog's higher-order joins rely on. No column helps here.
+  if (!store.IsGround(name)) {
+    obs::Count(obs::Counter::kColFallbackTuples, ordered_.size());
+    if (frozen) return ordered_;
+    scratch->assign(ordered_.begin(), ordered_.end());
+    return *scratch;
+  }
+  auto bucket_it = by_name_.find(name);
+  if (bucket_it == by_name_.end()) {
+    if (!frozen) scratch->clear();
+    return {};
+  }
+  const std::vector<TermId>& bucket = bucket_it->second;
+  if (store.IsGround(literal_atom)) {
+    // A ground pattern matches exactly itself: one membership check.
+    obs::Count(obs::Counter::kIndexProbes);
+    if (facts_.count(literal_atom) > 0) {
+      obs::Count(obs::Counter::kCandidatesPruned, bucket.size() - 1);
+      scratch->assign(1, literal_atom);
+      return *scratch;
+    }
+    obs::Count(obs::Counter::kCandidatesPruned, bucket.size());
+    if (!frozen) scratch->clear();
+    return {};
+  }
+  // Degenerate buckets and non-apply patterns fall back to the bucket —
+  // frozen callers get it as a zero-copy span.
+  auto bucket_fallback = [&]() -> std::span<const TermId> {
+    obs::Count(obs::Counter::kColFallbackTuples, bucket.size());
+    if (frozen) return bucket;
+    scratch->assign(bucket.begin(), bucket.end());
+    return *scratch;
+  };
+  if (bucket.size() <= kSmallBucket || !store.IsApply(literal_atom)) {
+    return bucket_fallback();
+  }
+
+  // Assemble the runtime probe keys: (path, fingerprint) pairs computed
+  // from the substituted pattern. With a static plan the paths come
+  // pre-proven from the planner's boundness analysis; otherwise they are
+  // detected from the pattern, mirroring the legacy probe exactly.
+  struct RtKey {
+    uint32_t path;
+    bool shape;
+    uint64_t fp;
+  };
+  RtKey keys[kMaxProbeKeys];
+  size_t nkeys = 0;
+  auto args = store.apply_args(literal_atom);
+  if (static_keys != nullptr) {
+    for (const ColumnProbeKey& k : *static_keys) {
+      const size_t top = ColPathTop(k.path);
+      if (top >= args.size()) continue;
+      TermId arg = args[top];
+      const uint32_t sub = ColPathSub(k.path);
+      if (sub == 0) {
+        if (k.shape) {
+          if (!store.IsApply(arg)) continue;
+          keys[nkeys++] = {k.path, true,
+                           ShapeFingerprint(store.apply_name(arg),
+                                            store.arity(arg))};
+        } else {
+          keys[nkeys++] = {k.path, false, ExactFingerprint(arg)};
+        }
+      } else if (store.IsApply(arg)) {
+        auto subargs = store.apply_args(arg);
+        size_t j = sub - 1;
+        if (j < subargs.size()) {
+          keys[nkeys++] = {k.path, false, ExactFingerprint(subargs[j])};
+        }
+      }
+    }
+  } else {
+    for (size_t pos = 0; pos < args.size() && pos < kMaxIndexedArgs; ++pos) {
+      TermId arg = args[pos];
+      if (store.IsGround(arg)) {
+        keys[nkeys++] = {ColTopPath(pos), false, ExactFingerprint(arg)};
+        continue;
+      }
+      if (store.kind(arg) != TermKind::kApply ||
+          !store.IsGround(store.apply_name(arg))) {
+        continue;  // A variable (or variable-named application): no probe.
+      }
+      keys[nkeys++] = {ColTopPath(pos), true,
+                       ShapeFingerprint(store.apply_name(arg),
+                                        store.arity(arg))};
+      auto sub = store.apply_args(arg);
+      for (size_t j = 0; j < sub.size() && j < kMaxIndexedSubArgs; ++j) {
+        if (store.IsGround(sub[j])) {
+          keys[nkeys++] = {ColSubPath(pos, j), false,
+                           ExactFingerprint(sub[j])};
+        }
+      }
+    }
+  }
+  if (nkeys == 0) return bucket_fallback();
+
+  // Probe the key columns: each hash lookup lands on a group of ascending
+  // row indices sharing that fingerprint. A miss is a proof of emptiness.
+  obs::Count(obs::Counter::kColBatchJoins);
+  const std::vector<uint32_t>* best = nullptr;
+  const std::vector<uint32_t>* second = nullptr;
+  for (size_t k = 0; k < nkeys; ++k) {
+    obs::Count(obs::Counter::kIndexProbes);
+    KeyColumn& col =
+        EnsureColumn(store, name, bucket, keys[k].path, keys[k].shape);
+    const std::vector<uint32_t>* group = col.Find(keys[k].fp);
+    if (group == nullptr) {
+      obs::Count(obs::Counter::kCandidatesPruned, bucket.size());
+      if (!frozen) scratch->clear();
+      return {};
+    }
+    if (best == nullptr || group->size() < best->size()) {
+      second = best;
+      best = group;
+    } else if (second == nullptr || group->size() < second->size()) {
+      second = group;
+    }
+  }
+
+  // Gather the winning group's rows into the scratch buffer. When the
+  // best group is still large and a second key excludes at least half
+  // the bucket, merge-intersect the two ascending row lists first — a
+  // linear two-pointer walk, no hash set (cf. the legacy intersect).
+  scratch->clear();
+  if (second != nullptr && best->size() > kIntersectThreshold &&
+      second->size() * 2 <= bucket.size()) {
+    size_t a = 0;
+    size_t b = 0;
+    while (a < best->size() && b < second->size()) {
+      uint32_t ra = (*best)[a];
+      uint32_t rb = (*second)[b];
+      if (ra == rb) {
+        scratch->push_back(bucket[ra]);
+        ++a;
+        ++b;
+      } else if (ra < rb) {
+        ++a;
+      } else {
+        ++b;
+      }
+    }
+  } else {
+    scratch->reserve(best->size());
+    for (uint32_t row : *best) scratch->push_back(bucket[row]);
+  }
+  obs::Count(obs::Counter::kColProbeHits, scratch->size());
+  obs::Count(obs::Counter::kCandidatesPruned, bucket.size() - scratch->size());
+  return *scratch;
+}
+
 void FactBase::Clear() {
   facts_.clear();
   ordered_.clear();
@@ -243,6 +521,7 @@ void FactBase::Clear() {
   by_arg_.clear();
   arg_index_active_ = false;
   indexed_upto_ = 0;
+  columnar_.clear();
 }
 
 }  // namespace hilog

@@ -2,6 +2,7 @@
 #define HILOG_EVAL_FACT_BASE_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -22,6 +23,37 @@ namespace hilog {
 /// application argument under both its exact and its shape key).
 uint64_t ArgFingerprint(const TermStore& store, TermId t);
 
+/// Exact fingerprint of a ground term (the term id is a perfect key) and
+/// the (name, arity) shape fingerprint of an application. The two seed
+/// families never collide; neither is ever 0. Exported so the planner's
+/// batch-join path can compute runtime keys for its statically chosen
+/// argument paths (see ColumnProbeKey).
+uint64_t ExactFingerprint(TermId t);
+uint64_t ShapeFingerprint(TermId name, size_t arity);
+
+/// Argument path codes shared by the legacy argument index and the
+/// columnar key columns: a top-level position i, or sub-position j inside
+/// the compound argument at position i (one nesting level).
+inline constexpr uint32_t ColTopPath(size_t i) {
+  return static_cast<uint32_t>(i) << 4;
+}
+inline constexpr uint32_t ColSubPath(size_t i, size_t j) {
+  return (static_cast<uint32_t>(i) << 4) | static_cast<uint32_t>(j + 1);
+}
+inline constexpr size_t ColPathTop(uint32_t path) { return path >> 4; }
+/// 0 for a top-level path, j+1 for sub-position j.
+inline constexpr uint32_t ColPathSub(uint32_t path) { return path & 0xFu; }
+
+/// A probe key the join planner proves usable at plan time: an argument
+/// path that will be fully ground once the preceding join steps have
+/// matched (so its exact fingerprint discriminates), or — with `shape`
+/// set — a compound argument whose name will be ground (so its
+/// (name, arity) shape discriminates).
+struct ColumnProbeKey {
+  uint32_t path = 0;
+  bool shape = false;
+};
+
 /// A set of ground atoms with a two-level index supporting the
 /// unification-joins of bottom-up evaluation:
 ///
@@ -41,6 +73,12 @@ uint64_t ArgFingerprint(const TermStore& store, TermId t);
 /// back to the per-name bucket, and a literal whose name is still a
 /// variable scans the whole base (preserving HiLog's variable-predicate
 /// semantics).
+///
+/// `CandidatesBatch` is the columnar fast path the evaluators join
+/// through: per-relation flat key columns with a prebuilt fingerprint
+/// hash, probed in O(1) per binding and answered as spans over grouped
+/// row arrays instead of freshly materialized vectors (see the class
+/// comment on KeyColumn below).
 class FactBase {
  public:
   /// Argument positions covered by the discrimination index; facts with
@@ -70,9 +108,39 @@ class FactBase {
   /// Candidate facts for joining against `literal_atom`: a superset of
   /// the facts the pattern matches, pruned by the most selective indexed
   /// argument positions. Returned by value: the result is a snapshot, so
-  /// callers may insert facts while iterating it.
+  /// callers may insert facts while iterating it. This is the legacy
+  /// tuple-at-a-time path; the evaluators join through CandidatesBatch.
   std::vector<TermId> Candidates(const TermStore& store,
                                  TermId literal_atom) const;
+
+  /// Columnar batch-join candidate probe. Produces the same candidate
+  /// *match* semantics as Candidates — a superset of the pattern's
+  /// matches, in fact insertion order, with probe misses proving
+  /// emptiness — but answers from per-relation key columns whose
+  /// fingerprint hash is built once and streamed through, instead of
+  /// materializing a fresh vector per probe.
+  ///
+  /// Contract:
+  ///  - `frozen == false` (the caller may Insert while iterating): the
+  ///    result is always written to `*scratch` and the returned span
+  ///    aliases it, so the caller owns a stable snapshot. Reusing one
+  ///    scratch vector per join depth makes the probe allocation-free
+  ///    after warmup.
+  ///  - `frozen == true` (the caller provably does not mutate this base
+  ///    while iterating — the semi-naive delta side, the grounder): the
+  ///    span may alias internal storage (e.g. the whole per-name bucket
+  ///    when no argument discriminates), skipping the defensive copy
+  ///    entirely. `*scratch` may still be used as backing storage.
+  ///  - `static_keys`, if non-null, is the planner's proof of which
+  ///    argument paths of `literal_atom` are ground at probe time
+  ///    (PlanBatchJoin); runtime fingerprints are computed from the
+  ///    substituted pattern. When null the paths are detected from the
+  ///    pattern dynamically, which is how pre-substituted probes (the
+  ///    magic evaluator, tabling) use the same kernels.
+  std::span<const TermId> CandidatesBatch(
+      const TermStore& store, TermId literal_atom,
+      std::vector<TermId>* scratch, bool frozen,
+      const std::vector<ColumnProbeKey>* static_keys = nullptr) const;
 
   /// Size of the candidate list the pre-index evaluator would have
   /// scanned for this pattern: the name bucket for a ground name, the
@@ -81,10 +149,17 @@ class FactBase {
 
   void Clear();
 
+  /// Process-wide switch for the columnar batch path; when disabled,
+  /// CandidatesBatch answers through the legacy tuple-at-a-time
+  /// Candidates (snapshotting into `scratch`). The equivalence suites
+  /// flip this to compare both paths end to end.
+  static void SetBatchJoinsEnabled(bool enabled);
+  static bool BatchJoinsEnabled();
+
  private:
   struct ArgKey {
     TermId name;
-    uint32_t path;  // TopPath(i) or SubPath(i, j); see fact_base.cc.
+    uint32_t path;  // ColTopPath(i) or ColSubPath(i, j).
     uint64_t fingerprint;
     bool operator==(const ArgKey& o) const {
       return name == o.name && path == o.path && fingerprint == o.fingerprint;
@@ -100,6 +175,37 @@ class FactBase {
     }
   };
 
+  /// One key column of a relation (a per-name bucket): the extracted
+  /// sub-term and its fingerprint for every row, flat and row-aligned
+  /// with the bucket, plus an open-addressed hash from fingerprint to a
+  /// group of ascending row indices. Groups preserve insertion order, so
+  /// a probe answers with candidates in exactly the order the legacy
+  /// index would have produced — which is what keeps every evaluator's
+  /// output byte-identical across the two paths. Built lazily per
+  /// (path, kind) on the first probe that wants it and caught up to the
+  /// bucket watermark on later probes (amortized O(1) per insert).
+  struct KeyColumn {
+    uint32_t path = 0;
+    bool shape = false;
+    size_t rows = 0;                 // Bucket prefix covered so far.
+    std::vector<TermId> ids;         // Extracted sub-term per row.
+    std::vector<uint64_t> fps;       // Fingerprint per row (0 = no key).
+    std::vector<std::vector<uint32_t>> groups;  // Ascending row indices.
+    std::vector<uint64_t> slot_fp;   // Open addressing; 0 = empty slot.
+    std::vector<uint32_t> slot_group;
+    size_t slot_mask = 0;
+
+    void ExtendTo(const TermStore& store, const std::vector<TermId>& bucket);
+    const std::vector<uint32_t>* Find(uint64_t fp) const;
+
+   private:
+    void AddToGroup(uint64_t fp, uint32_t row);
+    void Rehash(size_t slots);
+  };
+  struct ColumnTable {
+    std::vector<KeyColumn> cols;  // Tiny: linear scan by (path, kind).
+  };
+
   // Catches the argument index up to `ordered_`. The index is built
   // lazily on the first Candidates probe that wants it: many stores (the
   // grounder's scratch bases, per-stratum intermediates) are filled once
@@ -108,12 +214,19 @@ class FactBase {
   void EnsureArgIndex(const TermStore& store) const;
   void IndexArgsOf(const TermStore& store, TermId atom, TermId name) const;
 
+  KeyColumn& EnsureColumn(const TermStore& store, TermId name,
+                          const std::vector<TermId>& bucket, uint32_t path,
+                          bool shape) const;
+
   std::unordered_set<TermId> facts_;
   std::vector<TermId> ordered_;
   std::unordered_map<TermId, std::vector<TermId>> by_name_;
   mutable std::unordered_map<ArgKey, std::vector<TermId>, ArgKeyHash> by_arg_;
   mutable bool arg_index_active_ = false;
   mutable size_t indexed_upto_ = 0;  // ordered_ prefix already in by_arg_.
+  // Columnar key columns per relation, independent of the legacy by_arg_
+  // index (when the batch path is on, by_arg_ is typically never built).
+  mutable std::unordered_map<TermId, ColumnTable> columnar_;
   static const std::vector<TermId> kEmpty;
 };
 

@@ -46,21 +46,28 @@ class VariantFactStore {
   bool ContainsGround(TermId fact) const { return ground_.Contains(fact); }
 
   // Candidate facts for joining against `pattern`: index-pruned ground
-  // facts plus the non-ground facts sharing the pattern's ground name.
-  // By value — a snapshot, safe under concurrent Derive() insertions.
-  std::vector<TermId> Candidates(TermId pattern) const {
+  // facts through the columnar batch probe, plus the non-ground facts
+  // sharing the pattern's ground name. The result is written into
+  // `*scratch` (a per-join-depth reusable buffer) — a snapshot, safe
+  // under concurrent Derive() insertions — and the span aliases it.
+  std::span<const TermId> CandidatesBatch(TermId pattern,
+                                          std::vector<TermId>* scratch) const {
     TermId name = store_.PredName(pattern);
-    if (!store_.IsGround(name)) return ordered_;
+    if (!store_.IsGround(name)) {
+      scratch->assign(ordered_.begin(), ordered_.end());
+      return *scratch;
+    }
     const size_t baseline =
         ground_.NameBucketSize(store_, pattern) +
         NonGroundWithName(name).size();
-    std::vector<TermId> out = ground_.Candidates(store_, pattern);
+    ground_.CandidatesBatch(store_, pattern, scratch, /*frozen=*/false);
     const std::vector<TermId>& nonground = NonGroundWithName(name);
-    out.insert(out.end(), nonground.begin(), nonground.end());
-    if (baseline > out.size()) {
-      obs::Count(obs::Counter::kUnificationsAvoided, baseline - out.size());
+    scratch->insert(scratch->end(), nonground.begin(), nonground.end());
+    if (baseline > scratch->size()) {
+      obs::Count(obs::Counter::kUnificationsAvoided,
+                 baseline - scratch->size());
     }
-    return out;
+    return *scratch;
   }
 
   /// Non-ground facts sharing the pattern's ground name (the only facts a
@@ -229,8 +236,11 @@ class Evaluator {
       }
       return;
     }
-    // Snapshot: new facts derived below re-trigger via the worklist.
-    std::vector<TermId> candidates = facts_.Candidates(pattern);
+    // Snapshot into this depth's scratch frame: new facts derived below
+    // re-trigger via the worklist. Deeper recursion uses deeper frames,
+    // so the span stays stable across the whole candidate walk.
+    std::span<const TermId> candidates =
+        facts_.CandidatesBatch(pattern, &frames_[depth]);
     for (TermId fact : candidates) {
       TermId target = fact;
       if (!store_.IsGround(fact)) {
@@ -264,6 +274,9 @@ class Evaluator {
         store_, body_atoms,
         [&](TermId atom) { return facts_.EstimateForPattern(atom); },
         position);
+    // One scratch frame per join depth, sized up-front so JoinFrom never
+    // reallocates the frame array mid-recursion.
+    if (frames_.size() < order.size() + 1) frames_.resize(order.size() + 1);
     JoinFrom(renamed, order, 1, std::move(subst));
   }
 
@@ -344,7 +357,8 @@ class Evaluator {
 
   void CollectAnswers() {
     // Answers: ground facts that are instances of the query.
-    for (TermId fact : facts_.Candidates(magic_.query)) {
+    std::vector<TermId> scratch;
+    for (TermId fact : facts_.CandidatesBatch(magic_.query, &scratch)) {
       if (!store_.IsGround(fact)) continue;
       if (store_.PredName(fact) == magic_.magic_sym ||
           store_.PredName(fact) == magic_.box_sym) {
@@ -397,6 +411,9 @@ class Evaluator {
   // and the ground negatively-called atoms not yet settled.
   std::unordered_map<TermId, std::vector<TermId>> dn_of_;
   std::vector<TermId> pending_minus_;
+  // Per-join-depth candidate buffers reused across every trigger and
+  // semi-naive propagation (see CandidatesBatch).
+  std::vector<std::vector<TermId>> frames_;
   MagicEvalResult result_;
 };
 

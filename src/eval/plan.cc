@@ -77,4 +77,63 @@ std::vector<size_t> PlanJoinOrder(const TermStore& store,
   return order;
 }
 
+JoinPlan PlanBatchJoin(const TermStore& store,
+                       const std::vector<TermId>& atoms,
+                       const JoinSizeEstimator& estimate,
+                       size_t pinned_first) {
+  JoinPlan plan;
+  plan.order = PlanJoinOrder(store, atoms, estimate, pinned_first);
+  plan.steps.reserve(plan.order.size());
+
+  // Boundness analysis: at step k the variables bound when its probe
+  // runs are exactly the variables of steps 0..k-1 (each earlier match
+  // binds all of its atom's variables to ground fact sub-terms).
+  std::unordered_set<TermId> bound;
+  std::vector<TermId> vars;
+  auto ground_at_probe = [&](TermId t) {
+    if (store.IsGround(t)) return true;
+    vars.clear();
+    store.CollectVariables(t, &vars);
+    for (TermId v : vars) {
+      if (bound.count(v) == 0) return false;
+    }
+    return true;
+  };
+
+  for (size_t i : plan.order) {
+    TermId atom = atoms[i];
+    JoinStep step;
+    step.atom = atom;
+    step.name_ground_at_probe = ground_at_probe(store.PredName(atom));
+    if (step.name_ground_at_probe && store.IsApply(atom)) {
+      auto args = store.apply_args(atom);
+      for (size_t pos = 0;
+           pos < args.size() && pos < FactBase::kMaxIndexedArgs; ++pos) {
+        TermId arg = args[pos];
+        if (ground_at_probe(arg)) {
+          step.keys.push_back({ColTopPath(pos), /*shape=*/false});
+          continue;
+        }
+        if (store.kind(arg) != TermKind::kApply ||
+            !ground_at_probe(store.apply_name(arg))) {
+          continue;  // Unbound (or unbound-named application): no key.
+        }
+        step.keys.push_back({ColTopPath(pos), /*shape=*/true});
+        auto sub = store.apply_args(arg);
+        for (size_t j = 0;
+             j < sub.size() && j < FactBase::kMaxIndexedSubArgs; ++j) {
+          if (ground_at_probe(sub[j])) {
+            step.keys.push_back({ColSubPath(pos, j), /*shape=*/false});
+          }
+        }
+      }
+    }
+    vars.clear();
+    store.CollectVariables(atom, &vars);
+    for (TermId v : vars) bound.insert(v);
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
 }  // namespace hilog

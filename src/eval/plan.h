@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/eval/fact_base.h"
 #include "src/term/term_store.h"
 
 namespace hilog {
@@ -29,6 +30,40 @@ std::vector<size_t> PlanJoinOrder(const TermStore& store,
                                   const std::vector<TermId>& atoms,
                                   const JoinSizeEstimator& estimate,
                                   size_t pinned_first);
+
+/// One step of a batch join plan: the body atom to join at this depth plus
+/// the statically proven probe keys for the columnar path.
+///
+/// `name_ground_at_probe` holds exactly when every variable of the atom's
+/// predicate name occurs in an earlier step: bottom-up joins bind pattern
+/// variables only to ground fact sub-terms, so "all variables bound
+/// earlier" is a proof of groundness at probe time, not a heuristic. The
+/// same reasoning yields `keys`: an argument path whose variables are all
+/// bound earlier probes its exact-fingerprint column; a compound argument
+/// that is not fully bound but whose own name is probes its (name, arity)
+/// shape column, with its fully-bound sub-arguments probing exact sub-path
+/// columns. Paths beyond the FactBase indexing bounds are never emitted.
+struct JoinStep {
+  TermId atom = kNoTerm;
+  bool name_ground_at_probe = false;
+  std::vector<ColumnProbeKey> keys;
+};
+
+/// A full batch join plan: the greedy PlanJoinOrder permutation plus the
+/// per-step static key analysis above, in join order. `order[i]` is the
+/// original body position of `steps[i]`.
+struct JoinPlan {
+  std::vector<size_t> order;
+  std::vector<JoinStep> steps;
+};
+
+/// Plans the join order (identical to PlanJoinOrder — the batch path must
+/// enumerate matches in exactly the same sequence as the tuple path) and
+/// derives each step's static probe keys for FactBase::CandidatesBatch.
+JoinPlan PlanBatchJoin(const TermStore& store,
+                       const std::vector<TermId>& atoms,
+                       const JoinSizeEstimator& estimate,
+                       size_t pinned_first);
 
 }  // namespace hilog
 

@@ -411,7 +411,8 @@ void SolveBatch(TermStore& store, const Program& program,
             obs::Count(obs::Counter::kGroundInstances);
             sink.push_back(std::move(instance));
             return true;
-          });
+          },
+          /*frozen_facts=*/true);  // Collects rules only; never inserts.
       if (!instantiate_ok) return;
     }
   }

@@ -58,7 +58,10 @@ bool RunComponentFixpoint(TermStore& store,
               }
             }
             return true;
-          });
+          },
+          // The callback inserts derived heads straight back into *facts,
+          // so candidate probes must snapshot (never frozen).
+          /*frozen_facts=*/false);
       if (budget_hit) {
         *error = "fact budget exhausted";
         return false;

@@ -175,7 +175,9 @@ class TabledEngine {
     // so the discrimination index prunes soundly here too.
     const Table& sub_table = tables_[sub_canon];
     const size_t baseline = sub_table.answers.size();
-    std::vector<TermId> answers = sub_table.ground.Candidates(store_, subgoal);
+    std::vector<TermId> answers;
+    sub_table.ground.CandidatesBatch(store_, subgoal, &answers,
+                                     /*frozen=*/false);
     answers.insert(answers.end(), sub_table.nonground.begin(),
                    sub_table.nonground.end());
     if (baseline > answers.size()) {

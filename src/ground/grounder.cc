@@ -65,7 +65,8 @@ RelevanceGroundingResult GroundWithRelevance(TermStore& store,
           obs::Count(obs::Counter::kGroundInstances);
           result.program.Add(std::move(ground));
           return true;
-        });
+        },
+        /*frozen_facts=*/true);  // Collects rules only; never inserts.
     if (!result.ok) return result;
     obs::TraceInstant("grounder.batch", result.program.size());
   }

@@ -27,6 +27,10 @@ const char* CounterName(Counter c) {
     case Counter::kIndexProbes: return "index.probes";
     case Counter::kCandidatesPruned: return "index.candidates_pruned";
     case Counter::kUnificationsAvoided: return "index.unifications_avoided";
+    case Counter::kColRows: return "col.rows";
+    case Counter::kColBatchJoins: return "col.batch_joins";
+    case Counter::kColProbeHits: return "col.probe_hits";
+    case Counter::kColFallbackTuples: return "col.fallback_tuples";
     case Counter::kWfsRounds: return "wfs.rounds";
     case Counter::kGammaApplications: return "wfs.gamma_applications";
     case Counter::kWfsTrueAtoms: return "wfs.true_atoms";

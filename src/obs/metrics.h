@@ -42,6 +42,11 @@ enum class Counter : uint16_t {
   kIndexProbes,          // Candidates() calls answered from the arg index.
   kCandidatesPruned,     // Candidates skipped relative to the name bucket.
   kUnificationsAvoided,  // Match/unify attempts the joins never made.
+  // Columnar batch-join path (FactBase key columns).
+  kColRows,            // Rows appended to key columns (per column).
+  kColBatchJoins,      // Probes answered through the columnar hash.
+  kColProbeHits,       // Candidate rows yielded by columnar probes.
+  kColFallbackTuples,  // Candidate rows served by non-columnar fallbacks.
   // Well-founded fixpoints.
   kWfsRounds,          // Alternating Gamma^2 pairs, or W_P iterations.
   kGammaApplications,  // GL-reduct least-model computations.

@@ -271,6 +271,39 @@ TEST(EngineMetricsTest, WinChainExactWfsCounters) {
   EXPECT_GT(m.value(obs::Counter::kUnificationsAvoided), 0u);
 }
 
+// Satellite: exact columnar batch-join counters. The ground win chain
+// resolves every body literal by membership probe, so the columnar hash
+// never fires there; a non-ground transitive closure drives every join
+// through it.
+TEST(EngineMetricsTest, ColumnarCountersExactOnWinChainAndTc) {
+  {
+    Engine engine;
+    ASSERT_EQ(engine.Load(GroundWinChain(8)), "");
+    ASSERT_TRUE(engine.SolveWellFounded().ok);
+    const obs::MetricsRegistry& m = engine.metrics();
+    EXPECT_EQ(m.value(obs::Counter::kColRows), 0u);
+    EXPECT_EQ(m.value(obs::Counter::kColBatchJoins), 0u);
+    EXPECT_EQ(m.value(obs::Counter::kColProbeHits), 0u);
+    EXPECT_EQ(m.value(obs::Counter::kColFallbackTuples), 0u);
+  }
+  {
+    std::string text;
+    for (int i = 0; i < 16; ++i) {
+      text += "e(n" + std::to_string(i) + ",n" + std::to_string(i + 1) +
+              ").\n";
+    }
+    text += "t(X,Y) :- e(X,Y).\nt(X,Z) :- t(X,Y), e(Y,Z).\n";
+    Engine engine;
+    ASSERT_EQ(engine.Load(text), "");
+    ASSERT_TRUE(engine.SolveWellFounded().ok);
+    const obs::MetricsRegistry& m = engine.metrics();
+    EXPECT_EQ(m.value(obs::Counter::kColRows), 152u);
+    EXPECT_EQ(m.value(obs::Counter::kColBatchJoins), 168u);
+    EXPECT_EQ(m.value(obs::Counter::kColProbeHits), 360u);
+    EXPECT_EQ(m.value(obs::Counter::kColFallbackTuples), 200u);
+  }
+}
+
 // A layered program with `width` mutually independent chains: every
 // chain contributes one component per layer, so each topological depth
 // is a wave of `width` components — the shape the parallel scheduler
