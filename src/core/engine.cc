@@ -1,6 +1,7 @@
 #include "src/core/engine.h"
 
 #include "src/analysis/stratification.h"
+#include "src/maint/delta.h"
 #include "src/wfs/alternating.h"
 
 namespace hilog {
@@ -17,7 +18,7 @@ std::unique_ptr<Engine> Engine::Fork() const {
   fork->store_.CopyFrom(store_);
   fork->program_ = program_;
   fork->edb_names_cache_ = edb_names_cache_;
-  fork->edb_facts_cache_ = edb_facts_cache_;
+  fork->edb_facts_base_ = edb_facts_base_;
   fork->edb_cache_valid_ = edb_cache_valid_;
   fork->scheduler_cache_ = scheduler_cache_;
   return fork;
@@ -26,6 +27,7 @@ std::unique_ptr<Engine> Engine::Fork() const {
 std::string Engine::Load(std::string_view text) {
   program_ = Program();
   scheduler_cache_.Clear();
+  maintenance_pending_ = false;
   return LoadMore(text);
 }
 
@@ -41,6 +43,72 @@ std::string Engine::LoadMore(std::string_view text) {
   obs::SetGauge(obs::Gauge::kProgramRules, program_.size());
   obs::SetGauge(obs::Gauge::kTermStoreSize, store_.size());
   return "";
+}
+
+std::string Engine::ApplyDelta(std::string_view additions,
+                               std::string_view retractions,
+                               std::vector<size_t>* removed_indices) {
+  obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
+  obs::ScopedPhaseTimer timer(obs::Phase::kLoad);
+  FactDelta delta;
+  std::string error = ParseFactDelta(store_, additions, retractions, &delta);
+  if (!error.empty()) return error;
+  error =
+      ApplyRetractions(store_, &program_, delta.retractions, removed_indices);
+  if (!error.empty()) return error;
+
+  // The EDB query cache stays warm when the delta provably keeps the set
+  // of fact-only predicates intact: every touched name is already a known
+  // EDB relation, every addition is a ground fact of one, and no
+  // retraction empties a relation (an emptied or newly fact-only name
+  // changes FactOnlyPredicates and with it the magic rewrite). Anything
+  // else invalidates; the next query rebuilds from the program.
+  if (edb_cache_valid_) {
+    bool safe = true;
+    for (TermId atom : delta.retractions) {
+      if (edb_names_cache_.count(store_.PredName(atom)) == 0) {
+        safe = false;
+        break;
+      }
+    }
+    if (safe) {
+      for (const Rule& rule : delta.additions.rules) {
+        if (!rule.IsFact() || !store_.IsGround(rule.head) ||
+            edb_names_cache_.count(store_.PredName(rule.head)) == 0) {
+          safe = false;
+          break;
+        }
+      }
+    }
+    if (safe) {
+      edb_facts_base_.EraseBatch(store_, delta.retractions);
+      for (TermId atom : delta.retractions) {
+        if (edb_facts_base_.WithName(store_.PredName(atom)).empty()) {
+          safe = false;
+          break;
+        }
+      }
+    }
+    if (safe) {
+      // Appending here reproduces the program-scan order a fresh refresh
+      // would build: survivors in original order, then the additions.
+      for (const Rule& rule : delta.additions.rules) {
+        edb_facts_base_.Insert(store_, rule.head);
+      }
+    }
+    if (!safe) edb_cache_valid_ = false;
+  }
+
+  for (Rule& rule : delta.additions.rules) program_.Add(std::move(rule));
+  maintenance_pending_ = true;
+  obs::Count(obs::Counter::kIncDeltasApplied);
+  obs::SetGauge(obs::Gauge::kProgramRules, program_.size());
+  obs::SetGauge(obs::Gauge::kTermStoreSize, store_.size());
+  return "";
+}
+
+std::string Engine::Retract(std::string_view facts) {
+  return ApplyDelta("", facts, nullptr);
 }
 
 AnalysisReport Engine::Analyze() {
@@ -93,8 +161,12 @@ Engine::WfsAnswer Engine::SolveWellFoundedWith(GrounderKind grounder) {
   obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
   obs::ScopedPhaseTimer timer(obs::Phase::kSolveWfs);
   if (grounder == GrounderKind::kRelevance) {
-    ComponentWfsResult scheduled = SolveWfsByComponents(
-        store_, program_, options_.bottomup, &scheduler_cache_);
+    // The well-founded answer only needs the model and the instance
+    // count, so skip materializing the union grounding — replayed
+    // components then cost atoms, not ground-rule copies.
+    ComponentWfsResult scheduled =
+        SolveWfsByComponents(store_, program_, options_.bottomup,
+                             &scheduler_cache_, /*need_ground=*/false);
     if (!scheduled.ok) {
       WfsAnswer answer;
       answer.ok = false;
@@ -106,8 +178,19 @@ Engine::WfsAnswer Engine::SolveWellFoundedWith(GrounderKind grounder) {
     answer.exact = !scheduled.truncated && !scheduled.cancelled;
     answer.cancelled = scheduled.cancelled;
     answer.notes = scheduled.truncated ? "envelope truncated" : "";
-    answer.ground_rules = scheduled.ground.size();
+    answer.ground_rules = scheduled.ground_count;
     answer.model = std::move(scheduled.model);
+    answer.sched = scheduled.stats;
+    if (maintenance_pending_) {
+      // This solve was the maintenance pass for a pending ApplyDelta:
+      // report its dirtiness frontier. (stats.components counts solved
+      // components only; replays increment components_reused.)
+      obs::Count(obs::Counter::kIncComponentsResolved,
+                 scheduled.stats.components);
+      obs::Count(obs::Counter::kIncComponentsSkipped,
+                 scheduled.stats.components_reused);
+      maintenance_pending_ = false;
+    }
     return answer;
   }
   Universe universe =
@@ -164,11 +247,11 @@ AggregateEvalResult Engine::SolveAggregates() {
 void Engine::RefreshEdbCache() {
   if (edb_cache_valid_) return;
   edb_names_cache_ = FactOnlyPredicates(store_, program_);
-  edb_facts_cache_.clear();
+  edb_facts_base_.Clear();
   for (const Rule& rule : program_.rules) {
     if (!rule.IsFact() || !store_.IsGround(rule.head)) continue;
     if (edb_names_cache_.count(store_.PredName(rule.head)) > 0) {
-      edb_facts_cache_.push_back(rule.head);
+      edb_facts_base_.Insert(store_, rule.head);
     }
   }
   edb_cache_valid_ = true;
@@ -195,7 +278,7 @@ Engine::QueryAnswer Engine::Query(std::string_view query_text) {
     return MagicRewrite(store_, program_, *parsed, rewrite_options);
   }();
   MagicEvalResult result =
-      EvaluateMagic(store_, magic, options_.magic, &edb_facts_cache_);
+      EvaluateMagic(store_, magic, options_.magic, &edb_facts_base_.facts());
   if (!result.error.empty()) {
     answer.ok = false;
     answer.cancelled = result.cancelled;

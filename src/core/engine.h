@@ -73,6 +73,7 @@ class Engine {
   explicit Engine(EngineOptions options = EngineOptions());
 
   TermStore& store() { return store_; }
+  const TermStore& store() const { return store_; }
   const Program& program() const { return program_; }
   const EngineOptions& options() const { return options_; }
 
@@ -103,6 +104,25 @@ class Engine {
   /// Adds rules to the current program.
   std::string LoadMore(std::string_view text);
 
+  /// Applies a delta publish in place: `retractions` parses as ground
+  /// facts whose fact rules are removed from the program (all retractions
+  /// are validated before any mutation; retracting an atom that is not a
+  /// fact of the program is an error), then `additions` parses as program
+  /// text appended like LoadMore. Either part may be empty. Survivor rule
+  /// order and serials are preserved, so the next well-founded solve is a
+  /// DRed maintenance pass: only components whose rules changed, plus the
+  /// upward cone whose lower models actually changed, re-solve — the rest
+  /// replay from the settled-component cache (docs/incremental.md). On
+  /// success appends the removed rule indices (ascending) to
+  /// `*removed_indices` when non-null; on error returns the message and
+  /// leaves the program untouched.
+  std::string ApplyDelta(std::string_view additions,
+                         std::string_view retractions,
+                         std::vector<size_t>* removed_indices = nullptr);
+
+  /// Retracts ground facts: ApplyDelta with no additions.
+  std::string Retract(std::string_view facts);
+
   /// Classifies the loaded program.
   AnalysisReport Analyze();
 
@@ -119,6 +139,10 @@ class Engine {
     bool cancelled = false;
     std::string notes;
     size_t ground_rules = 0;
+    /// Scheduler work accounting (relevance path only): how many
+    /// components solved vs replayed, and the DRed overdelete/rederive
+    /// tallies of a maintenance pass.
+    SchedulerStats sched;
   };
 
   /// Computes the well-founded model, choosing the relevance grounder for
@@ -203,12 +227,19 @@ class Engine {
   // Per-program EDB cache for magic queries: fact-only predicate names
   // and their facts, preloaded into the evaluator so a query's cost does
   // not scale with the EDB. Invalidated explicitly by Load/LoadMore (a
-  // same-size reload must not serve stale facts).
+  // same-size reload must not serve stale facts); ApplyDelta maintains it
+  // in place when the delta stays within known EDB relations, else
+  // invalidates. A FactBase rather than a plain vector so retraction can
+  // erase in place while preserving the program-scan insertion order.
   std::unordered_set<TermId> edb_names_cache_;
-  std::vector<TermId> edb_facts_cache_;
+  FactBase edb_facts_base_;
   bool edb_cache_valid_ = false;
+  // Set by ApplyDelta, consumed by the next relevance-path well-founded
+  // solve: that solve is a maintenance pass and reports the
+  // inc.components_resolved / inc.components_skipped counters.
+  bool maintenance_pending_ = false;
   // Settled-component memo for the SCC scheduler. Safe across LoadMore
-  // (append-only: TermIds and rule indices of loaded text are stable);
+  // and ApplyDelta (TermIds and rule serials of loaded text are stable);
   // Load replaces the program, so it clears the cache.
   SchedulerCache scheduler_cache_;
 };

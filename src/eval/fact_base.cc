@@ -96,6 +96,42 @@ bool FactBase::Insert(const TermStore& store, TermId atom) {
   return true;
 }
 
+bool FactBase::Erase(const TermStore& store, TermId atom) {
+  return EraseBatch(store, {atom}) > 0;
+}
+
+size_t FactBase::EraseBatch(const TermStore& store,
+                            const std::vector<TermId>& atoms) {
+  std::unordered_set<TermId> touched_names;
+  size_t erased = 0;
+  for (TermId atom : atoms) {
+    if (facts_.erase(atom) == 0) continue;
+    ++erased;
+    touched_names.insert(store.PredName(atom));
+  }
+  if (erased == 0) return 0;
+  // The erased atoms are now tombstones in ordered_/by_name_ (present in
+  // the vectors, absent from facts_); compact them out immediately so
+  // every downstream consumer keeps seeing a dense insertion order.
+  std::erase_if(ordered_, [&](TermId t) { return facts_.count(t) == 0; });
+  for (TermId name : touched_names) {
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) continue;
+    std::erase_if(it->second, [&](TermId t) { return facts_.count(t) == 0; });
+    if (it->second.empty()) by_name_.erase(it);
+    // Key columns watermark against the bucket they were built over;
+    // a shrunk or rewritten bucket invalidates every column of the
+    // relation (they rebuild lazily on the next probe).
+    columnar_.erase(name);
+  }
+  // The legacy argument index is maintained per insert with no per-name
+  // partitioning worth exploiting here; drop it wholesale.
+  by_arg_.clear();
+  arg_index_active_ = false;
+  indexed_upto_ = 0;
+  return erased;
+}
+
 void FactBase::IndexArgsOf(const TermStore& store, TermId atom,
                            TermId name) const {
   if (!store.IsApply(atom)) return;
@@ -289,6 +325,19 @@ const std::vector<uint32_t>* FactBase::KeyColumn::Find(uint64_t fp) const {
 
 void FactBase::KeyColumn::ExtendTo(const TermStore& store,
                                    const std::vector<TermId>& bucket) {
+  if (rows > bucket.size()) {
+    // The bucket shrank underneath the column — some mutation path
+    // bypassed EraseBatch's per-name invalidation. The watermark
+    // catch-up below assumes append-only growth and would silently keep
+    // groups pointing past the bucket's end, so rebuild from scratch.
+    rows = 0;
+    ids.clear();
+    fps.clear();
+    groups.clear();
+    slot_fp.clear();
+    slot_group.clear();
+    slot_mask = 0;
+  }
   if (rows == bucket.size()) return;
   obs::Count(obs::Counter::kColRows, bucket.size() - rows);
   const size_t top = ColPathTop(path);

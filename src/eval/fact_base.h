@@ -94,6 +94,21 @@ class FactBase {
   /// Inserts a ground atom. Returns true if it was new.
   bool Insert(const TermStore& store, TermId atom);
 
+  /// Erases a ground atom; returns true if it was present. Equivalent to
+  /// EraseBatch({atom}) — see there for the index/column consequences.
+  bool Erase(const TermStore& store, TermId atom);
+
+  /// Erases a batch of ground atoms, returning how many were present.
+  /// Insertion order of the survivors is preserved (erased rows are
+  /// tombstoned and compacted out in one pass), so a later full scan or
+  /// probe sees exactly the order a fresh base built from the survivors
+  /// would have. The legacy argument index is invalidated wholesale and
+  /// the key columns of every touched relation are dropped: both assume
+  /// append-only buckets (per-insert maintenance / watermark catch-up),
+  /// and rebuilding lazily on the next probe is cheaper than surgically
+  /// rewriting row groups.
+  size_t EraseBatch(const TermStore& store, const std::vector<TermId>& atoms);
+
   bool Contains(TermId atom) const { return facts_.count(atom) > 0; }
   size_t size() const { return facts_.size(); }
   bool empty() const { return facts_.empty(); }

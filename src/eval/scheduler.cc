@@ -1,6 +1,7 @@
 #include "src/eval/scheduler.h"
 
 #include <algorithm>
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -258,7 +259,14 @@ struct ComponentPlan {
   std::vector<size_t> rules;          // Indices into program.rules.
   std::vector<TermId> member_names;   // Empty only on the non-exact path.
   std::vector<TermId> lower_names;    // First-reference order.
-  uint64_t signature = 0;
+  uint64_t signature = 0;        // Member names + rule serials.
+  uint64_t lower_signature = 0;  // Published lower models; set at wave time.
+  /// Every rule is a ground fact: the component settles without grounding
+  /// or an atom-SCC pass — each distinct head is a trivially true
+  /// singleton SCC. This is the hot shape for delta maintenance, where a
+  /// retraction dirties a large fact relation whose re-solve must not pay
+  /// a semi-naive fixpoint.
+  bool fact_only = false;
   TermId cache_key = kNoTerm;
 };
 
@@ -311,13 +319,58 @@ void SolveBatch(TermStore& store, const Program& program,
   // scheduler, where every batch is a single component).
   obs::ScopedTraceSpan batch_span("sched.component");
 
-  std::unordered_map<TermId, size_t> member_of;
+  // Fact-only components settle without grounding or an atom-SCC pass:
+  // every rule contributes its head as one ground instance, each distinct
+  // head is a trivially true singleton SCC, and the envelope is exactly
+  // the distinct heads. Output order matches the general path (ground
+  // rules in rule order; atoms in first-occurrence order, which is how
+  // CollectAtoms would have numbered them), so models stay byte-identical
+  // — the fast path only skips the semi-naive machinery, which is what
+  // keeps re-solving a dirtied 100k-fact relation cheap under delta
+  // maintenance.
+  std::vector<const ComponentPlan*> slow;   // Components that need solving.
+  std::vector<size_t> slot_of;              // Their out->comps index.
+  size_t fact_atoms = 0;
   for (size_t j = 0; j < comps.size(); ++j) {
     obs::TraceInstant("sched.component", comps[j]->id);
-    for (TermId name : comps[j]->member_names) member_of.emplace(name, j);
+    if (!comps[j]->fact_only) {
+      slow.push_back(comps[j]);
+      slot_of.push_back(j);
+      continue;
+    }
+    BatchResult::PerComponent& pc = out->comps[j];
+    std::unordered_set<TermId> seen;
+    for (size_t r : comps[j]->rules) {
+      TermId head = program.rules[r].head;
+      obs::Count(obs::Counter::kGroundInstances);
+      GroundRule instance;
+      instance.head = head;
+      pc.ground.push_back(std::move(instance));
+      if (seen.insert(head).second) pc.true_atoms.push_back(head);
+    }
+    pc.envelope_size = pc.true_atoms.size();
+    fact_atoms += pc.true_atoms.size();
+    out->stats.atom_sccs += pc.true_atoms.size();
+    out->stats.trivial_sccs += pc.true_atoms.size();
+    if (!pc.true_atoms.empty()) {
+      out->stats.largest_scc = std::max<size_t>(out->stats.largest_scc, 1);
+    }
   }
-  // Batch index of the component owning `name`, or SIZE_MAX for a lower
-  // (already settled) name. The non-exact path has a single monolithic
+  if (fact_atoms > 0) {
+    obs::Count(obs::Counter::kSchedGroundAtoms, fact_atoms);
+    obs::Count(obs::Counter::kSchedAtomSccs, fact_atoms);
+    obs::Count(obs::Counter::kSchedTrivialSccs, fact_atoms);
+  }
+  if (slow.empty()) return;
+
+  std::unordered_map<TermId, size_t> member_of;
+  for (size_t k = 0; k < slow.size(); ++k) {
+    for (TermId name : slow[k]->member_names) member_of.emplace(name, slot_of[k]);
+  }
+  // out->comps index of the batch component owning `name`, or SIZE_MAX
+  // for a lower (already settled) name. Fact-only batchmates never show
+  // up here: a same-depth component cannot reference them (the edge would
+  // force it deeper). The non-exact path has a single monolithic
   // component that owns every name.
   auto member_index = [&](TermId name) -> size_t {
     if (!exact) return 0;
@@ -327,10 +380,10 @@ void SolveBatch(TermStore& store, const Program& program,
 
   Program batch_program;
   std::vector<size_t> comp_of_rule;
-  for (size_t j = 0; j < comps.size(); ++j) {
-    for (size_t r : comps[j]->rules) {
+  for (size_t k = 0; k < slow.size(); ++k) {
+    for (size_t r : slow[k]->rules) {
       batch_program.rules.push_back(program.rules[r]);
-      comp_of_rule.push_back(j);
+      comp_of_rule.push_back(slot_of[k]);
     }
   }
 
@@ -340,7 +393,7 @@ void SolveBatch(TermStore& store, const Program& program,
   std::vector<TermId> seeds;
   {
     std::unordered_set<TermId> seen;
-    for (const ComponentPlan* plan : comps) {
+    for (const ComponentPlan* plan : slow) {
       for (TermId name : plan->lower_names) {
         if (!seen.insert(name).second) continue;
         const std::vector<TermId>& with = support_all.WithName(name);
@@ -371,15 +424,15 @@ void SolveBatch(TermStore& store, const Program& program,
     // report: the component's own seeds plus the envelope facts bearing
     // its member names (derived facts are always member-named).
     if (exact) {
-      for (size_t j = 0; j < comps.size(); ++j) {
+      for (size_t k = 0; k < slow.size(); ++k) {
         size_t env = 0;
-        for (TermId name : comps[j]->lower_names) {
+        for (TermId name : slow[k]->lower_names) {
           env += support_all.WithName(name).size();
         }
-        for (TermId name : comps[j]->member_names) {
+        for (TermId name : slow[k]->member_names) {
           env += envelope.facts.WithName(name).size();
         }
-        out->comps[j].envelope_size = env;
+        out->comps[slot_of[k]].envelope_size = env;
       }
     } else {
       out->comps[0].envelope_size = envelope.facts.size();
@@ -424,8 +477,8 @@ void SolveBatch(TermStore& store, const Program& program,
   GroundProgram resolved;
   std::unordered_set<TermId> loop_atoms;
   std::vector<TermId> loop_order;
-  for (size_t j = 0; j < comps.size(); ++j) {
-    for (const GroundRule& rule : out->comps[j].ground) {
+  for (size_t k = 0; k < slow.size(); ++k) {
+    for (const GroundRule& rule : out->comps[slot_of[k]].ground) {
       GroundRule res;
       res.head = rule.head;
       bool deleted = false;
@@ -495,7 +548,8 @@ void SolveBatch(TermStore& store, const Program& program,
 ComponentWfsResult SolveWfsByComponents(TermStore& store,
                                         const Program& program,
                                         const BottomUpOptions& options,
-                                        SchedulerCache* cache) {
+                                        SchedulerCache* cache,
+                                        bool need_ground) {
   ComponentWfsResult result;
 
   // Same refusal (and wording) as the relevance grounder: aggregates and
@@ -516,58 +570,53 @@ ComponentWfsResult SolveWfsByComponents(TermStore& store,
 
   ProgramCondensation cond = CondenseProgram(store, program);
 
-  // Component plans in dependency order, with cache signatures (member
-  // names, rule indices, and the signatures of referenced lower groups —
-  // LoadMore appends, so an unchanged component reproduces its signature
-  // exactly). A non-exact condensation (some predicate name non-ground)
+  // Component plans in dependency order, with cache signatures. A plan's
+  // own signature covers its member names and its rule *serials*
+  // (Program::serial — stable across both append and in-place retraction,
+  // where plain indices would shift). What the component reads from below
+  // is covered separately by `lower_signature`, computed at wave time
+  // from the per-name model signatures accumulated as lower components
+  // publish. A non-exact condensation (some predicate name non-ground)
   // cannot split evaluation soundly, so the whole program becomes one
   // monolithic plan; atom-level scheduling in ComputeWfsScc still
   // applies.
   std::vector<ComponentPlan> plans;
   std::vector<uint32_t> depth;
   if (cond.exact) {
-    std::vector<uint64_t> sig(cond.num_components, 0);
     depth = CondensationDepths(cond);
     plans.resize(cond.num_components);
     for (uint32_t c = 0; c < cond.num_components; ++c) {
       ComponentPlan& plan = plans[c];
       plan.id = c;
-      plan.rules = cond.rules_of[c];
+      plan.rules = std::move(cond.rules_of[c]);
       for (uint32_t v : cond.members[c]) {
         plan.member_names.push_back(cond.graph.node(v));
       }
       std::unordered_set<TermId> member_names(plan.member_names.begin(),
                                               plan.member_names.end());
       // Lower names this component's bodies reference, in first-reference
-      // order (deterministic seeding), plus the lower groups they belong
-      // to (signature inputs).
+      // order (deterministic seeding and lower-signature mixing).
       std::unordered_set<TermId> name_seen;
-      std::unordered_set<uint32_t> group_seen;
-      std::vector<uint32_t> lower_groups;
+      plan.fact_only = !plan.rules.empty();
       for (size_t r : plan.rules) {
-        for (const Literal& lit : program.rules[r].body) {
+        const Rule& rule = program.rules[r];
+        if (!rule.IsFact() || !store.IsGround(rule.head)) {
+          plan.fact_only = false;
+        }
+        for (const Literal& lit : rule.body) {
           if (lit.atom == kNoTerm) continue;
           TermId name = store.PredName(lit.atom);
           if (member_names.count(name) > 0) continue;
           if (name_seen.insert(name).second) plan.lower_names.push_back(name);
-          uint32_t node = cond.graph.Find(name);
-          if (node != UINT32_MAX &&
-              group_seen.insert(cond.component_of[node]).second) {
-            lower_groups.push_back(cond.component_of[node]);
-          }
         }
       }
-      std::sort(lower_groups.begin(), lower_groups.end());
 
       std::vector<TermId> sorted_names = plan.member_names;
       std::sort(sorted_names.begin(), sorted_names.end());
       uint64_t h = kSigSeed;
       for (TermId name : sorted_names) h = Mix(h, name);
       h = Mix(h, 0xFFFFFFFFull);
-      for (size_t r : plan.rules) h = Mix(h, r);
-      h = Mix(h, 0xFFFFFFFEull);
-      for (uint32_t g : lower_groups) h = Mix(h, sig[g]);
-      sig[c] = h;
+      for (size_t r : plan.rules) h = Mix(h, program.serial(r));
       plan.signature = h;
       if (!plan.rules.empty()) {
         plan.cache_key = *std::min_element(plan.member_names.begin(),
@@ -593,9 +642,68 @@ ComponentWfsResult SolveWfsByComponents(TermStore& store,
     if (!plans[c].rules.empty()) waves[depth[c]].push_back(c);
   }
 
-  FactBase support_true;  // True atoms of settled components.
-  FactBase support_all;   // True-or-undefined atoms of settled components.
+  // Published atoms, recorded per predicate name in publish order. The
+  // support FactBases a batch solve reads are hydrated *lazily* from
+  // these: every support read is name-keyed (grounding seeds come from
+  // support_all.WithName on the plan's lower names; resolution probes
+  // membership of lower-name atoms only — exactness guarantees every
+  // literal's predicate name is ground), so only the names some
+  // to-be-solved component actually references ever pay a FactBase
+  // insert. On a maintenance solve where almost every component replays,
+  // this is the difference between O(delta cone) and O(model) publish
+  // work. A name's atoms are complete before any dependent can ask for
+  // them (its component published at a strictly smaller depth), so
+  // hydration never sees a partially published name.
+  //
+  // `published` points either into a replayed cache entry (stable: the
+  // map is node-based and a replayed entry is never overwritten within
+  // this solve) or into `fresh_publishes`, the per-solve arena for
+  // components solved now (deque: pointers survive growth).
+  FactBase support_true;  // True atoms of settled components (hydrated).
+  FactBase support_all;   // True-or-undefined atoms (hydrated).
+  using NamePublish = ComponentCacheEntry::NamePublish;
+  std::unordered_map<TermId, const NamePublish*> published;
+  std::deque<NamePublish> fresh_publishes;
+  std::unordered_set<TermId> hydrated;
+  auto hydrate = [&](TermId name) {
+    if (!hydrated.insert(name).second) return;
+    auto it = published.find(name);
+    if (it == published.end()) return;
+    for (TermId a : it->second->true_atoms) {
+      support_true.Insert(store, a);
+      support_all.Insert(store, a);
+    }
+    for (TermId a : it->second->undefined_atoms) support_all.Insert(store, a);
+  };
   std::vector<TermId> model_true, model_undef;
+  // Canonical signature of each name's published model: the atom sequence
+  // with truth tags, in exact publish order. A component's output is a
+  // deterministic function of its rules plus, per referenced lower name,
+  // this sequence (grounding seeds come from support_all.WithName;
+  // resolution reads support membership) — so matching per-name
+  // signatures prove the component's inputs are unchanged even when the
+  // delta renumbered every component id below it. Each name is published
+  // by exactly one component, so its signature is installed whole when
+  // that component publishes.
+  std::unordered_map<TermId, uint64_t> name_sig;
+  auto install_publish = [&](const NamePublish& np) {
+    name_sig[np.name] = np.sig;
+    published[np.name] = &np;
+  };
+  // Atom table of the final model, built incrementally in publish order:
+  // interning each component's atom sequence as it publishes yields
+  // exactly the table CollectAtoms would build over the concatenated
+  // ground program, without materializing the replayed rules.
+  AtomTable table;
+  auto lower_signature_of = [&](const ComponentPlan& plan) {
+    uint64_t h = kSigSeed;
+    for (TermId name : plan.lower_names) {
+      h = Mix(h, name);
+      auto it = name_sig.find(name);
+      h = Mix(h, it == name_sig.end() ? kSigSeed : it->second);
+    }
+    return h;
+  };
   const size_t threads = std::max<size_t>(options.eval_threads, 1);
   size_t max_wave_width = 0;
   bool stop = false;
@@ -610,20 +718,32 @@ ComponentWfsResult SolveWfsByComponents(TermStore& store,
 
     // Cache lookups first; replayed components skip solving but are
     // published in the id-ordered pass below, so the ground-rule and
-    // model order is independent of which components were warm.
+    // model order is independent of which components were warm. The
+    // lower signature is final here: every referenced lower name's
+    // component published in an earlier wave (reverse-topological ids
+    // put dependencies at strictly smaller depths).
     std::vector<const ComponentCacheEntry*> replay(wave.size(), nullptr);
     std::vector<size_t> to_solve;
     for (size_t i = 0; i < wave.size(); ++i) {
-      const ComponentPlan& plan = plans[wave[i]];
+      ComponentPlan& plan = plans[wave[i]];
       if (cond.exact && cache != nullptr && plan.cache_key != kNoTerm) {
+        plan.lower_signature = lower_signature_of(plan);
         auto it = cache->components.find(plan.cache_key);
         if (it != cache->components.end() &&
-            it->second.signature == plan.signature) {
+            it->second.signature == plan.signature &&
+            it->second.lower_signature == plan.lower_signature) {
           replay[i] = &it->second;
           continue;
         }
       }
       to_solve.push_back(i);
+    }
+
+    // Hydrate the support bases with exactly the lower names this wave's
+    // solves will read. Deterministic (to_solve order, then the plan's
+    // first-reference lower-name order) and independent of eval_threads.
+    for (size_t i : to_solve) {
+      for (TermId name : plans[wave[i]].lower_names) hydrate(name);
     }
 
     // Contiguous batches in component-id order: every thread count
@@ -711,16 +831,16 @@ ComponentWfsResult SolveWfsByComponents(TermStore& store,
       const ComponentPlan& plan = plans[wave[i]];
       if (replay[i] != nullptr) {
         const ComponentCacheEntry& entry = *replay[i];
-        for (const GroundRule& g : entry.ground_rules) result.ground.Add(g);
-        for (TermId a : entry.true_atoms) {
-          support_true.Insert(store, a);
-          support_all.Insert(store, a);
-          model_true.push_back(a);
+        result.ground_count += entry.ground_rules.size();
+        if (need_ground) {
+          for (const GroundRule& g : entry.ground_rules) result.ground.Add(g);
         }
-        for (TermId a : entry.undefined_atoms) {
-          support_all.Insert(store, a);
-          model_undef.push_back(a);
-        }
+        for (TermId a : entry.atoms) table.Intern(a);
+        model_true.insert(model_true.end(), entry.true_atoms.begin(),
+                          entry.true_atoms.end());
+        model_undef.insert(model_undef.end(), entry.undefined_atoms.begin(),
+                           entry.undefined_atoms.end());
+        for (const NamePublish& np : entry.names) install_publish(np);
         result.envelope_size += entry.envelope_size;
         obs::Count(obs::Counter::kSchedComponentsReused);
         ++result.stats.components_reused;
@@ -749,20 +869,41 @@ ComponentWfsResult SolveWfsByComponents(TermStore& store,
       };
       ComponentCacheEntry entry;
       entry.signature = plan.signature;
+      entry.lower_signature = plan.lower_signature;
       entry.envelope_size = pc.envelope_size;
       result.envelope_size += pc.envelope_size;
+      // Per-name publishes of this component, in first-publish order:
+      // every true atom mixes before any undefined one, which is the
+      // name_sig mixing order a cold solve produces.
+      std::vector<NamePublish> pubs;
+      std::unordered_map<TermId, size_t> pub_of;
+      auto pub_for = [&](TermId atom) -> NamePublish& {
+        TermId name = store.PredName(atom);
+        auto [slot, inserted] = pub_of.try_emplace(name, pubs.size());
+        if (inserted) {
+          pubs.emplace_back();
+          pubs.back().name = name;
+          pubs.back().sig = kSigSeed;
+        }
+        return pubs[slot->second];
+      };
       for (TermId a : pc.true_atoms) {
         TermId atom = map(a);
         model_true.push_back(atom);
-        support_true.Insert(store, atom);
-        support_all.Insert(store, atom);
         entry.true_atoms.push_back(atom);
+        NamePublish& np = pub_for(atom);
+        np.sig = Mix(np.sig, atom);
+        np.sig = Mix(np.sig, 1);
+        np.true_atoms.push_back(atom);
       }
       for (TermId a : pc.undefined_atoms) {
         TermId atom = map(a);
         model_undef.push_back(atom);
-        support_all.Insert(store, atom);
         entry.undefined_atoms.push_back(atom);
+        NamePublish& np = pub_for(atom);
+        np.sig = Mix(np.sig, atom);
+        np.sig = Mix(np.sig, 2);
+        np.undefined_atoms.push_back(atom);
       }
       if (batch.clone != nullptr) {
         for (GroundRule& g : pc.ground) {
@@ -771,21 +912,100 @@ ComponentWfsResult SolveWfsByComponents(TermStore& store,
           for (TermId& a : g.neg) a = map(a);
         }
       }
-      for (const GroundRule& g : pc.ground) result.ground.Add(g);
+      // The component's atom-table contribution, deduplicated within the
+      // component: interning it reproduces what a CollectAtoms scan of
+      // these rules would have added, and replays intern it directly.
+      {
+        std::unordered_set<TermId> seen;
+        auto collect = [&](TermId a) {
+          if (seen.insert(a).second) {
+            entry.atoms.push_back(a);
+            table.Intern(a);
+          }
+        };
+        for (const GroundRule& g : pc.ground) {
+          collect(g.head);
+          for (TermId a : g.pos) collect(a);
+          for (TermId a : g.neg) collect(a);
+        }
+      }
+      result.ground_count += pc.ground.size();
+      if (need_ground) {
+        for (const GroundRule& g : pc.ground) result.ground.Add(g);
+      }
+      // Install this component's publishes: the cache entry keeps its own
+      // copy (future replays), the per-solve arena owns what `published`
+      // points at for later waves of this solve.
+      if (cond.exact && cache != nullptr && plan.cache_key != kNoTerm) {
+        entry.names = pubs;
+      }
+      for (NamePublish& np : pubs) {
+        fresh_publishes.push_back(std::move(np));
+        install_publish(fresh_publishes.back());
+      }
       if (cond.exact && cache != nullptr && plan.cache_key != kNoTerm) {
         entry.ground_rules = std::move(pc.ground);
-        cache->components[plan.cache_key] = std::move(entry);
+        auto [slot, inserted] = cache->components.try_emplace(plan.cache_key);
+        if (!inserted) {
+          // DRed accounting: re-solving a dirty cached component
+          // conceptually overdeletes everything it had published;
+          // whatever the re-solve produces again was rederived.
+          std::unordered_set<TermId> fresh(entry.true_atoms.begin(),
+                                           entry.true_atoms.end());
+          fresh.insert(entry.undefined_atoms.begin(),
+                       entry.undefined_atoms.end());
+          size_t over = 0, reder = 0;
+          for (const std::vector<TermId>* old :
+               {&slot->second.true_atoms, &slot->second.undefined_atoms}) {
+            for (TermId a : *old) {
+              if (fresh.count(a) > 0) {
+                ++reder;
+              } else {
+                ++over;
+              }
+            }
+          }
+          if (over > 0) obs::Count(obs::Counter::kIncOverdeleted, over);
+          if (reder > 0) obs::Count(obs::Counter::kIncRederived, reder);
+          result.stats.overdeleted += over;
+          result.stats.rederived += reder;
+        }
+        slot->second = std::move(entry);
       }
+    }
+  }
+
+  // A completed exact solve proves which components exist; cache entries
+  // keyed by a name no component owns any more (e.g. every fact of a
+  // relation was retracted) are orphans — their atoms were overdeleted
+  // with nothing rederiving them.
+  if (cond.exact && cache != nullptr && !result.cancelled &&
+      !result.truncated) {
+    std::unordered_set<TermId> live;
+    for (const ComponentPlan& plan : plans) {
+      if (plan.cache_key != kNoTerm) live.insert(plan.cache_key);
+    }
+    for (auto it = cache->components.begin();
+         it != cache->components.end();) {
+      if (live.count(it->first) > 0) {
+        ++it;
+        continue;
+      }
+      size_t gone =
+          it->second.true_atoms.size() + it->second.undefined_atoms.size();
+      if (gone > 0) {
+        obs::Count(obs::Counter::kIncOverdeleted, gone);
+        result.stats.overdeleted += gone;
+      }
+      it = cache->components.erase(it);
     }
   }
 
   result.stats.max_wave_width = max_wave_width;
   obs::SetGauge(obs::Gauge::kSchedParallelMaxWaveWidth, max_wave_width);
 
-  AtomTable table;
-  result.ground.CollectAtoms(&table);
   obs::SetGauge(obs::Gauge::kAtomTableSize, table.size());
-  obs::SetGauge(obs::Gauge::kGroundRules, result.ground.size());
+  obs::SetGauge(obs::Gauge::kGroundRules, result.ground_count);
   obs::SetGauge(obs::Gauge::kEnvelopeSize, result.envelope_size);
   result.model = Interpretation(std::move(table));
   const AtomTable& atoms = result.model.atoms();

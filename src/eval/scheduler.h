@@ -64,6 +64,13 @@ struct SchedulerStats {
   size_t max_wave_width = 0;      // Most components solved in one wave.
   size_t batched_components = 0;  // Components sharing a multi-comp batch.
   size_t worker_merges = 0;       // Batches solved on a cloned store.
+  // Incremental maintenance (the inc.* metrics; docs/incremental.md).
+  // When a dirty component re-solves over a warm cache, its previously
+  // published atoms are conceptually overdeleted; the ones the re-solve
+  // produces again are rederived. Atoms of cache entries orphaned by the
+  // program (their component vanished) count as overdeleted too.
+  size_t overdeleted = 0;
+  size_t rederived = 0;
 };
 
 /// Computes the well-founded model of `ground` component-at-a-time: builds
@@ -90,21 +97,54 @@ WfsResult ComputeWfsScc(const GroundProgram& ground,
                         bool count_model_atoms = true);
 
 /// One settled predicate-level component, memoized for reuse across
-/// queries and incremental LoadMore: its restricted (unresolved) ground
-/// rules and its member-name atoms by truth value.
+/// queries, incremental LoadMore, and delta maintenance: its restricted
+/// (unresolved) ground rules and its member-name atoms by truth value.
+///
+/// Two signatures gate a replay. `signature` covers the component itself:
+/// sorted member names plus the *serials* of its rules (Program::serial —
+/// stable across in-place retraction, unlike rule indices).
+/// `lower_signature` covers everything the component reads from below:
+/// for each referenced lower name, the exact published sequence of that
+/// name's atoms with their truth values. A component whose own rules and
+/// whose visible lower models are unchanged reproduces both signatures
+/// and replays — this is the splitting theorem as a dirtiness frontier:
+/// a delta dirties exactly the components whose rule set changed plus the
+/// upward cone whose lower models actually changed.
 struct ComponentCacheEntry {
   uint64_t signature = 0;
+  uint64_t lower_signature = 0;
   std::vector<TermId> true_atoms;
   std::vector<TermId> undefined_atoms;
   std::vector<GroundRule> ground_rules;
+  /// The atom-table contribution of `ground_rules`: every atom occurrence
+  /// (head, positive body, negative body, in rule order) deduplicated
+  /// within the component. Replaying a component interns this sequence
+  /// instead of re-scanning its ground rules, so a maintenance solve's
+  /// replay cost is O(atoms), not O(ground-rule copies).
+  std::vector<TermId> atoms;
+  /// Per member name that published at least one atom: the name's final
+  /// model signature and its atoms split by truth value, in publish
+  /// order. A name is owned by exactly one component (exactness), so
+  /// these are complete — replay installs each name wholesale (one map
+  /// write per name) instead of re-mixing and re-bucketing per atom, and
+  /// support hydration copies from here only if a dirty dependent
+  /// actually reads the name.
+  struct NamePublish {
+    TermId name{};
+    uint64_t sig = 0;
+    std::vector<TermId> true_atoms;
+    std::vector<TermId> undefined_atoms;
+  };
+  std::vector<NamePublish> names;
   size_t envelope_size = 0;
 };
 
 /// Engine-owned cache of settled components, keyed by the smallest member
-/// name. Valid across LoadMore because loading is append-only: rule
-/// indices and TermIds of already-loaded text never change, so an
-/// unchanged component (same members, same rules, same lower signatures)
-/// reproduces its signature exactly. Engine::Load clears it.
+/// name. Valid across LoadMore (append-only: TermIds and rule serials of
+/// loaded text never change) and across Engine::ApplyDelta (retraction
+/// removes rules but never renumbers surviving serials or reuses TermIds).
+/// Engine::Load clears it; a successful exact solve prunes entries whose
+/// component no longer exists, counting their atoms as overdeleted.
 struct SchedulerCache {
   std::unordered_map<TermId, ComponentCacheEntry> components;
   void Clear() { components.clear(); }
@@ -123,9 +163,18 @@ struct ComponentWfsResult {
   /// literals kept, no loop rules), in component order. Sound input for
   /// stable-model enumeration: instances the resolver would delete have a
   /// well-founded-false positive subgoal or well-founded-true negative
-  /// subgoal and can never fire in any candidate's Gamma check.
+  /// subgoal and can never fire in any candidate's Gamma check. Populated
+  /// only when the call asked for it (`need_ground`); `ground_count`
+  /// always reports its size.
   GroundProgram ground;
-  /// Well-founded model over `ground`'s atom table.
+  /// Number of restricted ground instances across all components — equal
+  /// to `ground.size()` when the ground program was materialized. Callers
+  /// that only need the count (the well-founded path) skip materializing
+  /// `ground`, which keeps replayed components from paying a per-solve
+  /// copy of their cached ground rules.
+  size_t ground_count = 0;
+  /// Well-founded model over the grounding's atom table (identical
+  /// whether or not `ground` was materialized).
   Interpretation model;
   /// Sum of per-component envelope sizes.
   size_t envelope_size = 0;
@@ -151,10 +200,17 @@ struct ComponentWfsResult {
 /// whose new terms are re-interned into `store` afterwards. Results are
 /// published in component-id order regardless of batch shape, so models
 /// and answers are byte-identical at every thread count.
+///
+/// `need_ground` controls whether the result's `ground` program is
+/// materialized. Stable-model enumeration needs it; the well-founded path
+/// only reads the model and `ground_count`, and passing false lets a
+/// maintenance solve replay settled components without copying their
+/// cached ground rules (the model is identical either way).
 ComponentWfsResult SolveWfsByComponents(TermStore& store,
                                         const Program& program,
                                         const BottomUpOptions& options,
-                                        SchedulerCache* cache = nullptr);
+                                        SchedulerCache* cache = nullptr,
+                                        bool need_ground = true);
 
 }  // namespace hilog
 

@@ -21,20 +21,29 @@ struct GroundRule {
 };
 
 /// Dense numbering of ground atoms, so semantics engines can use flat
-/// arrays instead of hash maps keyed on TermId.
+/// arrays instead of hash maps keyed on TermId. The index is a flat
+/// open-addressing table (linear probing, power-of-two capacity): an
+/// intern is one probe chain over a contiguous array, with no per-node
+/// allocation — interning is on the critical path of every solve (table
+/// assembly runs per scheduled component, including replays).
 class AtomTable {
  public:
   /// Returns the dense index of `atom`, interning it if new.
   uint32_t Intern(TermId atom) {
-    auto [it, inserted] = index_.emplace(atom, atoms_.size());
-    if (inserted) atoms_.push_back(atom);
-    return it->second;
+    if ((atoms_.size() + 1) * 10 >= slots_.size() * 7) Grow();
+    size_t i = ProbeSlot(atom);
+    if (slots_[i] == 0) {
+      slots_[i] = static_cast<uint32_t>(atoms_.size()) + 1;
+      atoms_.push_back(atom);
+    }
+    return slots_[i] - 1;
   }
 
   /// Returns the dense index, or UINT32_MAX if the atom is unknown.
   uint32_t Find(TermId atom) const {
-    auto it = index_.find(atom);
-    return it == index_.end() ? UINT32_MAX : it->second;
+    if (slots_.empty()) return UINT32_MAX;
+    size_t i = ProbeSlot(atom);
+    return slots_[i] == 0 ? UINT32_MAX : slots_[i] - 1;
   }
 
   TermId atom(uint32_t index) const { return atoms_[index]; }
@@ -42,8 +51,38 @@ class AtomTable {
   const std::vector<TermId>& atoms() const { return atoms_; }
 
  private:
+  /// Slot holding `atom` or the first empty slot of its probe chain.
+  /// Slot values are dense index + 1; 0 marks empty.
+  size_t ProbeSlot(TermId atom) const {
+    const size_t mask = slots_.size() - 1;
+    size_t i = HashAtom(atom) & mask;
+    while (slots_[i] != 0 && atoms_[slots_[i] - 1] != atom) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  static size_t HashAtom(TermId atom) {
+    uint64_t x = static_cast<uint64_t>(atom);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+
+  void Grow() {
+    const size_t capacity = slots_.empty() ? 64 : slots_.size() * 2;
+    slots_.assign(capacity, 0);
+    for (uint32_t idx = 0; idx < atoms_.size(); ++idx) {
+      size_t i = ProbeSlot(atoms_[idx]);
+      slots_[i] = idx + 1;
+    }
+  }
+
   std::vector<TermId> atoms_;
-  std::unordered_map<TermId, uint32_t> index_;
+  std::vector<uint32_t> slots_;
 };
 
 /// A ground (Herbrand-instantiated) program, the input to the semantics

@@ -93,11 +93,54 @@ struct Rule {
 };
 
 /// A HiLog program: a finite set of HiLog rules.
+///
+/// Each rule carries a monotone *serial* assigned at Add time. Serials
+/// identify a rule across in-place mutation (RemoveAt compacts the rule
+/// vector but never renumbers survivors), which is what lets the settled-
+/// component cache tell "same rules, shifted indices" apart from "rules
+/// actually changed" after a delta with retractions.
 struct Program {
   std::vector<Rule> rules;
 
-  void Add(Rule rule) { rules.push_back(std::move(rule)); }
+  void Add(Rule rule) {
+    rules.push_back(std::move(rule));
+    serials_.push_back(next_serial_++);
+  }
   size_t size() const { return rules.size(); }
+
+  /// Serial of the rule at `index`. Robust to programs assembled by
+  /// pushing into `rules` directly (tests do this): missing serials are
+  /// treated as equal to the index.
+  uint64_t serial(size_t index) const {
+    return index < serials_.size() ? serials_[index] : index;
+  }
+
+  /// Removes the rules at the given indices (need not be sorted),
+  /// preserving the relative order of the survivors and their serials.
+  void RemoveAt(const std::vector<size_t>& indices) {
+    if (indices.empty()) return;
+    std::vector<char> drop(rules.size(), 0);
+    for (size_t i : indices) {
+      if (i < rules.size()) drop[i] = 1;
+    }
+    size_t out = 0;
+    for (size_t i = 0; i < rules.size(); ++i) {
+      if (drop[i]) continue;
+      if (out != i) {
+        rules[out] = std::move(rules[i]);
+        if (i < serials_.size()) {
+          if (out < serials_.size()) serials_[out] = serials_[i];
+        }
+      }
+      ++out;
+    }
+    rules.resize(out);
+    if (serials_.size() > out) serials_.resize(out);
+  }
+
+ private:
+  std::vector<uint64_t> serials_;
+  uint64_t next_serial_ = 0;
 };
 
 /// Variables occurring in *argument position* of the atom `t`: the union of

@@ -1,0 +1,38 @@
+#include "src/maint/dred.h"
+
+namespace hilog {
+
+MaintenanceReport SolveMaintained(Engine& engine) {
+  MaintenanceReport report;
+  report.wfs = engine.SolveWellFounded();
+  report.ok = report.wfs.ok;
+  if (!report.wfs.ok) report.error = report.wfs.notes;
+  report.components_resolved = report.wfs.sched.components;
+  report.components_skipped = report.wfs.sched.components_reused;
+  report.overdeleted = report.wfs.sched.overdeleted;
+  report.rederived = report.wfs.sched.rederived;
+  return report;
+}
+
+MaintenanceReport MaintainWellFounded(Engine& engine,
+                                      std::string_view additions,
+                                      std::string_view retractions,
+                                      std::vector<size_t>* removed_indices) {
+  std::vector<size_t> removed;
+  std::string error = engine.ApplyDelta(additions, retractions, &removed);
+  if (!error.empty()) {
+    MaintenanceReport report;
+    report.ok = false;
+    report.error = std::move(error);
+    return report;
+  }
+  MaintenanceReport report = SolveMaintained(engine);
+  report.rules_removed = removed.size();
+  if (removed_indices != nullptr) {
+    removed_indices->insert(removed_indices->end(), removed.begin(),
+                            removed.end());
+  }
+  return report;
+}
+
+}  // namespace hilog

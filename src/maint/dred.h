@@ -1,0 +1,51 @@
+#ifndef HILOG_MAINT_DRED_H_
+#define HILOG_MAINT_DRED_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace hilog {
+
+/// Outcome of one DRed maintenance pass (delete-and-rederive over the
+/// scheduler's component order; docs/incremental.md). The overdelete /
+/// rederive tallies come from the settled-component cache: a dirty
+/// component's previously published atoms are conceptually overdeleted
+/// when it re-solves, and the ones the re-solve produces again are the
+/// rederivations; atoms of components that vanished outright (every fact
+/// retracted) are overdeleted with nothing rederived.
+struct MaintenanceReport {
+  bool ok = true;
+  std::string error;
+  size_t rules_removed = 0;
+  size_t components_resolved = 0;  // Dirty: re-solved this pass.
+  size_t components_skipped = 0;   // Clean: replayed from the cache.
+  size_t overdeleted = 0;
+  size_t rederived = 0;
+  /// The maintained well-founded answer (byte-identical to a from-scratch
+  /// Load of the post-delta program; tests/incremental_test.cc pins it).
+  Engine::WfsAnswer wfs;
+};
+
+/// Re-solves the well-founded model of an engine whose program was just
+/// mutated by Engine::ApplyDelta. The solve runs through the settled-
+/// component cache, so only the components the delta reaches — changed
+/// rule sets plus the upward cone whose lower models changed (the
+/// splitting theorem's dirtiness frontier) — actually re-ground and
+/// re-settle; everything else replays.
+MaintenanceReport SolveMaintained(Engine& engine);
+
+/// Applies a delta and re-solves: Engine::ApplyDelta followed by
+/// SolveMaintained. On an ApplyDelta error the report carries the error
+/// and the engine is untouched.
+MaintenanceReport MaintainWellFounded(Engine& engine,
+                                      std::string_view additions,
+                                      std::string_view retractions,
+                                      std::vector<size_t>* removed_indices =
+                                          nullptr);
+
+}  // namespace hilog
+
+#endif  // HILOG_MAINT_DRED_H_

@@ -58,6 +58,11 @@ const char* CounterName(Counter c) {
     case Counter::kTabledAnswers: return "tabled.answers";
     case Counter::kTabledSteps: return "tabled.steps";
     case Counter::kQueries: return "engine.queries";
+    case Counter::kIncDeltasApplied: return "inc.deltas_applied";
+    case Counter::kIncOverdeleted: return "inc.overdeleted";
+    case Counter::kIncRederived: return "inc.rederived";
+    case Counter::kIncComponentsResolved: return "inc.components_resolved";
+    case Counter::kIncComponentsSkipped: return "inc.components_skipped";
     case Counter::kCount: break;
   }
   return "?";

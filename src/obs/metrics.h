@@ -81,6 +81,12 @@ enum class Counter : uint16_t {
   kTabledSteps,
   // Engine facade.
   kQueries,
+  // Incremental maintenance (src/maint/, docs/incremental.md).
+  kIncDeltasApplied,        // Engine::ApplyDelta calls that succeeded.
+  kIncOverdeleted,          // Cached atoms invalidated by a re-solve.
+  kIncRederived,            // Of those components' atoms, rederived ones.
+  kIncComponentsResolved,   // Components re-solved during maintenance.
+  kIncComponentsSkipped,    // Components replayed from the settled cache.
   kCount,
 };
 

@@ -220,6 +220,7 @@ std::string LineServer::Dispatch(const WireRequest& request) {
   if (request.op == "load" || request.op == "load_more") {
     return HandleLoad(request, /*append=*/request.op == "load_more");
   }
+  if (request.op == "publish_delta") return HandleDelta(request);
   if (request.op == "wfs") return HandleWfs(request);
   if (request.op == "stats") return HandleStats(request);
   if (request.op == "metrics") return HandleMetrics(request);
@@ -244,6 +245,18 @@ std::string LineServer::Dispatch(const WireRequest& request) {
 std::string LineServer::HandleLoad(const WireRequest& request, bool append) {
   std::string error =
       snapshots_->Publish(request.program, append, options_.solve_wfs);
+  if (!error.empty()) return EncodeErrorResponse(error, request.id);
+  std::shared_ptr<const ModelSnapshot> snapshot = snapshots_->Current();
+  std::string out = "{\"status\":\"ok\"";
+  if (!request.id.empty()) out += ",\"id\":" + JsonQuote(request.id);
+  out += ",\"epoch\":" + std::to_string(snapshot->epoch());
+  out += ",\"rules\":" + std::to_string(snapshot->rules()) + "}";
+  return out;
+}
+
+std::string LineServer::HandleDelta(const WireRequest& request) {
+  std::string error = snapshots_->PublishDelta(request.add, request.retract,
+                                               options_.solve_wfs);
   if (!error.empty()) return EncodeErrorResponse(error, request.id);
   std::shared_ptr<const ModelSnapshot> snapshot = snapshots_->Current();
   std::string out = "{\"status\":\"ok\"";
@@ -396,6 +409,13 @@ std::string LineServer::HandleStatusz(const WireRequest& request) {
   out += ",\"rejected\":" + std::to_string(stats.rejected);
   out += ",\"slow\":" + std::to_string(stats.slow);
   out += ",\"max_queue_depth\":" + std::to_string(stats.max_queue_depth);
+  // Publish-path breakdown: appends that seeded off the previous
+  // prototype, cold full rebuilds, and delta maintenance publishes.
+  out += ",\"snapshot\":{\"seeded\":" +
+         std::to_string(snapshots_->seeded_builds());
+  out += ",\"full_rebuilds\":" + std::to_string(snapshots_->full_rebuilds());
+  out += ",\"delta_builds\":" + std::to_string(snapshots_->delta_builds());
+  out += "}";
   char buf[96];
   std::snprintf(buf, sizeof(buf),
                 ",\"latency\":{\"count\":%llu,\"p50_ns\":%.0f,"

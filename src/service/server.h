@@ -89,6 +89,7 @@ class LineServer {
   void SamplerLoop();
 
   std::string HandleLoad(const WireRequest& request, bool append);
+  std::string HandleDelta(const WireRequest& request);
   std::string HandleWfs(const WireRequest& request);
   std::string HandleStats(const WireRequest& request);
   std::string HandleMetrics(const WireRequest& request);

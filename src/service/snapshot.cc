@@ -1,5 +1,7 @@
 #include "src/service/snapshot.h"
 
+#include "src/maint/maintain.h"
+
 namespace hilog::service {
 
 std::shared_ptr<const ModelSnapshot> SnapshotStore::Build(
@@ -71,9 +73,52 @@ std::string SnapshotStore::Publish(std::string_view text, bool append,
             previous.get(), &error);
   if (next == nullptr) return error;
   ++next_epoch_;
+  if (next->seeded()) {
+    seeded_builds_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    full_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  }
   // The swap: in-flight readers keep the previous snapshot alive through
   // their shared_ptr; it is destroyed when the last of them lets go.
   current_.store(std::move(next), std::memory_order_release);
+  return "";
+}
+
+std::string SnapshotStore::PublishDelta(std::string_view additions,
+                                        std::string_view retractions,
+                                        bool solve_wfs) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  std::shared_ptr<const ModelSnapshot> previous = Current();
+  // Fork the current prototype — term store, program, and
+  // settled-component cache — and maintain it in place. The composed text
+  // ApplyDeltaPublish returns is the equivalent from-scratch source: a
+  // cold Load of it yields the same program, which keeps every session
+  // rebuild path byte-identical to the maintained engine.
+  std::unique_ptr<Engine> fork = previous->prototype().Fork();
+  DeltaPublishResult applied =
+      ApplyDeltaPublish(*fork, previous->program_text(), additions,
+                        retractions, /*solve_wfs=*/false);
+  if (!applied.ok) return applied.error;
+  std::shared_ptr<ModelSnapshot> snapshot(new ModelSnapshot());
+  if (solve_wfs && fork->program().size() > 0) {
+    snapshot->wfs_ = fork->SolveWellFounded();
+    if (!snapshot->wfs_.ok) {
+      return "well-founded solve failed: " + snapshot->wfs_.notes;
+    }
+    snapshot->has_wfs_ = true;
+  }
+  snapshot->epoch_ = next_epoch_;
+  snapshot->program_text_ = std::move(applied.composed_text);
+  snapshot->prototype_ = std::move(fork);
+  snapshot->seeded_ = true;
+  snapshot->delta_built_ = true;
+  snapshot->delta_base_epoch_ = previous->epoch();
+  snapshot->delta_add_ = std::string(additions);
+  snapshot->delta_retract_ = std::string(retractions);
+  ++next_epoch_;
+  delta_builds_.fetch_add(1, std::memory_order_relaxed);
+  current_.store(std::shared_ptr<const ModelSnapshot>(std::move(snapshot)),
+                 std::memory_order_release);
   return "";
 }
 
@@ -83,7 +128,22 @@ std::string EngineSession::Materialize(const ModelSnapshot& snapshot,
   if (ctx != nullptr) ctx->rebuilt = true;
   const std::string& next_text = snapshot.program_text();
   bool materialized = false;
-  if (engine_ != nullptr && next_text.size() > text_.size() &&
+  if (engine_ != nullptr && snapshot.delta_built() &&
+      epoch_ == snapshot.delta_base_epoch()) {
+    // Delta publish and this session sits exactly at the base epoch:
+    // maintain the warm engine in place. ApplyDelta keeps the scheduler's
+    // settled-component cache, so the next solve re-resolves only the
+    // components the delta reaches. A failure (unreachable: the publisher
+    // applied the same delta) falls through to the full rebuild below.
+    std::string error = engine_->ApplyDelta(snapshot.delta_add(),
+                                            snapshot.delta_retract(),
+                                            /*removed_indices=*/nullptr);
+    if (error.empty()) {
+      ++incremental_;
+      materialized = true;
+    }
+  }
+  if (!materialized && engine_ != nullptr && next_text.size() > text_.size() &&
       next_text.compare(0, text_.size(), text_) == 0) {
     // Append-only publish (load_more): keep the warm engine — and with it
     // the scheduler's settled-component cache — and parse only the new

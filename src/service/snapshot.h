@@ -49,6 +49,16 @@ class ModelSnapshot {
   /// recomputed only the components the appended rules touch.
   bool seeded() const { return seeded_; }
 
+  /// True when this snapshot was published through PublishDelta. A
+  /// delta-built snapshot carries the delta itself (`delta_add`,
+  /// `delta_retract`) and the epoch it was applied against
+  /// (`delta_base_epoch`), so a session whose warm engine sits exactly at
+  /// the base epoch can maintain in place instead of rebuilding.
+  bool delta_built() const { return delta_built_; }
+  uint64_t delta_base_epoch() const { return delta_base_epoch_; }
+  const std::string& delta_add() const { return delta_add_; }
+  const std::string& delta_retract() const { return delta_retract_; }
+
  private:
   friend class SnapshotStore;
   ModelSnapshot() = default;
@@ -58,6 +68,10 @@ class ModelSnapshot {
   std::unique_ptr<Engine> prototype_;
   bool has_wfs_ = false;
   bool seeded_ = false;
+  bool delta_built_ = false;
+  uint64_t delta_base_epoch_ = 0;
+  std::string delta_add_;
+  std::string delta_retract_;
   Engine::WfsAnswer wfs_;
 };
 
@@ -85,8 +99,34 @@ class SnapshotStore {
   /// is published and the current snapshot is unchanged.
   std::string Publish(std::string_view text, bool append, bool solve_wfs);
 
+  /// Publishes the next snapshot by *maintaining* the current one: forks
+  /// the current prototype (term store, program, settled-component
+  /// cache), applies the fact delta — `additions` parsed as program text,
+  /// `retractions` as ground facts to remove — and, with `solve_wfs`,
+  /// runs the DRed maintenance solve, which re-resolves only the
+  /// components the delta reaches and replays the rest from the inherited
+  /// cache. The published program text is the composed equivalent source,
+  /// so a cold engine loading it lands on the same program. Returns "" on
+  /// success, else the error — on error nothing is published.
+  std::string PublishDelta(std::string_view additions,
+                           std::string_view retractions, bool solve_wfs);
+
   /// Epoch of the currently published snapshot.
   uint64_t epoch() const { return Current()->epoch(); }
+
+  /// Publish-path counters (statusz): how many publishes forked the
+  /// previous prototype (append seeding), paid a cold full rebuild, or
+  /// went through the delta maintenance path. The constructor's epoch-0
+  /// empty snapshot is not counted.
+  uint64_t seeded_builds() const {
+    return seeded_builds_.load(std::memory_order_relaxed);
+  }
+  uint64_t full_rebuilds() const {
+    return full_rebuilds_.load(std::memory_order_relaxed);
+  }
+  uint64_t delta_builds() const {
+    return delta_builds_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Builds a snapshot off to the side; returns nullptr + error on
@@ -104,6 +144,9 @@ class SnapshotStore {
   std::mutex publish_mu_;
   uint64_t next_epoch_ = 1;  // Guarded by publish_mu_.
   std::atomic<std::shared_ptr<const ModelSnapshot>> current_;
+  std::atomic<uint64_t> seeded_builds_{0};
+  std::atomic<uint64_t> full_rebuilds_{0};
+  std::atomic<uint64_t> delta_builds_{0};
 };
 
 /// A worker-thread-confined engine, rebuilt lazily from published
@@ -116,7 +159,10 @@ class SnapshotStore {
 /// engine and feeds it only the suffix via Engine::LoadMore. That
 /// preserves the engine's settled-component scheduler cache, so the next
 /// well-founded solve recomputes only the components the appended rules
-/// touch (src/eval/scheduler.h).
+/// touch (src/eval/scheduler.h). A delta-built snapshot whose base epoch
+/// matches the session's current epoch is maintained the same way: the
+/// warm engine replays the delta via Engine::ApplyDelta instead of
+/// reloading the composed text.
 class EngineSession {
  public:
   /// `warm_wfs` makes every epoch change run a well-founded solve right

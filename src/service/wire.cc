@@ -378,14 +378,16 @@ bool ParseWireRequest(std::string_view line, WireRequest* out,
     return false;
   }
   if (out->op != "query" && out->op != "load" && out->op != "load_more" &&
-      out->op != "wfs" && out->op != "stats" && out->op != "ping" &&
-      out->op != "shutdown" && out->op != "metrics" &&
+      out->op != "publish_delta" && out->op != "wfs" && out->op != "stats" &&
+      out->op != "ping" && out->op != "shutdown" && out->op != "metrics" &&
       out->op != "healthz" && out->op != "statusz") {
     *error = "unknown op \"" + out->op + "\"";
     return false;
   }
   out->q = value.GetString("q");
   out->program = value.GetString("program");
+  out->add = value.GetString("add");
+  out->retract = value.GetString("retract");
   out->deadline_ms = value.GetUint("deadline_ms");
   out->id = value.GetString("id");
   if (out->op == "query" && out->q.empty()) {
@@ -394,6 +396,10 @@ bool ParseWireRequest(std::string_view line, WireRequest* out,
   }
   if ((out->op == "load" || out->op == "load_more") && out->program.empty()) {
     *error = "op \"" + out->op + "\" requires \"program\"";
+    return false;
+  }
+  if (out->op == "publish_delta" && out->add.empty() && out->retract.empty()) {
+    *error = "op \"publish_delta\" requires \"add\" or \"retract\"";
     return false;
   }
   return true;

@@ -54,10 +54,12 @@ std::string JsonQuote(std::string_view s);
 /// One decoded protocol request line. `op` is the discriminator; unused
 /// fields stay at their defaults.
 struct WireRequest {
-  std::string op;        // query|load|load_more|wfs|stats|ping|shutdown
-                         // |metrics|healthz|statusz (admin surface)
+  std::string op;        // query|load|load_more|publish_delta|wfs|stats
+                         // |ping|shutdown|metrics|healthz|statusz
   std::string q;         // op=query: the atom text.
   std::string program;   // op=load/load_more: rules text.
+  std::string add;       // op=publish_delta: fact/rule additions text.
+  std::string retract;   // op=publish_delta: ground facts to retract.
   uint64_t deadline_ms = 0;
   std::string id;        // Echoed verbatim in the response when set.
 };

@@ -65,6 +65,78 @@ TEST_F(FactBaseTest, ClearResets) {
   EXPECT_TRUE(facts.WithName(T("e")).empty());
 }
 
+TEST_F(FactBaseTest, EraseBatchCompactsPreservingInsertionOrder) {
+  FactBase facts;
+  facts.Insert(store_, T("e(1,2)"));
+  facts.Insert(store_, T("e(2,3)"));
+  facts.Insert(store_, T("f(1,1)"));
+  facts.Insert(store_, T("e(3,4)"));
+  EXPECT_EQ(facts.EraseBatch(store_, {T("e(2,3)"), T("g(9)")}), 1u);
+  EXPECT_FALSE(facts.Contains(T("e(2,3)")));
+  EXPECT_EQ(facts.size(), 3u);
+  // Survivors keep their relative insertion order — the property the
+  // byte-identity of maintained vs from-scratch EDB loads rests on.
+  ASSERT_EQ(facts.facts().size(), 3u);
+  EXPECT_EQ(facts.facts()[0], T("e(1,2)"));
+  EXPECT_EQ(facts.facts()[1], T("f(1,1)"));
+  EXPECT_EQ(facts.facts()[2], T("e(3,4)"));
+  ASSERT_EQ(facts.WithName(T("e")).size(), 2u);
+  EXPECT_EQ(facts.WithName(T("e"))[0], T("e(1,2)"));
+  EXPECT_EQ(facts.WithName(T("e"))[1], T("e(3,4)"));
+  // Re-inserting the erased fact works and lands at the end.
+  EXPECT_TRUE(facts.Insert(store_, T("e(2,3)")));
+  EXPECT_EQ(facts.facts().back(), T("e(2,3)"));
+}
+
+TEST_F(FactBaseTest, EraseInvalidatesArgumentIndex) {
+  FactBase facts;
+  for (int i = 0; i < 8; ++i) {
+    facts.Insert(store_, T("q(" + std::to_string(i) + ",x)"));
+  }
+  // Warm the legacy argument-discrimination index, then erase through it.
+  EXPECT_EQ(facts.Candidates(store_, T("q(3,Y)")).size(), 1u);
+  EXPECT_TRUE(facts.Erase(store_, T("q(3,x)")));
+  EXPECT_TRUE(facts.Candidates(store_, T("q(3,Y)")).empty());
+  EXPECT_EQ(facts.Candidates(store_, T("q(5,Y)")).size(), 1u);
+}
+
+// Regression: the columnar key columns are append-watermarked against
+// the per-name bucket. A mutation that shrinks the bucket (erase, or a
+// clear-and-rebuild that lands on a shorter bucket) must not leave a
+// column serving rows past the new end — stale probes here would break
+// the maintained-vs-fresh byte-identity guarantee.
+TEST_F(FactBaseTest, ColumnProbesStayFreshAcrossEraseAndRebuild) {
+  FactBase facts;
+  for (int i = 0; i < 6; ++i) {
+    facts.Insert(store_, T("e(k" + std::to_string(i) + ",v)"));
+  }
+  std::vector<TermId> scratch;
+  // CandidatesBatch returns a candidate *superset* (possibly the whole
+  // bucket), so the freshness property to pin is containment: an erased
+  // fact must never come back out of a probe.
+  auto probe_has = [&](std::string_view pattern, TermId atom) {
+    std::span<const TermId> s =
+        facts.CandidatesBatch(store_, T(std::string(pattern)), &scratch,
+                              /*frozen=*/false);
+    return std::find(s.begin(), s.end(), atom) != s.end();
+  };
+  // Warm the key column with a ground first-argument probe.
+  EXPECT_TRUE(probe_has("e(k3,X)", T("e(k3,v)")));
+  EXPECT_EQ(facts.EraseBatch(store_, {T("e(k3,v)")}), 1u);
+  EXPECT_FALSE(probe_has("e(k3,X)", T("e(k3,v)")));
+  EXPECT_TRUE(probe_has("e(k4,X)", T("e(k4,v)")));
+  // Appends after the erase extend the rebuilt column.
+  facts.Insert(store_, T("e(k9,v)"));
+  EXPECT_TRUE(probe_has("e(k9,X)", T("e(k9,v)")));
+  // Clear-and-rebuild onto a shorter bucket: no stale rows survive.
+  facts.Clear();
+  facts.Insert(store_, T("e(k5,v)"));
+  EXPECT_FALSE(probe_has("e(k3,X)", T("e(k3,v)")));
+  EXPECT_FALSE(probe_has("e(k9,X)", T("e(k9,v)")));
+  EXPECT_TRUE(probe_has("e(k5,X)", T("e(k5,v)")));
+  EXPECT_EQ(facts.size(), 1u);
+}
+
 TEST_F(FactBaseTest, ForEachPositiveMatchEnumeratesJoins) {
   FactBase facts;
   facts.Insert(store_, T("e(1,2)"));

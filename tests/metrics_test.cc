@@ -259,10 +259,11 @@ TEST(EngineMetricsTest, WinChainExactWfsCounters) {
   // Component envelopes: m's 8 facts, then w seeded with those 8 plus
   // its own 8 derived heads.
   EXPECT_EQ(m.gauge(obs::Gauge::kEnvelopeSize), 24u);
-  // Semi-naive envelopes per component: one round for m's facts, two for
-  // w over the seeded m-atoms.
-  EXPECT_EQ(m.value(obs::Counter::kBottomUpRounds), 3u);
-  EXPECT_EQ(m.value(obs::Counter::kBottomUpFacts), 16u);
+  // Semi-naive envelopes: m is fact-only and settles on the scheduler's
+  // fast path without entering the bottom-up evaluator, so only w's two
+  // rounds over the seeded m-atoms count here.
+  EXPECT_EQ(m.value(obs::Counter::kBottomUpRounds), 2u);
+  EXPECT_EQ(m.value(obs::Counter::kBottomUpFacts), 8u);
   // The argument-discrimination index must be on the hot path: ground
   // body literals resolve by membership probe, skipping the per-name
   // bucket scans the seed evaluator performed.
@@ -302,6 +303,68 @@ TEST(EngineMetricsTest, ColumnarCountersExactOnWinChainAndTc) {
     EXPECT_EQ(m.value(obs::Counter::kColProbeHits), 360u);
     EXPECT_EQ(m.value(obs::Counter::kColFallbackTuples), 200u);
   }
+}
+
+// Satellite: exact incremental-maintenance counters on the win chain.
+// The program is GroundWinChain(8) plus an independent p/q pair, so the
+// condensation has four components: {m} and {w} (which the delta
+// reaches) and {p}, {q} (which it does not). Retracting m(n7,n8) flips
+// the winning parity of the whole chain: the maintenance solve
+// re-resolves {m} (its rule set changed) and {w} (its lower model
+// changed) and replays {p}, {q} from the settled-component cache.
+TEST(EngineMetricsTest, IncrementalCountersExactOnWinChainDelta) {
+  Engine engine;
+  ASSERT_EQ(engine.Load(GroundWinChain(8) + "p(a).\nq(X) :- p(X).\n"), "");
+  ASSERT_TRUE(engine.SolveWellFounded().ok);
+  // The initial solve is not maintenance: nothing incremental counted.
+  EXPECT_EQ(engine.metrics().value(obs::Counter::kIncDeltasApplied), 0u);
+  EXPECT_EQ(engine.metrics().value(obs::Counter::kIncOverdeleted), 0u);
+
+  ASSERT_EQ(engine.Retract("m(n7,n8)."), "");
+  Engine::WfsAnswer maintained = engine.SolveWellFounded();
+  ASSERT_TRUE(maintained.ok);
+  // 7 surviving move facts, the flipped winners w(n0), w(n2), w(n4),
+  // w(n6) (previously the odd positions won), and p(a), q(a).
+  EXPECT_EQ(maintained.model.TrueAtoms().size(), 13u);
+
+  const obs::MetricsRegistry& m = engine.metrics();
+  EXPECT_EQ(m.value(obs::Counter::kIncDeltasApplied), 1u);
+  EXPECT_EQ(m.value(obs::Counter::kIncComponentsResolved), 2u);
+  EXPECT_EQ(m.value(obs::Counter::kIncComponentsSkipped), 2u);
+  // Overdeleted: the retracted m(n7,n8) plus the four w atoms whose old
+  // truth did not survive. Rederived: the seven remaining move facts
+  // ({w}'s old true atoms all flipped, so none of them rederive).
+  EXPECT_EQ(m.value(obs::Counter::kIncOverdeleted), 5u);
+  EXPECT_EQ(m.value(obs::Counter::kIncRederived), 7u);
+}
+
+// Satellite: incremental counters on a transitive-closure delta. Adding
+// one edge extends the chain; every old e and t atom survives in the new
+// model, so the maintenance pass rederives all of them and overdeletes
+// nothing, while the untouched iso/iso2 components replay.
+TEST(EngineMetricsTest, IncrementalCountersExactOnTcDelta) {
+  std::string text;
+  for (int i = 0; i < 16; ++i) {
+    text += "e(n" + std::to_string(i) + ",n" + std::to_string(i + 1) +
+            ").\n";
+  }
+  text += "t(X,Y) :- e(X,Y).\nt(X,Z) :- t(X,Y), e(Y,Z).\n";
+  text += "iso(a).\niso2(X) :- iso(X).\n";
+  Engine engine;
+  ASSERT_EQ(engine.Load(text), "");
+  ASSERT_TRUE(engine.SolveWellFounded().ok);
+
+  ASSERT_EQ(engine.ApplyDelta("e(n16,n17).", "", nullptr), "");
+  Engine::WfsAnswer maintained = engine.SolveWellFounded();
+  ASSERT_TRUE(maintained.ok);
+
+  const obs::MetricsRegistry& m = engine.metrics();
+  EXPECT_EQ(m.value(obs::Counter::kIncDeltasApplied), 1u);
+  EXPECT_EQ(m.value(obs::Counter::kIncComponentsResolved), 2u);
+  EXPECT_EQ(m.value(obs::Counter::kIncComponentsSkipped), 2u);
+  EXPECT_EQ(m.value(obs::Counter::kIncOverdeleted), 0u);
+  // 16 old edges + C(17,2) = 136 old closure atoms, all still true.
+  EXPECT_EQ(m.value(obs::Counter::kIncRederived), 152u);
 }
 
 // A layered program with `width` mutually independent chains: every

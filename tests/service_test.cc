@@ -268,6 +268,59 @@ TEST(SnapshotStoreTest, AppendPublishSeedsPrototypeFromPrevious) {
   EXPECT_FALSE(store.Current()->seeded());
 }
 
+// Tentpole: a delta publish forks the current prototype, applies the
+// retraction/addition in place (DRed maintenance at publish time), and
+// serves a composed program text whose cold Load is byte-identical to
+// the maintained model.
+TEST(SnapshotStoreTest, PublishDeltaMaintainsAndComposesText) {
+  SnapshotStore store;
+  ASSERT_EQ(store.Publish(WinChainSlice(0, 6), /*append=*/false,
+                          /*solve_wfs=*/true),
+            "");
+  EXPECT_EQ(store.full_rebuilds(), 1u);
+  EXPECT_EQ(store.delta_builds(), 0u);
+
+  // Retract the last move (flips the chain's winning parity) and add an
+  // unrelated island in the same delta.
+  ASSERT_EQ(store.PublishDelta("p(a).\nq(X) :- p(X).\n", "m(n5,n6).",
+                               /*solve_wfs=*/true),
+            "");
+  auto snapshot = store.Current();
+  EXPECT_EQ(snapshot->epoch(), 2u);
+  EXPECT_TRUE(snapshot->delta_built());
+  EXPECT_TRUE(snapshot->seeded());
+  EXPECT_EQ(snapshot->delta_base_epoch(), 1u);
+  EXPECT_EQ(snapshot->rules(), 13u);  // 12 - 1 retracted + 2 added.
+  EXPECT_EQ(store.delta_builds(), 1u);
+  EXPECT_EQ(store.full_rebuilds(), 1u);
+  // The composed text no longer carries the retracted fact statement.
+  EXPECT_EQ(snapshot->program_text().find("m(n5,n6).\n"), std::string::npos);
+
+  // Byte-identity of the served model against a cold build.
+  ASSERT_TRUE(snapshot->has_wfs());
+  Engine cold;
+  ASSERT_EQ(cold.Load(snapshot->program_text()), "");
+  Engine::WfsAnswer reference = cold.SolveWellFounded();
+  ASSERT_TRUE(reference.ok);
+  auto rendered = [](const Engine& engine, const std::vector<TermId>& atoms) {
+    std::vector<std::string> out;
+    for (TermId atom : atoms) out.push_back(engine.store().ToString(atom));
+    return out;
+  };
+  EXPECT_EQ(rendered(snapshot->prototype(),
+                     snapshot->wfs().model.TrueAtoms()),
+            rendered(cold, reference.model.TrueAtoms()));
+  EXPECT_EQ(rendered(snapshot->prototype(),
+                     snapshot->wfs().model.UndefinedAtoms()),
+            rendered(cold, reference.model.UndefinedAtoms()));
+
+  // A bad delta (absent fact) publishes nothing.
+  auto before = store.Current();
+  EXPECT_NE(store.PublishDelta("", "m(n77,n78).", /*solve_wfs=*/false), "");
+  EXPECT_EQ(store.Current().get(), before.get());
+  EXPECT_EQ(store.delta_builds(), 1u);
+}
+
 TEST(SnapshotStoreTest, PublishErrorLeavesCurrentUnchanged) {
   SnapshotStore store;
   ASSERT_EQ(store.Publish(WinChainSlice(0, 2), false, false), "");
@@ -297,6 +350,42 @@ TEST(EngineSessionTest, MaterializeIsNoOpWithinEpoch) {
   ASSERT_EQ(session.Materialize(*store.Current()), "");
   EXPECT_EQ(session.epoch(), 2u);
   EXPECT_EQ(session.engine().program().size(), 12u);
+}
+
+// A session sitting exactly at a delta's base epoch maintains its warm
+// engine in place (Engine::ApplyDelta) instead of rebuilding; a session
+// that missed the base epoch rebuilds cold from the composed text. Both
+// serve identical answers.
+TEST(EngineSessionTest, MaterializeMaintainsWarmEngineAcrossDelta) {
+  SnapshotStore store;
+  ASSERT_EQ(store.Publish(WinChainSlice(0, 6), false, false), "");
+  EngineSession session;
+  ASSERT_EQ(session.Materialize(*store.Current()), "");
+  Engine* warm = &session.engine();
+  EXPECT_EQ(session.incremental_materializations(), 0u);
+
+  ASSERT_EQ(store.PublishDelta("p(a).", "m(n5,n6).", false), "");
+  ASSERT_EQ(session.Materialize(*store.Current()), "");
+  EXPECT_EQ(&session.engine(), warm);  // Maintained, not rebuilt.
+  EXPECT_EQ(session.incremental_materializations(), 1u);
+  EXPECT_EQ(session.epoch(), 2u);
+  EXPECT_EQ(session.engine().program().size(), 12u);  // 12 - 1 + 1.
+
+  EngineSession cold;
+  ASSERT_EQ(cold.Materialize(*store.Current()), "");
+  EXPECT_EQ(cold.incremental_materializations(), 0u);
+  EXPECT_EQ(cold.engine().program().size(), 12u);
+  Engine::QueryAnswer maintained = session.engine().Query("w(X)");
+  Engine::QueryAnswer rebuilt = cold.engine().Query("w(X)");
+  ASSERT_TRUE(maintained.ok && rebuilt.ok);
+  std::vector<std::string> got, want;
+  for (TermId a : maintained.answers) {
+    got.push_back(session.engine().store().ToString(a));
+  }
+  for (TermId a : rebuilt.answers) {
+    want.push_back(cold.engine().store().ToString(a));
+  }
+  EXPECT_EQ(got, want);
 }
 
 // The core tentpole claim: concurrent answers are byte-identical to the
@@ -574,6 +663,28 @@ TEST(WireTest, ParsesRequestsAndRejectsMalformed) {
   EXPECT_EQ(request.q, "w(n0)\n");
 }
 
+TEST(WireTest, ParsesPublishDeltaAndValidatesIt) {
+  WireRequest request;
+  std::string error;
+  ASSERT_TRUE(service::ParseWireRequest(
+      R"js({"op":"publish_delta","add":"p(a).","retract":"q(b).","id":"3"})js",
+      &request, &error))
+      << error;
+  EXPECT_EQ(request.op, "publish_delta");
+  EXPECT_EQ(request.add, "p(a).");
+  EXPECT_EQ(request.retract, "q(b).");
+  EXPECT_EQ(request.id, "3");
+  // Either side alone is a valid delta.
+  ASSERT_TRUE(service::ParseWireRequest(
+      R"js({"op":"publish_delta","retract":"q(b)."})js", &request, &error))
+      << error;
+  EXPECT_TRUE(request.add.empty());
+  // An empty delta is rejected at parse time.
+  EXPECT_FALSE(service::ParseWireRequest(R"js({"op":"publish_delta"})js",
+                                         &request, &error));
+  EXPECT_NE(error.find("publish_delta"), std::string::npos);
+}
+
 TEST(WireTest, EncodesResponsesDeterministically) {
   QueryResponse response;
   response.status = ServiceStatus::kOk;
@@ -777,6 +888,37 @@ TEST(LineServerTest, ProtocolOpsRoundTrip) {
             R"js({"status":"ok","epoch":2})js");
 }
 
+// Delta publishes over the wire: the op swaps in a maintained epoch and
+// every subsequent answer is byte-identical to the sequential engine on
+// the composed program text.
+TEST(LineServerTest, PublishDeltaOverWire) {
+  ServerFixture fixture(WinChainSlice(0, 4));
+  TestClient client(fixture.server->port());
+  ASSERT_TRUE(client.connected());
+
+  EXPECT_EQ(client.RoundTrip(
+                R"js({"op":"publish_delta","add":"p(a).","retract":"m(n3,n4).","id":"d"})js"),
+            R"js({"status":"ok","id":"d","epoch":2,"rules":8})js");
+
+  std::string composed = fixture.snapshots->Current()->program_text();
+  EXPECT_EQ(composed.find("m(n3,n4).\n"), std::string::npos);
+  for (const char* q : {"w(n0)", "w(X)", "p(X)"}) {
+    EXPECT_EQ(client.RoundTrip(std::string(R"js({"op":"query","q":")js") + q +
+                               R"js("})js"),
+              service::EncodeQueryResponse(
+                  SequentialResponse(composed, q, /*epoch=*/2), ""))
+        << q;
+  }
+
+  // A delta naming an absent fact is a typed error; nothing publishes
+  // and the connection stays usable.
+  std::string bad = client.RoundTrip(
+      R"js({"op":"publish_delta","retract":"m(n9,n9)."})js");
+  EXPECT_NE(bad.find("\"status\":\"error\""), std::string::npos) << bad;
+  EXPECT_EQ(client.RoundTrip(R"js({"op":"ping"})js"),
+            R"js({"status":"ok","epoch":2})js");
+}
+
 TEST(LineServerTest, ShutdownOpStopsServer) {
   ServerFixture fixture("");
   TestClient client(fixture.server->port());
@@ -886,6 +1028,27 @@ TEST(AdminOpsTest, StatuszReportsSnapshotAndLoadState) {
   const service::JsonValue* latency = value.Get("latency");
   ASSERT_NE(latency, nullptr);
   EXPECT_EQ(latency->GetUint("count"), 1u);
+  // Satellite: the nested snapshot publish-path breakdown. The fixture's
+  // one publish was a cold full build.
+  const service::JsonValue* snap = value.Get("snapshot");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->GetUint("seeded"), 0u);
+  EXPECT_EQ(snap->GetUint("full_rebuilds"), 1u);
+  EXPECT_EQ(snap->GetUint("delta_builds"), 0u);
+
+  // A delta publish shows up in the breakdown.
+  WireRequest delta;
+  delta.op = "publish_delta";
+  delta.retract = "m(n2,n3).";
+  std::string delta_line = fixture.server->Dispatch(delta);
+  EXPECT_NE(delta_line.find("\"status\":\"ok\""), std::string::npos)
+      << delta_line;
+  line = fixture.server->Dispatch(statusz);
+  ASSERT_TRUE(service::ParseJson(line, &value, &error)) << error;
+  snap = value.Get("snapshot");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->GetUint("delta_builds"), 1u);
+  EXPECT_EQ(value.GetUint("epoch"), 2u);
 }
 
 TEST(AdminOpsTest, SlowQueryLogFiresAtThresholdOnly) {
