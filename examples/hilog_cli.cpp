@@ -15,6 +15,11 @@
 //                        anything else is wrapped as a query op. With
 //                        --query, sends that one query and exits.
 //   --deadline-ms <n>    client mode: deadline attached to wrapped queries
+//   --compile-rules on|off  rule compilation to join-kernel bytecode
+//                        (default on; off runs the legacy per-round loops —
+//                        answers are byte-identical either way)
+//   --explain-plan       batch: after loading, dump each rule's compiled
+//                        kernel program and exit
 //
 // Passing any of the observability options together with a program file
 // runs in batch mode: load, SolveWellFounded, the --query if given, emit
@@ -339,6 +344,7 @@ int main(int argc, char** argv) {
   std::string client_addr;
   uint64_t client_deadline_ms = 0;
   size_t eval_threads = 1;
+  bool explain_plan = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     auto take_value = [&](const char* flag) -> const char* {
@@ -366,6 +372,18 @@ int main(int argc, char** argv) {
       // 1 (the default) keeps evaluation fully sequential. Answers are
       // byte-identical at every setting.
       eval_threads = std::strtoull(take_value("--eval-threads"), nullptr, 10);
+    } else if (std::strcmp(arg, "--compile-rules") == 0) {
+      const char* value = take_value("--compile-rules");
+      if (std::strcmp(value, "on") == 0) {
+        hilog::SetRuleCompilationEnabled(true);
+      } else if (std::strcmp(value, "off") == 0) {
+        hilog::SetRuleCompilationEnabled(false);
+      } else {
+        std::fprintf(stderr, "--compile-rules wants on|off, got %s\n", value);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--explain-plan") == 0) {
+      explain_plan = true;
     } else if (arg[0] == '-' && arg[1] != '\0') {
       std::fprintf(stderr, "unknown option %s\n", arg);
       return 2;
@@ -415,6 +433,17 @@ int main(int argc, char** argv) {
     }
     std::printf("loaded %zu rule(s) from %s\n", engine.program().size(),
                 program_path.c_str());
+  }
+
+  if (explain_plan) {
+    if (program_path.empty()) {
+      std::fprintf(stderr, "--explain-plan needs a program file\n");
+      return 2;
+    }
+    std::fputs(hilog::ExplainKernelPrograms(engine.store(), engine.program())
+                   .c_str(),
+               stdout);
+    return 0;
   }
 
   if (batch) {

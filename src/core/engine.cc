@@ -11,6 +11,12 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
     trace_ = std::make_unique<obs::TraceBuffer>(options_.trace_capacity,
                                                 options_.trace_tid);
   }
+  // Every evaluation path compiles through the engine's cache, whatever
+  // the caller put in the options (a caller-supplied pointer would dangle
+  // past the options struct it came from anyway).
+  options_.bottomup.kernel_cache = &kernel_cache_;
+  options_.magic.kernel_cache = &kernel_cache_;
+  options_.tabled.kernel_cache = &kernel_cache_;
 }
 
 std::unique_ptr<Engine> Engine::Fork() const {
@@ -21,17 +27,32 @@ std::unique_ptr<Engine> Engine::Fork() const {
   fork->edb_facts_base_ = edb_facts_base_;
   fork->edb_cache_valid_ = edb_cache_valid_;
   fork->scheduler_cache_ = scheduler_cache_;
+  // CopyFrom preserves TermIds, so the compiled programs' atom and
+  // variable ids mean the same terms in the fork.
+  fork->kernel_cache_.CloneFrom(kernel_cache_);
   return fork;
 }
 
 std::string Engine::Load(std::string_view text) {
   program_ = Program();
   scheduler_cache_.Clear();
+  kernel_cache_.Clear();
   maintenance_pending_ = false;
-  return LoadMore(text);
+  // No Prewarm on a cold load: the first solve touches every reachable
+  // rule anyway and resolves entries lazily at equal total cost, while a
+  // load-and-query-narrowly engine never pays for rules it skips.
+  return AppendProgram(text, /*prewarm=*/false);
 }
 
 std::string Engine::LoadMore(std::string_view text) {
+  // Appends run eagerly through the compile front-end: on a warm engine
+  // every survivor hits the structural cache, so only the new rules pay,
+  // and they pay here — off any query path — instead of in the next
+  // solve's first round.
+  return AppendProgram(text, /*prewarm=*/true);
+}
+
+std::string Engine::AppendProgram(std::string_view text, bool prewarm) {
   obs::ScopedObsContext obs_ctx(MetricsSink(), TraceSink());
   obs::ScopedPhaseTimer timer(obs::Phase::kLoad);
   // The program is about to change; any cached EDB view is now stale
@@ -40,6 +61,9 @@ std::string Engine::LoadMore(std::string_view text) {
   ParseResult<Program> parsed = ParseProgram(store_, text);
   if (!parsed.ok()) return parsed.error;
   for (Rule& rule : (*parsed).rules) program_.Add(std::move(rule));
+  if (prewarm && RuleCompilationEnabled()) {
+    kernel_cache_.Prewarm(store_, program_);
+  }
   obs::SetGauge(obs::Gauge::kProgramRules, program_.size());
   obs::SetGauge(obs::Gauge::kTermStoreSize, store_.size());
   return "";
@@ -100,6 +124,9 @@ std::string Engine::ApplyDelta(std::string_view additions,
   }
 
   for (Rule& rule : delta.additions.rules) program_.Add(std::move(rule));
+  // Only rules the delta introduced get front-end analysis here; the
+  // structural cache already covers every survivor.
+  if (RuleCompilationEnabled()) kernel_cache_.Prewarm(store_, program_);
   maintenance_pending_ = true;
   obs::Count(obs::Counter::kIncDeltasApplied);
   obs::SetGauge(obs::Gauge::kProgramRules, program_.size());
@@ -314,7 +341,7 @@ TabledResult Engine::ProveTabled(std::string_view query_text) {
     result.error = parsed.error;
     return result;
   }
-  return SolveTabled(store_, program_, *parsed, TabledOptions());
+  return SolveTabled(store_, program_, *parsed, options_.tabled);
 }
 
 StratifiedEvalResult Engine::SolveStratified() {

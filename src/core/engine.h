@@ -9,6 +9,7 @@
 #include "src/analysis/modular.h"
 #include "src/analysis/range_restriction.h"
 #include "src/eval/aggregate.h"
+#include "src/eval/kernel.h"
 #include "src/eval/magic_eval.h"
 #include "src/eval/resolution.h"
 #include "src/eval/scheduler.h"
@@ -37,6 +38,7 @@ struct EngineOptions {
   StableOptions stable;
   ModularOptions modular;
   MagicEvalOptions magic;
+  TabledOptions tabled;
   AggregateEvalOptions aggregate;
   size_t max_instances = 2000000;
   /// When false, no metrics/trace context is installed around engine
@@ -101,7 +103,9 @@ class Engine {
   /// else the parse error. Replaces any previously loaded program.
   std::string Load(std::string_view text);
 
-  /// Adds rules to the current program.
+  /// Adds rules to the current program. Unlike Load, the kernel compile
+  /// front-end runs eagerly here: survivors hit the structural cache, so
+  /// only the appended rules pay, off the query path.
   std::string LoadMore(std::string_view text);
 
   /// Applies a delta publish in place: `retractions` parses as ground
@@ -207,9 +211,17 @@ class Engine {
   /// service diagnostics.
   const SchedulerCache& scheduler_cache() const { return scheduler_cache_; }
 
+  /// The rule-compilation cache (src/eval/kernel.h): compiled kernel
+  /// programs kept across solves and LoadMore, cloned by Fork. The
+  /// constructor points every evaluator's options at it, so all four
+  /// evaluation paths share one compilation of each rule. Exposed for
+  /// tests and service diagnostics.
+  const KernelCache& kernel_cache() const { return kernel_cache_; }
+
  private:
   WfsAnswer SolveOnGround(const GroundProgram& ground, GrounderKind kind,
                           bool exact, std::string notes);
+  std::string AppendProgram(std::string_view text, bool prewarm);
   void RefreshEdbCache();
   /// Sinks for ScopedObsContext honoring metrics_enabled.
   obs::MetricsRegistry* MetricsSink() {
@@ -242,6 +254,12 @@ class Engine {
   // and ApplyDelta (TermIds and rule serials of loaded text are stable);
   // Load replaces the program, so it clears the cache.
   SchedulerCache scheduler_cache_;
+  // Compiled-rule memo for the kernel executor, shared by every
+  // evaluation path. Keyed structurally, so it is likewise safe across
+  // LoadMore/ApplyDelta; Load clears it with the program. Declared after
+  // the options because the constructor re-points the per-evaluator
+  // kernel_cache fields at it.
+  KernelCache kernel_cache_;
 };
 
 }  // namespace hilog

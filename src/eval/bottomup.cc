@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/eval/cancel.h"
+#include "src/eval/kernel.h"
 #include "src/eval/plan.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -71,20 +72,25 @@ std::vector<TermId> PositiveAtoms(const Rule& rule) {
   return atoms;
 }
 
+// Relation-size estimate by FactBase name bucket — the one estimator
+// both the legacy planner and the kernel compiler see, so both plan the
+// same join orders.
+JoinSizeEstimator BucketEstimator(const TermStore& store,
+                                  const FactBase& facts) {
+  return [&store, &facts](TermId atom) {
+    TermId name = store.PredName(atom);
+    return store.IsGround(name) ? facts.WithName(name).size() : facts.size();
+  };
+}
+
 // Plans the join through the shared greedy planner (src/eval/plan.h),
 // estimating each atom's relation by its FactBase name bucket, and
 // derives the static columnar probe keys per step. The delta literal, if
 // any, is pinned first.
 JoinPlan PlanJoin(const TermStore& store, const std::vector<TermId>& atoms,
                   const FactBase& facts, size_t delta_pos) {
-  return PlanBatchJoin(
-      store, atoms,
-      [&](TermId atom) {
-        TermId name = store.PredName(atom);
-        return store.IsGround(name) ? facts.WithName(name).size()
-                                    : facts.size();
-      },
-      delta_pos);
+  return PlanBatchJoin(store, atoms, BucketEstimator(store, facts),
+                       delta_pos);
 }
 
 void EnsureScratch(JoinScratch* scratch, size_t depths) {
@@ -96,7 +102,35 @@ void EnsureScratch(JoinScratch* scratch, size_t depths) {
 bool ForEachPositiveMatch(TermStore& store, const Rule& rule,
                           const FactBase& facts,
                           const std::function<bool(const Substitution&)>& fn,
-                          bool frozen_facts) {
+                          bool frozen_facts, KernelCache* kernel_cache) {
+  // A rule with no positive body literals has exactly one (empty) match;
+  // compiling a Project+Emit program for it buys nothing, and fact-heavy
+  // programs call here once per fact during grounding.
+  bool has_positive = false;
+  for (const Literal& lit : rule.body) {
+    if (lit.positive()) {
+      has_positive = true;
+      break;
+    }
+  }
+  if (!has_positive) {
+    Substitution subst;
+    return fn(subst);
+  }
+  if (RuleCompilationEnabled() && WorthCompiling(store, rule)) {
+    KernelCache transient;
+    KernelCache* cache = kernel_cache != nullptr ? kernel_cache : &transient;
+    std::shared_ptr<const KernelProgram> program =
+        cache->Get(store, rule, BucketEstimator(store, facts), SIZE_MAX);
+    JoinScratch scratch;
+    EnsureScratch(&scratch, program->scan_ops.size());
+    Substitution subst;
+    KernelContext ctx;
+    ctx.facts = &facts;
+    ctx.facts_frozen = frozen_facts;
+    ctx.scratch = &scratch;
+    return RunKernel(store, *program, ctx, &subst, fn);
+  }
   JoinPlan plan = PlanJoin(store, PositiveAtoms(rule), facts, SIZE_MAX);
   JoinScratch scratch;
   EnsureScratch(&scratch, plan.steps.size());
@@ -139,9 +173,30 @@ BottomUpResult LeastModelOfPositiveProjectionSeeded(
 
   // The next-round delta and the join scratch buffers live outside the
   // round loop: Clear() keeps hash-map buckets and vector capacity, so
-  // steady-state rounds reallocate neither.
+  // steady-state rounds reallocate neither. The compilation switch is
+  // latched per run so a mid-run flip cannot mix paths.
   FactBase next_delta;
   JoinScratch scratch;
+  const bool compiled = RuleCompilationEnabled();
+  KernelCache transient_cache;
+  KernelCache* kcache = options.kernel_cache != nullptr
+                            ? options.kernel_cache
+                            : &transient_cache;
+  const JoinSizeEstimator estimate = BucketEstimator(store, result.facts);
+  // Resolve each rule's structural cache entry once; rounds then pay only
+  // the per-variant order check, not the rule hash and bucket scan. Rules
+  // not worth compiling (fully ground bodies) keep the legacy matcher.
+  std::vector<KernelCache::Handle> handles;
+  std::vector<bool> use_kernel(program.rules.size(), false);
+  if (compiled) {
+    handles.resize(program.rules.size());
+    for (size_t r = 0; r < program.rules.size(); ++r) {
+      if (WorthCompiling(store, program.rules[r])) {
+        use_kernel[r] = true;
+        handles[r] = kcache->Resolve(store, program.rules[r]);
+      }
+    }
+  }
   while (!delta.empty()) {
     ++result.rounds;
     obs::Count(obs::Counter::kBottomUpRounds);
@@ -161,33 +216,47 @@ BottomUpResult LeastModelOfPositiveProjectionSeeded(
       std::vector<TermId> atoms = PositiveAtoms(rule);
       if (atoms.empty()) continue;
       for (size_t dpos = 0; dpos < atoms.size() && !budget_hit; ++dpos) {
-        // The plan pins the delta literal first.
-        JoinPlan plan = PlanJoin(store, atoms, result.facts, dpos);
-        EnsureScratch(&scratch, plan.steps.size());
         Substitution subst;
-        MatchBody(store, plan.steps, 0, 0, &delta, result.facts,
-                  /*facts_frozen=*/false, &scratch, &subst,
-                  [&](const Substitution& theta) {
-                    if (CancelRequested()) {
-                      result.cancelled = true;
-                      budget_hit = true;
-                      return false;
-                    }
-                    TermId head = theta.Apply(store, rule.head);
-                    if (!store.IsGround(head)) {
-                      unsafe.insert(r);
-                      return true;
-                    }
-                    if (result.facts.Insert(store, head)) {
-                      obs::Count(obs::Counter::kBottomUpFacts);
-                      next_delta.Insert(store, head);
-                      if (result.facts.size() >= options.max_facts) {
-                        budget_hit = true;
-                        return false;
-                      }
-                    }
-                    return true;
-                  });
+        const auto derive = [&](const Substitution& theta) {
+          if (CancelRequested()) {
+            result.cancelled = true;
+            budget_hit = true;
+            return false;
+          }
+          TermId head = theta.Apply(store, rule.head);
+          if (!store.IsGround(head)) {
+            unsafe.insert(r);
+            return true;
+          }
+          if (result.facts.Insert(store, head)) {
+            obs::Count(obs::Counter::kBottomUpFacts);
+            next_delta.Insert(store, head);
+            if (result.facts.size() >= options.max_facts) {
+              budget_hit = true;
+              return false;
+            }
+          }
+          return true;
+        };
+        if (compiled && use_kernel[r]) {
+          // Cached analysis + a replan per round (orders follow the live
+          // bucket sizes); the lowered ops hit the variant cache from
+          // the second round of the fixpoint on.
+          std::shared_ptr<const KernelProgram> program =
+              kcache->Get(store, handles[r], estimate, dpos);
+          EnsureScratch(&scratch, program->scan_ops.size());
+          KernelContext ctx;
+          ctx.facts = &result.facts;
+          ctx.delta = &delta;
+          ctx.scratch = &scratch;
+          RunKernel(store, *program, ctx, &subst, derive);
+        } else {
+          // The plan pins the delta literal first.
+          JoinPlan plan = PlanJoin(store, atoms, result.facts, dpos);
+          EnsureScratch(&scratch, plan.steps.size());
+          MatchBody(store, plan.steps, 0, 0, &delta, result.facts,
+                    /*facts_frozen=*/false, &scratch, &subst, derive);
+        }
       }
     }
     if (budget_hit) {

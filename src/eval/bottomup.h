@@ -9,6 +9,8 @@
 
 namespace hilog {
 
+class KernelCache;
+
 /// Budget for bottom-up fixpoint computations. HiLog programs with
 /// recursively applied function/predicate symbols may have infinite least
 /// models (the paper notes the analogous non-termination for magic sets,
@@ -26,6 +28,11 @@ struct BottomUpOptions {
   /// Answers are byte-identical at every setting; only wall-clock and
   /// the sched.parallel.* metrics change.
   size_t eval_threads = 1;
+  /// Compilation cache for the rule-to-kernel path (src/eval/kernel.h),
+  /// normally the owning Engine's. Null means each evaluation run uses a
+  /// transient cache (programs still amortize across the run's rounds,
+  /// just not across runs). Ignored when rule compilation is disabled.
+  KernelCache* kernel_cache = nullptr;
 };
 
 struct BottomUpResult {
@@ -78,10 +85,15 @@ BottomUpResult LeastModelOfPositiveProjectionSeeded(
 /// rules); the join then takes zero-copy candidate spans over the base's
 /// internal buckets. Callers whose callback feeds derived facts straight
 /// back into `facts` (the stratified fixpoint) must leave it false.
+///
+/// With rule compilation enabled the join runs as a compiled kernel
+/// program; `kernel_cache` (usually the Engine's) keeps the compiled
+/// form across calls, a null cache compiles transiently.
 bool ForEachPositiveMatch(TermStore& store, const Rule& rule,
                           const FactBase& facts,
                           const std::function<bool(const Substitution&)>& fn,
-                          bool frozen_facts = false);
+                          bool frozen_facts = false,
+                          KernelCache* kernel_cache = nullptr);
 
 }  // namespace hilog
 

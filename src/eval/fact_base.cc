@@ -453,12 +453,7 @@ std::span<const TermId> FactBase::CandidatesBatch(
   // from the substituted pattern. With a static plan the paths come
   // pre-proven from the planner's boundness analysis; otherwise they are
   // detected from the pattern, mirroring the legacy probe exactly.
-  struct RtKey {
-    uint32_t path;
-    bool shape;
-    uint64_t fp;
-  };
-  RtKey keys[kMaxProbeKeys];
+  ColumnRuntimeKey keys[kMaxProbeKeys];
   size_t nkeys = 0;
   auto args = store.apply_args(literal_atom);
   if (static_keys != nullptr) {
@@ -508,12 +503,44 @@ std::span<const TermId> FactBase::CandidatesBatch(
     }
   }
   if (nkeys == 0) return bucket_fallback();
+  return ProbeBucket(store, name, bucket, keys, nkeys, scratch, frozen);
+}
 
+std::span<const TermId> FactBase::ProbeWithKeys(
+    const TermStore& store, TermId name, const ColumnRuntimeKey* keys,
+    size_t nkeys, std::vector<TermId>* scratch, bool frozen) const {
+  auto bucket_it = by_name_.find(name);
+  if (bucket_it == by_name_.end()) {
+    if (!frozen) scratch->clear();
+    return {};
+  }
+  const std::vector<TermId>& bucket = bucket_it->second;
+  if (bucket.size() <= kSmallBucket || nkeys == 0) {
+    obs::Count(obs::Counter::kColFallbackTuples, bucket.size());
+    if (frozen) return bucket;
+    scratch->assign(bucket.begin(), bucket.end());
+    return *scratch;
+  }
+  return ProbeBucket(store, name, bucket, keys, nkeys, scratch, frozen);
+}
+
+std::span<const TermId> FactBase::ProbeBucket(
+    const TermStore& store, TermId name, const std::vector<TermId>& bucket,
+    const ColumnRuntimeKey* keys, size_t nkeys, std::vector<TermId>* scratch,
+    bool frozen) const {
   // Probe the key columns: each hash lookup lands on a group of ascending
   // row indices sharing that fingerprint. A miss is a proof of emptiness.
+  // The tracked group and fps pointers survive later EnsureColumn calls:
+  // a ColumnTable reallocation moves the KeyColumn objects, but a vector
+  // move steals the heap buffer the pointers point into.
   obs::Count(obs::Counter::kColBatchJoins);
-  const std::vector<uint32_t>* best = nullptr;
-  const std::vector<uint32_t>* second = nullptr;
+  struct Hit {
+    const std::vector<uint32_t>* group = nullptr;
+    const uint64_t* fps = nullptr;
+    uint64_t fp = 0;
+  };
+  Hit best;
+  Hit second;
   for (size_t k = 0; k < nkeys; ++k) {
     obs::Count(obs::Counter::kIndexProbes);
     KeyColumn& col =
@@ -524,39 +551,62 @@ std::span<const TermId> FactBase::CandidatesBatch(
       if (!frozen) scratch->clear();
       return {};
     }
-    if (best == nullptr || group->size() < best->size()) {
+    Hit hit{group, col.fps.data(), keys[k].fp};
+    if (best.group == nullptr || group->size() < best.group->size()) {
       second = best;
-      best = group;
-    } else if (second == nullptr || group->size() < second->size()) {
-      second = group;
+      best = hit;
+    } else if (second.group == nullptr ||
+               group->size() < second.group->size()) {
+      second = hit;
     }
   }
 
   // Gather the winning group's rows into the scratch buffer. When the
-  // best group is still large and a second key excludes at least half
-  // the bucket, merge-intersect the two ascending row lists first — a
-  // linear two-pointer walk, no hash set (cf. the legacy intersect).
+  // best group is still large and a second key excludes at least half the
+  // bucket, filter the best rows against the second column's fingerprint
+  // array: row r survives iff fps[r] equals the probed fingerprint, which
+  // is exactly membership in the second group (a group is the set of rows
+  // sharing one fingerprint), in the same ascending row order the old
+  // two-pointer merge produced. The filter is a branch-free 4-wide
+  // unrolled loop over the flat fingerprint column — each lane writes its
+  // candidate unconditionally and advances the output cursor by the
+  // comparison mask — so it autovectorizes and never mispredicts, and it
+  // reads |best| entries instead of walking |best| + |second| rows.
   scratch->clear();
-  if (second != nullptr && best->size() > kIntersectThreshold &&
-      second->size() * 2 <= bucket.size()) {
-    size_t a = 0;
-    size_t b = 0;
-    while (a < best->size() && b < second->size()) {
-      uint32_t ra = (*best)[a];
-      uint32_t rb = (*second)[b];
-      if (ra == rb) {
-        scratch->push_back(bucket[ra]);
-        ++a;
-        ++b;
-      } else if (ra < rb) {
-        ++a;
-      } else {
-        ++b;
-      }
+  const std::vector<uint32_t>& rows = *best.group;
+  if (second.group != nullptr && rows.size() > kIntersectThreshold &&
+      second.group->size() * 2 <= bucket.size()) {
+    const uint64_t* fps = second.fps;
+    const uint64_t want = second.fp;
+    const uint32_t* row = rows.data();
+    const size_t n = rows.size();
+    scratch->resize(n);
+    TermId* dst = scratch->data();
+    size_t out = 0;
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const uint32_t r0 = row[i];
+      const uint32_t r1 = row[i + 1];
+      const uint32_t r2 = row[i + 2];
+      const uint32_t r3 = row[i + 3];
+      dst[out] = bucket[r0];
+      out += fps[r0] == want;
+      dst[out] = bucket[r1];
+      out += fps[r1] == want;
+      dst[out] = bucket[r2];
+      out += fps[r2] == want;
+      dst[out] = bucket[r3];
+      out += fps[r3] == want;
     }
+    for (; i < n; ++i) {
+      const uint32_t r = row[i];
+      dst[out] = bucket[r];
+      out += fps[r] == want;
+    }
+    scratch->resize(out);
   } else {
-    scratch->reserve(best->size());
-    for (uint32_t row : *best) scratch->push_back(bucket[row]);
+    scratch->reserve(rows.size());
+    for (uint32_t r : rows) scratch->push_back(bucket[r]);
   }
   obs::Count(obs::Counter::kColProbeHits, scratch->size());
   obs::Count(obs::Counter::kCandidatesPruned, bucket.size() - scratch->size());

@@ -54,6 +54,17 @@ struct ColumnProbeKey {
   bool shape = false;
 };
 
+/// A probe key with its runtime fingerprint already computed: what
+/// CandidatesBatch assembles internally from the substituted pattern, and
+/// what the kernel executor (src/eval/kernel.h) computes straight from
+/// its register file — skipping the pattern substitution entirely — to
+/// probe through ProbeWithKeys.
+struct ColumnRuntimeKey {
+  uint32_t path = 0;
+  bool shape = false;
+  uint64_t fp = 0;
+};
+
 /// A set of ground atoms with a two-level index supporting the
 /// unification-joins of bottom-up evaluation:
 ///
@@ -157,6 +168,22 @@ class FactBase {
       std::vector<TermId>* scratch, bool frozen,
       const std::vector<ColumnProbeKey>* static_keys = nullptr) const;
 
+  /// The columnar probe core of CandidatesBatch, callable with
+  /// pre-computed runtime keys: `name` is the pattern's (ground) predicate
+  /// name, `keys` the (path, fingerprint) pairs already evaluated against
+  /// the caller's bindings. Produces exactly the candidates — same rows,
+  /// same order, same counters — that CandidatesBatch would for a
+  /// non-ground apply pattern with those keys, without the caller ever
+  /// interning the substituted pattern. With zero keys (or a bucket at or
+  /// under the small-bucket cutoff) it degrades to the per-name bucket,
+  /// like CandidatesBatch's fallback. `frozen` follows the
+  /// CandidatesBatch contract.
+  std::span<const TermId> ProbeWithKeys(const TermStore& store, TermId name,
+                                        const ColumnRuntimeKey* keys,
+                                        size_t nkeys,
+                                        std::vector<TermId>* scratch,
+                                        bool frozen) const;
+
   /// Size of the candidate list the pre-index evaluator would have
   /// scanned for this pattern: the name bucket for a ground name, the
   /// whole base otherwise. Used to account unifications avoided.
@@ -232,6 +259,15 @@ class FactBase {
   KeyColumn& EnsureColumn(const TermStore& store, TermId name,
                           const std::vector<TermId>& bucket, uint32_t path,
                           bool shape) const;
+
+  // Shared probe tail of CandidatesBatch and ProbeWithKeys: requires a
+  // bucket above the small-bucket cutoff and at least one key.
+  std::span<const TermId> ProbeBucket(const TermStore& store, TermId name,
+                                      const std::vector<TermId>& bucket,
+                                      const ColumnRuntimeKey* keys,
+                                      size_t nkeys,
+                                      std::vector<TermId>* scratch,
+                                      bool frozen) const;
 
   std::unordered_set<TermId> facts_;
   std::vector<TermId> ordered_;

@@ -6,6 +6,7 @@
 
 #include "src/eval/cancel.h"
 #include "src/eval/fact_base.h"
+#include "src/eval/kernel.h"
 #include "src/eval/plan.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -119,7 +120,12 @@ class Evaluator {
   Evaluator(TermStore& store, const MagicProgram& magic,
             const MagicEvalOptions& options,
             const std::vector<TermId>* preloaded)
-      : store_(store), magic_(magic), options_(options), facts_(store) {
+      : store_(store),
+        magic_(magic),
+        options_(options),
+        facts_(store),
+        kcache_(options.kernel_cache != nullptr ? options.kernel_cache
+                                                : &local_kernel_cache_) {
     if (preloaded != nullptr) {
       // EDB facts join as candidates; they never need to *trigger* rules
       // (all rewritten rules are driven by magic/sup deltas), so they
@@ -267,13 +273,29 @@ class Evaluator {
     }
     // Remaining positions joined in shared-planner order, with the
     // trigger position pinned first (its variables are already bound).
-    std::vector<TermId> body_atoms;
-    body_atoms.reserve(renamed.body.size());
-    for (const Literal& lit : renamed.body) body_atoms.push_back(lit.atom);
-    std::vector<size_t> order = PlanJoinOrder(
-        store_, body_atoms,
-        [&](TermId atom) { return facts_.EstimateForPattern(atom); },
-        position);
+    // With rule compilation on, the order comes from the compiled form
+    // of the *original* rule — renaming is a variable bijection, and the
+    // estimator only reads (ground) predicate names, so the plan is
+    // identical while the cached analysis skips the per-trigger variable
+    // traversals. The join itself keeps the unification machinery:
+    // variant facts may be non-ground, which MatchResolvedInto's
+    // ground-binding precondition rules out.
+    std::vector<size_t> order;
+    if (RuleCompilationEnabled()) {
+      std::shared_ptr<const KernelProgram> program = kcache_->Get(
+          store_, rule,
+          [&](TermId atom) { return facts_.EstimateForPattern(atom); },
+          position);
+      order = program->order;
+    } else {
+      std::vector<TermId> body_atoms;
+      body_atoms.reserve(renamed.body.size());
+      for (const Literal& lit : renamed.body) body_atoms.push_back(lit.atom);
+      order = PlanJoinOrder(
+          store_, body_atoms,
+          [&](TermId atom) { return facts_.EstimateForPattern(atom); },
+          position);
+    }
     // One scratch frame per join depth, sized up-front so JoinFrom never
     // reallocates the frame array mid-recursion.
     if (frames_.size() < order.size() + 1) frames_.resize(order.size() + 1);
@@ -404,6 +426,11 @@ class Evaluator {
   const MagicProgram& magic_;
   MagicEvalOptions options_;
   VariantFactStore facts_;
+  // Compiled-rule cache for the join orders; the fallback is per-run, so
+  // triggers still amortize within one evaluation. Declared before
+  // kcache_, which may point at it.
+  KernelCache local_kernel_cache_;
+  KernelCache* kcache_;
   std::deque<TermId> worklist_;
   std::unordered_map<TermId, std::vector<std::pair<size_t, size_t>>> by_name_;
   std::vector<std::pair<size_t, size_t>> wildcard_;

@@ -9,6 +9,8 @@
 
 namespace hilog {
 
+class KernelCache;
+
 /// Truth status of a ground atom after magic evaluation.
 enum class QueryStatus : uint8_t {
   kTrue,
@@ -22,6 +24,12 @@ enum class QueryStatus : uint8_t {
 struct MagicEvalOptions {
   size_t max_facts = 500000;
   size_t max_box_firings = 100000;
+  /// Kernel compilation cache (src/eval/kernel.h), normally the owning
+  /// Engine's. The magic evaluator joins against possibly non-ground
+  /// variant facts, so it uses compiled programs for their cached join
+  /// orders and analysis, keeping its own unification machinery. Null
+  /// falls back to a per-evaluation cache.
+  KernelCache* kernel_cache = nullptr;
 };
 
 struct MagicEvalResult {

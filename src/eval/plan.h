@@ -14,14 +14,37 @@ namespace hilog {
 /// semi-naive engine, the variant store for the magic evaluator).
 using JoinSizeEstimator = std::function<size_t(TermId pattern)>;
 
+/// Per-atom variable analysis the greedy planner and the kernel compiler
+/// share: the variables of each top-level argument (used to decide when an
+/// argument is fully bound by earlier join steps) and the atom's full
+/// variable set (what a successful match binds). Collected once per atom
+/// and cached by the kernel cache across rounds, so replanning a rule per
+/// semi-naive round costs no term traversals.
+struct JoinAtomInfo {
+  std::vector<std::vector<TermId>> arg_vars;
+  std::vector<TermId> all_vars;
+};
+
+/// Fills `info` for `atom` (arg_vars stays empty for non-apply atoms).
+void CollectJoinAtomInfo(const TermStore& store, TermId atom,
+                         JoinAtomInfo* info);
+
+/// Greedy join order over pre-collected atom info: repeatedly picks the
+/// atom with the most arguments already bound (by constants or by
+/// variables of previously placed atoms), breaking ties toward the
+/// smaller estimated relation, then the original position (so plans are
+/// deterministic). The pinned atom, if any, is placed first. `est_sizes`
+/// is only read when there are at least two free atoms (the one-free-atom
+/// shortcut never consults it) and must then be parallel to `info`.
+std::vector<size_t> PlanJoinOrderFromInfo(
+    const std::vector<JoinAtomInfo>& info,
+    const std::vector<size_t>& est_sizes, size_t pinned_first);
+
 /// Greedy join plan shared by the semi-naive evaluator and the magic
-/// evaluator: repeatedly picks the atom with the most arguments already
-/// bound (by constants or by variables of previously placed atoms),
-/// breaking ties toward the smaller estimated relation, then the original
-/// position (so plans are deterministic). The pinned atom, if any, is
-/// placed first: it is the semi-naive delta literal or the magic trigger
-/// position — the smallest relation by construction, and every firing
-/// must use it.
+/// evaluator: collects JoinAtomInfo per atom and runs
+/// PlanJoinOrderFromInfo. The pinned atom, if any, is the semi-naive
+/// delta literal or the magic trigger position — the smallest relation by
+/// construction, and every firing must use it.
 ///
 /// Returns a permutation of [0, atoms.size()): the order in which to join.
 /// The enumerated match set is unaffected by the order, only the
@@ -31,18 +54,27 @@ std::vector<size_t> PlanJoinOrder(const TermStore& store,
                                   const JoinSizeEstimator& estimate,
                                   size_t pinned_first);
 
+/// Derives the statically provable columnar probe keys of `atom` given a
+/// boundness oracle: `ground_at_probe(t)` must return true exactly when
+/// every variable of `t` is bound before the atom's probe runs (bottom-up
+/// joins bind pattern variables only to ground fact sub-terms, so this is
+/// a proof of groundness, not a heuristic). An argument path whose term
+/// is ground at probe time probes its exact-fingerprint column; a
+/// compound argument that is not fully bound but whose own name is probes
+/// its (name, arity) shape column, with its fully-bound sub-arguments
+/// probing exact sub-path columns. Paths beyond the FactBase indexing
+/// bounds are never emitted. This single helper is what keeps the legacy
+/// batch planner and the kernel compiler from drifting on key selection.
+void DeriveProbeKeys(const TermStore& store, TermId atom,
+                     const std::function<bool(TermId)>& ground_at_probe,
+                     std::vector<ColumnProbeKey>* keys);
+
 /// One step of a batch join plan: the body atom to join at this depth plus
 /// the statically proven probe keys for the columnar path.
 ///
 /// `name_ground_at_probe` holds exactly when every variable of the atom's
-/// predicate name occurs in an earlier step: bottom-up joins bind pattern
-/// variables only to ground fact sub-terms, so "all variables bound
-/// earlier" is a proof of groundness at probe time, not a heuristic. The
-/// same reasoning yields `keys`: an argument path whose variables are all
-/// bound earlier probes its exact-fingerprint column; a compound argument
-/// that is not fully bound but whose own name is probes its (name, arity)
-/// shape column, with its fully-bound sub-arguments probing exact sub-path
-/// columns. Paths beyond the FactBase indexing bounds are never emitted.
+/// predicate name occurs in an earlier step; see DeriveProbeKeys for the
+/// key-derivation rules.
 struct JoinStep {
   TermId atom = kNoTerm;
   bool name_ground_at_probe = false;

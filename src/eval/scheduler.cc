@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "src/eval/cancel.h"
+#include "src/eval/kernel.h"
 #include "src/eval/worker_pool.h"
 #include "src/lang/printer.h"
 #include "src/obs/metrics.h"
@@ -465,7 +466,8 @@ void SolveBatch(TermStore& store, const Program& program,
             sink.push_back(std::move(instance));
             return true;
           },
-          /*frozen_facts=*/true);  // Collects rules only; never inserts.
+          /*frozen_facts=*/true,  // Collects rules only; never inserts.
+          options.kernel_cache);
       if (!instantiate_ok) return;
     }
   }
@@ -547,9 +549,18 @@ void SolveBatch(TermStore& store, const Program& program,
 
 ComponentWfsResult SolveWfsByComponents(TermStore& store,
                                         const Program& program,
-                                        const BottomUpOptions& options,
+                                        const BottomUpOptions& orig_options,
                                         SchedulerCache* cache,
                                         bool need_ground) {
+  // One compilation cache for the whole solve when the caller supplied
+  // none: component groundings re-visit the same rules across waves and
+  // alternating passes, and a per-call transient cache would re-lower
+  // them every time.
+  KernelCache local_kernel_cache;
+  BottomUpOptions options = orig_options;
+  if (options.kernel_cache == nullptr) {
+    options.kernel_cache = &local_kernel_cache;
+  }
   ComponentWfsResult result;
 
   // Same refusal (and wording) as the relevance grounder: aggregates and

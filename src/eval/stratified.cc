@@ -8,6 +8,7 @@
 #include "src/analysis/range_restriction.h"
 #include "src/analysis/stratification.h"
 #include "src/eval/cancel.h"
+#include "src/eval/kernel.h"
 #include "src/eval/scheduler.h"
 #include "src/eval/worker_pool.h"
 #include "src/lang/printer.h"
@@ -29,6 +30,28 @@ bool RunComponentFixpoint(TermStore& store,
                           const BottomUpOptions& options, FactBase* facts,
                           size_t* derivations, std::vector<TermId>* derived,
                           std::string* error) {
+  const bool compiled = RuleCompilationEnabled();
+  KernelCache transient_cache;
+  KernelCache* kcache = options.kernel_cache != nullptr
+                            ? options.kernel_cache
+                            : &transient_cache;
+  std::vector<std::vector<TermId>> scratch;
+  // Resolve each rule's structural cache entry once; rounds then pay
+  // only the per-variant order check, not the rule hash and bucket scan.
+  std::vector<KernelCache::Handle> handles;
+  std::vector<bool> use_kernel(rules.size(), false);
+  if (compiled) {
+    handles.resize(rules.size());
+    for (size_t ri = 0; ri < rules.size(); ++ri) {
+      // Fact rules and fully ground bodies take the legacy branch
+      // below; only rules the fixpoint actually joins get cache
+      // entries.
+      if (WorthCompiling(store, *rules[ri])) {
+        use_kernel[ri] = true;
+        handles[ri] = kcache->Resolve(store, *rules[ri]);
+      }
+    }
+  }
   bool changed = true;
   size_t rounds = 0;
   while (changed) {
@@ -37,31 +60,65 @@ bool RunComponentFixpoint(TermStore& store,
       return false;
     }
     changed = false;
-    for (const Rule* rule : rules) {
+    for (size_t ri = 0; ri < rules.size(); ++ri) {
+      const Rule* rule = rules[ri];
       bool budget_hit = false;
-      ForEachPositiveMatch(
-          store, *rule, *facts, [&](const Substitution& theta) {
-            for (const Literal& lit : rule->body) {
-              if (!lit.negative()) continue;
-              TermId atom = theta.Apply(store, lit.atom);
-              if (!store.IsGround(atom)) return true;  // Unbound: skip.
-              if (facts->Contains(atom)) return true;  // Blocked.
-            }
-            TermId head = theta.Apply(store, rule->head);
-            if (!store.IsGround(head)) return true;
-            if (facts->Insert(store, head)) {
-              changed = true;
-              if (derived != nullptr) derived->push_back(head);
-              if (++*derivations > options.max_facts) {
-                budget_hit = true;
-                return false;
+      const auto derive = [&](const Substitution& theta) {
+        TermId head = theta.Apply(store, rule->head);
+        if (!store.IsGround(head)) return true;
+        if (facts->Insert(store, head)) {
+          changed = true;
+          if (derived != nullptr) derived->push_back(head);
+          if (++*derivations > options.max_facts) {
+            budget_hit = true;
+            return false;
+          }
+        }
+        return true;
+      };
+      if (compiled && use_kernel[ri]) {
+        // The compiled body carries the rule's negative literals as
+        // kNegProbe ops against `facts` — lower components are settled
+        // (stratification), so a hit is final. The positive joins
+        // replan per fixpoint round like the legacy path. Rules with
+        // nothing to compile (no positive body, or a fully ground one)
+        // fall through to ForEachPositiveMatch instead.
+        std::shared_ptr<const KernelProgram> program = kcache->Get(
+            store, handles[ri],
+            [&](TermId atom) {
+              TermId name = store.PredName(atom);
+              return store.IsGround(name) ? facts->WithName(name).size()
+                                          : facts->size();
+            },
+            SIZE_MAX);
+        if (scratch.size() < program->scan_ops.size()) {
+          scratch.resize(program->scan_ops.size());
+        }
+        Substitution subst;
+        KernelContext ctx;
+        ctx.facts = facts;
+        ctx.neg = facts;
+        // The sink inserts derived heads straight back into *facts, so
+        // candidate probes must snapshot (never frozen).
+        ctx.facts_frozen = false;
+        ctx.scratch = &scratch;
+        RunKernel(store, *program, ctx, &subst, derive);
+      } else {
+        ForEachPositiveMatch(
+            store, *rule, *facts,
+            [&](const Substitution& theta) {
+              for (const Literal& lit : rule->body) {
+                if (!lit.negative()) continue;
+                TermId atom = theta.Apply(store, lit.atom);
+                if (!store.IsGround(atom)) return true;  // Unbound: skip.
+                if (facts->Contains(atom)) return true;  // Blocked.
               }
-            }
-            return true;
-          },
-          // The callback inserts derived heads straight back into *facts,
-          // so candidate probes must snapshot (never frozen).
-          /*frozen_facts=*/false);
+              return derive(theta);
+            },
+            // The callback inserts derived heads straight back into
+            // *facts, so candidate probes must snapshot (never frozen).
+            /*frozen_facts=*/false);
+      }
       if (budget_hit) {
         *error = "fact budget exhausted";
         return false;
@@ -75,7 +132,15 @@ bool RunComponentFixpoint(TermStore& store,
 
 StratifiedEvalResult EvaluateStratified(TermStore& store,
                                         const Program& program,
-                                        const BottomUpOptions& options) {
+                                        const BottomUpOptions& orig_options) {
+  // One compilation cache for the whole evaluation when the caller
+  // supplied none; group fixpoints would otherwise each re-lower their
+  // rules in a private transient cache.
+  KernelCache local_kernel_cache;
+  BottomUpOptions options = orig_options;
+  if (options.kernel_cache == nullptr) {
+    options.kernel_cache = &local_kernel_cache;
+  }
   StratifiedEvalResult result;
 
   std::unordered_map<TermId, int> levels;

@@ -5,6 +5,7 @@
 
 #include "src/eval/cancel.h"
 #include "src/eval/fact_base.h"
+#include "src/eval/kernel.h"
 #include "src/lang/printer.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -39,9 +40,14 @@ class TabledEngine {
  public:
   TabledEngine(TermStore& store, const Program& program,
                const TabledOptions& options)
-      : store_(store), program_(program), options_(options) {}
+      : store_(store),
+        program_(program),
+        options_(options),
+        kcache_(options.kernel_cache != nullptr ? options.kernel_cache
+                                                : &local_kernel_cache_) {}
 
   TabledResult Run(TermId query) {
+    compiled_ = RuleCompilationEnabled();
     for (const Rule& rule : program_.rules) {
       for (const Literal& lit : rule.body) {
         if (!lit.positive()) {
@@ -143,6 +149,14 @@ class TabledEngine {
   bool EvaluateGoal(TermId canon) {
     bool changed = false;
     for (const Rule& rule : program_.rules) {
+      if (compiled_) {
+        // Textual-order compiled form of the original rule: first pass
+        // per rule lowers it, later passes hit the variant cache. The
+        // body walk below follows the program's step sequence (SolveBody
+        // accounts one kernel op per step); candidate probes go through
+        // the same columnar CandidatesBatch kernels the compiled ops use.
+        kcache_->GetTextual(store_, rule);
+      }
       Rule renamed = RenameRuleApart(store_, rule);
       Substitution subst;
       // The canonical goal's #C-variables function as the call pattern.
@@ -164,6 +178,7 @@ class TabledEngine {
       return false;
     }
     obs::Count(obs::Counter::kTabledSteps);
+    if (compiled_) obs::Count(obs::Counter::kKernelOpsExecuted);
     if (index == body.size()) {
       return AddAnswer(canon, subst.Apply(store_, goal_instance));
     }
@@ -202,6 +217,10 @@ class TabledEngine {
   TermStore& store_;
   const Program& program_;
   TabledOptions options_;
+  // Declared before kcache_, which may point at it.
+  KernelCache local_kernel_cache_;
+  KernelCache* kcache_;
+  bool compiled_ = false;
   std::unordered_map<TermId, Table> tables_;
   std::vector<TermId> goal_order_;
   size_t total_answers_ = 0;

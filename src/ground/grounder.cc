@@ -66,7 +66,8 @@ RelevanceGroundingResult GroundWithRelevance(TermStore& store,
           result.program.Add(std::move(ground));
           return true;
         },
-        /*frozen_facts=*/true);  // Collects rules only; never inserts.
+        /*frozen_facts=*/true,  // Collects rules only; never inserts.
+        options.kernel_cache);
     if (!result.ok) return result;
     obs::TraceInstant("grounder.batch", result.program.size());
   }

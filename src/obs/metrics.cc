@@ -63,6 +63,10 @@ const char* CounterName(Counter c) {
     case Counter::kIncRederived: return "inc.rederived";
     case Counter::kIncComponentsResolved: return "inc.components_resolved";
     case Counter::kIncComponentsSkipped: return "inc.components_skipped";
+    case Counter::kKernelProgramsCompiled: return "kernel.programs_compiled";
+    case Counter::kKernelCacheHits: return "kernel.cache_hits";
+    case Counter::kKernelOpsExecuted: return "kernel.ops_executed";
+    case Counter::kKernelFallbacks: return "kernel.fallbacks";
     case Counter::kCount: break;
   }
   return "?";

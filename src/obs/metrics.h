@@ -87,6 +87,12 @@ enum class Counter : uint16_t {
   kIncRederived,            // Of those components' atoms, rederived ones.
   kIncComponentsResolved,   // Components re-solved during maintenance.
   kIncComponentsSkipped,    // Components replayed from the settled cache.
+  // Rule-to-kernel compilation (src/eval/kernel.h, docs/performance.md).
+  kKernelProgramsCompiled,  // Rule variants lowered to kernel programs.
+  kKernelCacheHits,         // Executions served by a cached program.
+  kKernelOpsExecuted,       // Kernel ops run (scans, probes, neg-probes).
+  kKernelFallbacks,         // Kernel steps that fell back to the legacy
+                            // tuple probe (batch joins disabled).
   kCount,
 };
 

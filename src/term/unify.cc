@@ -199,6 +199,21 @@ bool MatchInto(TermStore& store, TermId pattern, TermId target,
   return true;
 }
 
+bool MatchResolvedInto(TermStore& store, TermId pattern, TermId target,
+                       Substitution* subst) {
+  obs::Count(obs::Counter::kMatchCalls);
+  // MatchWalked dereferences bound variables via Lookup and compares the
+  // bound term to the target by id — for ground bindings (the stated
+  // precondition) that is exactly what applying the substitution first
+  // and comparing structurally would decide, terms being hash-consed.
+  const size_t mark = subst->Mark();
+  if (!MatchWalked(store, pattern, target, subst)) {
+    subst->UndoTo(mark);
+    return false;
+  }
+  return true;
+}
+
 bool IsVariant(TermStore& store, TermId a, TermId b) {
   std::unordered_map<TermId, TermId> fwd;
   std::unordered_map<TermId, TermId> bwd;

@@ -29,6 +29,19 @@ bool UnifyInto(TermStore& store, TermId a, TermId b, Substitution* subst);
 bool MatchInto(TermStore& store, TermId pattern, TermId target,
                Substitution* subst);
 
+/// One-way matching against the *unapplied* pattern: equivalent to
+/// MatchInto(store, subst->Apply(store, pattern), target, subst) — same
+/// result, same bindings — but it never interns the substituted pattern;
+/// already-bound pattern variables are dereferenced through `subst` and
+/// compared by term id instead. Precondition: every existing binding of a
+/// pattern variable is a fully resolved ground term (true for the join
+/// loops, which only ever bind pattern variables to ground fact
+/// sub-terms). This is the kernel executor's per-candidate match
+/// (src/eval/kernel.h): it removes the Apply-per-candidate re-interning
+/// the legacy MatchBody paid on every probe step.
+bool MatchResolvedInto(TermStore& store, TermId pattern, TermId target,
+                       Substitution* subst);
+
 /// True if `a` and `b` are equal up to consistent renaming of variables.
 bool IsVariant(TermStore& store, TermId a, TermId b);
 

@@ -1,0 +1,279 @@
+// Compiled-vs-legacy equivalence for the join-kernel executor
+// (src/eval/kernel.h): with rule compilation on, every evaluator must
+// produce byte-identical answers — same atoms, same order — as the
+// legacy per-round join loops, across thread counts and across delta
+// publishes with retraction. The kernel cache must also demonstrably
+// serve the second round of a semi-naive fixpoint.
+
+#include "src/eval/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/eval/bottomup.h"
+#include "src/lang/parser.h"
+#include "src/transform/universal.h"
+#include "random_programs.h"
+
+namespace hilog {
+namespace {
+
+// Restores the process-wide compilation switch on scope exit so a failing
+// assertion cannot leak "off" into unrelated tests.
+class ScopedCompileRules {
+ public:
+  explicit ScopedCompileRules(bool on) : prev_(RuleCompilationEnabled()) {
+    SetRuleCompilationEnabled(on);
+  }
+  ~ScopedCompileRules() { SetRuleCompilationEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+std::string ChainTc(int n) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    text += "e(n" + std::to_string(i) + ",n" + std::to_string(i + 1) +
+            ").\n";
+  }
+  text += "t(X,Y) :- e(X,Y).\nt(X,Z) :- t(X,Y), e(Y,Z).\n";
+  return text;
+}
+
+// One full engine pass rendered to a transcript: the well-founded model
+// in enumeration order, the stratified model when the program admits
+// one, each magic query's answers in derivation order, and (for definite
+// programs) the tabled answers. Any ordering difference between the
+// compiled and legacy paths shows up as a transcript diff.
+std::string Transcript(bool compiled, size_t threads,
+                       const std::string& text,
+                       const std::vector<std::string>& queries,
+                       const std::string& tabled_goal = "") {
+  ScopedCompileRules guard(compiled);
+  EngineOptions options;
+  options.bottomup.eval_threads = threads;
+  Engine engine(options);
+  std::string out;
+  std::string error = engine.Load(text);
+  if (!error.empty()) return "parse error: " + error;
+
+  Engine::WfsAnswer wfs = engine.SolveWellFounded();
+  out += "wfs ok=" + std::to_string(wfs.ok) +
+         " exact=" + std::to_string(wfs.exact) +
+         " ground=" + std::to_string(wfs.ground_rules) + "\n";
+  for (TermId atom : wfs.model.TrueAtoms()) {
+    out += "  " + engine.store().ToString(atom) + "\n";
+  }
+  for (TermId atom : wfs.model.UndefinedAtoms()) {
+    out += "  undef " + engine.store().ToString(atom) + "\n";
+  }
+
+  StratifiedEvalResult stratified = engine.SolveStratified();
+  out += "stratified ok=" + std::to_string(stratified.ok) + "\n";
+  if (stratified.ok) {
+    for (TermId atom : stratified.facts.facts()) {
+      out += "  " + engine.store().ToString(atom) + "\n";
+    }
+  }
+
+  for (const std::string& q : queries) {
+    Engine::QueryAnswer answer = engine.Query(q);
+    out += "query " + q + " ok=" + std::to_string(answer.ok) +
+           " status=" + std::to_string(static_cast<int>(answer.ground_status)) +
+           "\n";
+    for (TermId atom : answer.answers) {
+      out += "  " + engine.store().ToString(atom) + "\n";
+    }
+  }
+
+  if (!tabled_goal.empty()) {
+    TabledResult tabled = engine.ProveTabled(tabled_goal);
+    out += "tabled " + tabled_goal +
+           " complete=" + std::to_string(tabled.complete) + "\n";
+    for (TermId atom : tabled.answers) {
+      out += "  " + engine.store().ToString(atom) + "\n";
+    }
+  }
+  return out;
+}
+
+TEST(KernelEquivalenceTest, GroundNormalProgramsMatchLegacy) {
+  for (unsigned seed = 0; seed < 25; ++seed) {
+    const std::string text = testing::RandomGroundProgram(seed);
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      EXPECT_EQ(Transcript(/*compiled=*/true, threads, text, {"a0", "a1"}),
+                Transcript(/*compiled=*/false, threads, text, {"a0", "a1"}))
+          << "seed " << seed << " threads " << threads << "\n" << text;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, NormalRangeRestrictedProgramsMatchLegacy) {
+  for (unsigned seed = 0; seed < 25; ++seed) {
+    const std::string text =
+        testing::RandomRangeRestrictedNormalProgram(seed);
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      EXPECT_EQ(
+          Transcript(/*compiled=*/true, threads, text, {"p(a)", "q(X)"}),
+          Transcript(/*compiled=*/false, threads, text, {"p(a)", "q(X)"}))
+          << "seed " << seed << " threads " << threads << "\n" << text;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, HiLogGameProgramsMatchLegacy) {
+  for (unsigned seed = 0; seed < 10; ++seed) {
+    for (bool cyclic : {false, true}) {
+      const std::string text = testing::RandomGameProgram(seed, cyclic);
+      const std::vector<std::string> queries = {"winning(mv0)(X)",
+                                                "winning(mv0)(n0)"};
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        EXPECT_EQ(Transcript(/*compiled=*/true, threads, text, queries),
+                  Transcript(/*compiled=*/false, threads, text, queries))
+            << "seed " << seed << " cyclic " << cyclic << " threads "
+            << threads << "\n" << text;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, TransitiveClosureWithTablingMatchesLegacy) {
+  const std::string text = ChainTc(16);
+  const std::vector<std::string> queries = {"t(n0,X)", "t(X,n16)"};
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    EXPECT_EQ(
+        Transcript(/*compiled=*/true, threads, text, queries, "t(n0,X)"),
+        Transcript(/*compiled=*/false, threads, text, queries, "t(n0,X)"))
+        << "threads " << threads;
+  }
+}
+
+// The universal call/u_i encoding (Section 2) buries every joining term
+// inside call(...) — the workload where kernel probes must use the
+// sub-argument key paths. Compare the least models fact by fact.
+TEST(KernelEquivalenceTest, UniversalEncodingMatchesLegacy) {
+  auto run = [](bool compiled) {
+    ScopedCompileRules guard(compiled);
+    TermStore store;
+    auto parsed = ParseProgram(store, ChainTc(12));
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    UniversalTransform u(store);
+    Program encoded = u.EncodeProgram(*parsed);
+    BottomUpResult result =
+        LeastModelOfPositiveProjection(store, encoded, BottomUpOptions());
+    std::string out;
+    for (TermId atom : result.facts.facts()) {
+      out += store.ToString(atom) + "\n";
+    }
+    return out;
+  };
+  const std::string compiled = run(true);
+  EXPECT_EQ(compiled, run(false));
+  EXPECT_NE(compiled.find("call(u3(t,n0,n12))"), std::string::npos);
+}
+
+// Delta publishes with retraction: the maintenance solve after an
+// ApplyDelta must agree byte for byte, and the kernel cache must survive
+// the publish (only changed rules recompile).
+TEST(KernelEquivalenceTest, DeltaPublishWithRetractionMatchesLegacy) {
+  auto run = [](bool compiled, size_t threads) {
+    ScopedCompileRules guard(compiled);
+    EngineOptions options;
+    options.bottomup.eval_threads = threads;
+    Engine engine(options);
+    std::string out;
+    EXPECT_EQ(engine.Load(ChainTc(12) + "iso(a).\niso2(X) :- iso(X).\n"),
+              "");
+    auto render = [&](const Engine::WfsAnswer& answer) {
+      out += "solve ok=" + std::to_string(answer.ok) + "\n";
+      for (TermId atom : answer.model.TrueAtoms()) {
+        out += "  " + engine.store().ToString(atom) + "\n";
+      }
+    };
+    render(engine.SolveWellFounded());
+    EXPECT_EQ(engine.ApplyDelta("e(n12,n13).", "e(n3,n4).", nullptr), "");
+    render(engine.SolveWellFounded());
+    Engine::QueryAnswer q = engine.Query("t(n0,X)");
+    EXPECT_TRUE(q.ok) << q.error;
+    for (TermId atom : q.answers) {
+      out += "  q " + engine.store().ToString(atom) + "\n";
+    }
+    return out;
+  };
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    EXPECT_EQ(run(true, threads), run(false, threads))
+        << "threads " << threads;
+  }
+}
+
+// The point of the variant cache: from the second semi-naive round on,
+// every (rule, delta position, order) the fixpoint asks for is already
+// lowered, so a multi-round evaluation must record cache hits.
+TEST(KernelCacheTest, SecondRoundOfFixpointHitsCache) {
+  ScopedCompileRules guard(true);
+  Engine engine;
+  ASSERT_EQ(engine.Load(ChainTc(16)), "");
+  ASSERT_TRUE(engine.SolveWellFounded().ok);
+  const obs::MetricsRegistry& m = engine.metrics();
+  EXPECT_GT(m.value(obs::Counter::kKernelProgramsCompiled), 0u);
+  EXPECT_GT(m.value(obs::Counter::kKernelCacheHits), 0u);
+  EXPECT_GT(m.value(obs::Counter::kKernelOpsExecuted), 0u);
+  EXPECT_EQ(m.value(obs::Counter::kKernelFallbacks), 0u);
+  EXPECT_GT(engine.kernel_cache().size(), 0u);
+}
+
+// Legacy mode records no kernel activity at all.
+TEST(KernelCacheTest, LegacyModeRecordsNoKernelCounters) {
+  ScopedCompileRules guard(false);
+  Engine engine;
+  ASSERT_EQ(engine.Load(ChainTc(8)), "");
+  ASSERT_TRUE(engine.SolveWellFounded().ok);
+  const obs::MetricsRegistry& m = engine.metrics();
+  EXPECT_EQ(m.value(obs::Counter::kKernelProgramsCompiled), 0u);
+  EXPECT_EQ(m.value(obs::Counter::kKernelCacheHits), 0u);
+  EXPECT_EQ(m.value(obs::Counter::kKernelOpsExecuted), 0u);
+}
+
+// A forked engine replays compiled programs from its cloned cache. A
+// fork that re-solves the identical program replays memoized component
+// models from the scheduler cache and never evaluates at all, so force
+// re-evaluation with a new fact: the unchanged rules must then run from
+// the cloned kernel cache without compiling anything new.
+TEST(KernelCacheTest, ForkClonesCompiledRules) {
+  ScopedCompileRules guard(true);
+  Engine engine;
+  ASSERT_EQ(engine.Load(ChainTc(8)), "");
+  ASSERT_TRUE(engine.SolveWellFounded().ok);
+  const size_t compiled_rules = engine.kernel_cache().size();
+  ASSERT_GT(compiled_rules, 0u);
+  std::unique_ptr<Engine> fork = engine.Fork();
+  EXPECT_EQ(fork->kernel_cache().size(), compiled_rules);
+  ASSERT_EQ(fork->LoadMore("e(n8,n9).\n"), "");
+  ASSERT_TRUE(fork->SolveWellFounded().ok);
+  EXPECT_GT(fork->metrics().value(obs::Counter::kKernelCacheHits), 0u);
+  EXPECT_GT(fork->metrics().value(obs::Counter::kKernelOpsExecuted), 0u);
+  // Every rule the extended fixpoint ran was already lowered in the
+  // parent; only the new fact's entry is fresh.
+  EXPECT_EQ(fork->metrics().value(obs::Counter::kKernelProgramsCompiled), 0u);
+}
+
+TEST(KernelExplainTest, DumpsOneProgramPerRule) {
+  TermStore store;
+  auto parsed = ParseProgram(
+      store, "e(a,b).\nt(X,Y) :- e(X,Y).\nt(X,Z) :- t(X,Y), e(Y,Z).\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const std::string text = ExplainKernelPrograms(store, *parsed);
+  EXPECT_NE(text.find("rule 0:"), std::string::npos);
+  EXPECT_NE(text.find("rule 2:"), std::string::npos);
+  EXPECT_NE(text.find("ScanRelation"), std::string::npos);
+  EXPECT_NE(text.find("ProbeColumn"), std::string::npos);
+  EXPECT_NE(text.find("Emit"), std::string::npos);
+  EXPECT_NE(text.find("Project"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hilog

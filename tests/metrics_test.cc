@@ -305,6 +305,34 @@ TEST(EngineMetricsTest, ColumnarCountersExactOnWinChainAndTc) {
   }
 }
 
+// Satellite: exact kernel-executor counters on the same 16-node chain.
+// The fixpoint lowers five (rule, delta position, order) variants — the
+// two TC rules in their full and delta-rewritten forms plus the seeding
+// pass — and every later round re-asks for one of those, so exactly
+// three requests are cache hits. 568 executed ops is the whole
+// semi-naive run; the chain program gives the compiler nothing to bail
+// on, so fallbacks stay zero. The cache holds exactly the two TC rules:
+// fact rules short-circuit before compilation, and a cold Load no
+// longer prewarms, so only rules the fixpoint actually joins get
+// entries.
+TEST(EngineMetricsTest, KernelCountersExactOnTc) {
+  std::string text;
+  for (int i = 0; i < 16; ++i) {
+    text += "e(n" + std::to_string(i) + ",n" + std::to_string(i + 1) +
+            ").\n";
+  }
+  text += "t(X,Y) :- e(X,Y).\nt(X,Z) :- t(X,Y), e(Y,Z).\n";
+  Engine engine;
+  ASSERT_EQ(engine.Load(text), "");
+  ASSERT_TRUE(engine.SolveWellFounded().ok);
+  const obs::MetricsRegistry& m = engine.metrics();
+  EXPECT_EQ(m.value(obs::Counter::kKernelProgramsCompiled), 5u);
+  EXPECT_EQ(m.value(obs::Counter::kKernelCacheHits), 3u);
+  EXPECT_EQ(m.value(obs::Counter::kKernelOpsExecuted), 568u);
+  EXPECT_EQ(m.value(obs::Counter::kKernelFallbacks), 0u);
+  EXPECT_EQ(engine.kernel_cache().size(), 2u);
+}
+
 // Satellite: exact incremental-maintenance counters on the win chain.
 // The program is GroundWinChain(8) plus an independent p/q pair, so the
 // condensation has four components: {m} and {w} (which the delta
